@@ -1,0 +1,147 @@
+package segdb
+
+import (
+	"fmt"
+
+	"segdb/internal/core"
+	"segdb/internal/pager"
+	"segdb/internal/sol1"
+	"segdb/internal/sol2"
+)
+
+// The catalog makes a file-backed index reopenable: page 1 of the store
+// records the index kind, configuration, root page and allocator
+// high-water mark. Create* must therefore run on a fresh store (so the
+// catalog lands on page 1); Save refreshes the catalog after updates;
+// Open reattaches without rebuilding.
+
+const (
+	catalogPage    = pager.PageID(1)
+	catalogMagic   = 0x42444753 // "SGDB"
+	catalogVersion = 1
+
+	kindSolution1 = 1
+	kindSolution2 = 2
+)
+
+// CreateSolution1 builds a Solution-1 index on a fresh store and writes
+// the catalog so it can be reopened with Open. The store must be empty.
+func CreateSolution1(st *Store, opt Options, segs []Segment) (Index, error) {
+	if err := reserveCatalog(st); err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildSolution1(st, sol1.Config{B: opt.B, Plain: opt.PlainPST, Alpha: opt.Alpha}, segs)
+	if err != nil {
+		return nil, err
+	}
+	return ix, Save(st, ix)
+}
+
+// CreateSolution2 builds a Solution-2 index on a fresh store and writes
+// the catalog so it can be reopened with Open. The store must be empty.
+func CreateSolution2(st *Store, opt Options, segs []Segment) (Index, error) {
+	if err := reserveCatalog(st); err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildSolution2(st, sol2.Config{B: opt.B, D: opt.D}, segs)
+	if err != nil {
+		return nil, err
+	}
+	ix.Index.UseBridges = !opt.NoCascade
+	return ix, Save(st, ix)
+}
+
+func reserveCatalog(st *Store) error {
+	if st.PagesInUse() != 0 {
+		return fmt.Errorf("segdb: Create* needs a fresh store (found %d pages in use)", st.PagesInUse())
+	}
+	if id := st.Alloc(); id != catalogPage {
+		return fmt.Errorf("segdb: catalog landed on page %d, want %d", id, catalogPage)
+	}
+	// Zero the page so Open on a half-created store fails cleanly.
+	return st.Write(catalogPage, make([]byte, st.PageSize()))
+}
+
+// Save persists the index identity into the store's catalog page. Call it
+// after updates and before closing the store; Open replays it. The index
+// must have been built with CreateSolution1 or CreateSolution2.
+func Save(st *Store, ix Index) error {
+	page := make([]byte, st.PageSize())
+	c := pager.NewBuf(page)
+	c.PutU32(catalogMagic)
+	c.PutU8(catalogVersion)
+	switch v := ix.(type) {
+	case core.Solution1:
+		cfg := v.Index.Config()
+		c.PutU8(kindSolution1)
+		c.PutU16(0)
+		c.PutU32(uint32(cfg.B))
+		plain := uint8(0)
+		if cfg.Plain {
+			plain = 1
+		}
+		c.PutU8(plain)
+		c.Skip(3)
+		c.PutF64(cfg.Alpha)
+		c.PutPage(v.Index.Root())
+		c.PutU32(uint32(v.Len()))
+	case core.Solution2:
+		cfg := v.Index.Config()
+		c.PutU8(kindSolution2)
+		c.PutU16(0)
+		c.PutU32(uint32(cfg.B))
+		c.PutU8(0)
+		c.Skip(3)
+		c.PutF64(float64(cfg.D))
+		c.PutPage(v.Index.Root())
+		c.PutU32(uint32(v.Len()))
+	default:
+		return fmt.Errorf("segdb: cannot save index of type %T (baselines have no catalog)", ix)
+	}
+	c.PutPage(st.NextPage())
+	return st.Write(catalogPage, page)
+}
+
+// Open reattaches the index recorded in the store's catalog page, written
+// by CreateSolution1/CreateSolution2 + Save. It restores the allocator
+// high-water mark so later inserts do not collide with existing pages.
+func Open(st *Store) (Index, error) {
+	page, err := st.Read(catalogPage)
+	if err != nil {
+		return nil, fmt.Errorf("segdb: no catalog: %w", err)
+	}
+	c := pager.NewBuf(page)
+	if c.U32() != catalogMagic {
+		return nil, fmt.Errorf("segdb: page 1 is not a segdb catalog")
+	}
+	if v := c.U8(); v != catalogVersion {
+		return nil, fmt.Errorf("segdb: catalog version %d unsupported", v)
+	}
+	kind := c.U8()
+	c.Skip(2)
+	b := int(c.U32())
+	flag := c.U8()
+	c.Skip(3)
+	param := c.F64()
+	root := c.Page()
+	length := int(c.U32())
+	next := c.Page()
+
+	st.Reserve(next)
+	switch kind {
+	case kindSolution1:
+		ix, err := sol1.Attach(st, sol1.Config{B: b, Plain: flag == 1, Alpha: param}, root, length)
+		if err != nil {
+			return nil, err
+		}
+		return core.Solution1{Index: ix}, nil
+	case kindSolution2:
+		ix, err := sol2.Attach(st, sol2.Config{B: b, D: int(param)}, root, length)
+		if err != nil {
+			return nil, err
+		}
+		return core.Solution2{Index: ix}, nil
+	default:
+		return nil, fmt.Errorf("segdb: catalog has unknown index kind %d", kind)
+	}
+}

@@ -1,0 +1,149 @@
+package segdb_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+func TestCatalogRoundTripBothSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 60, box, 3)
+
+	for name, create := range map[string]func(*segdb.Store) (segdb.Index, error){
+		"sol1": func(st *segdb.Store) (segdb.Index, error) {
+			return segdb.CreateSolution1(st, segdb.Options{B: 16}, segs)
+		},
+		"sol2": func(st *segdb.Store) (segdb.Index, error) {
+			return segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+		},
+	} {
+		path := filepath.Join(t.TempDir(), "ix.db")
+		st, err := segdb.OpenFileStore(path, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := create(st); err != nil {
+			t.Fatalf("%s create: %v", name, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reopen from disk: no rebuild.
+		st2, err := segdb.OpenFileStore(path, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := segdb.Open(st2)
+		if err != nil {
+			t.Fatalf("%s open: %v", name, err)
+		}
+		if ix.Len() != len(segs) {
+			t.Fatalf("%s: reopened Len = %d, want %d", name, ix.Len(), len(segs))
+		}
+		for _, q := range queries {
+			got, err := segdb.CollectQuery(ix, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := segdb.FilterHits(q, segs); len(got) != len(want) {
+				t.Fatalf("%s reopened query %v: got %d, want %d", name, q, len(got), len(want))
+			}
+		}
+		st2.Close()
+	}
+}
+
+func TestCatalogSurvivesUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.Levels(rng, 300, 200, 1.3)
+	path := filepath.Join(t.TempDir(), "ix.db")
+
+	st, err := segdb.OpenFileStore(path, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs[200:] {
+		if err := ix.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := segdb.Save(st, ix); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := segdb.OpenFileStore(path, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	re, err := segdb.Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(segs) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(segs))
+	}
+	// Inserts after reopen must not collide with existing pages.
+	extra := segdb.NewSegment(99999, 1e6, 0, 1e6+5, 0)
+	if err := re.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	q := segdb.VLine(100)
+	got, err := segdb.CollectQuery(re, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := segdb.FilterHits(q, segs); len(got) != len(want) {
+		t.Fatalf("query after reopen+insert: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestCreateRequiresFreshStore(t *testing.T) {
+	st := segdb.NewMemStore(16, 16)
+	if _, err := segdb.CreateSolution1(st, segdb.Options{B: 16}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, nil); err == nil {
+		t.Fatal("Create on a used store succeeded")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	st := segdb.NewMemStore(16, 16)
+	if _, err := segdb.Open(st); err == nil {
+		t.Fatal("Open on an empty store succeeded")
+	}
+	// A store whose page 1 is not a catalog.
+	st2 := segdb.NewMemStore(16, 16)
+	if _, err := segdb.BuildSolution1(st2, segdb.Options{B: 16}, []segdb.Segment{
+		segdb.NewSegment(1, 0, 0, 1, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segdb.Open(st2); err == nil {
+		t.Fatal("Open accepted a non-catalog page 1")
+	}
+}
+
+func TestSaveRejectsBaselines(t *testing.T) {
+	st := segdb.NewMemStore(16, 16)
+	ix, err := segdb.NewScanBaseline(st, []segdb.Segment{segdb.NewSegment(1, 0, 0, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := segdb.Save(st, ix); err == nil {
+		t.Fatal("Save accepted a baseline")
+	}
+}

@@ -1,0 +1,61 @@
+// Command segbench regenerates every experiment recorded in
+// EXPERIMENTS.md: one table per complexity claim of the paper (the paper
+// itself contains no empirical evaluation, so the experiments validate
+// the shapes of Lemmas 1-4 and Theorems 1-2; see DESIGN.md §4).
+//
+// Usage:
+//
+//	segbench [-seed N] [experiment ...]
+//
+// With no arguments every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(seed int64)
+}
+
+var experiments []experiment
+
+func register(name, title string, run func(seed int64)) {
+	experiments = append(experiments, experiment{name, title, run})
+}
+
+func main() {
+	seed := flag.Int64("seed", 1998, "random seed for workload generation")
+	flag.Parse()
+
+	want := flag.Args()
+	byName := map[string]experiment{}
+	for _, e := range experiments {
+		byName[e.name] = e
+	}
+	if len(want) == 0 {
+		for _, e := range experiments {
+			want = append(want, e.name)
+		}
+	}
+	for _, name := range want {
+		e, ok := byName[name]
+		if !ok {
+			var names []string
+			for n := range byName {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, names)
+			os.Exit(2)
+		}
+		fmt.Printf("## %s — %s\n\n", e.name, e.title)
+		e.run(*seed)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,246 @@
+// Command segdb is a small demonstration CLI around the library: it
+// generates NCT workloads, builds a file-backed index, and answers VS
+// queries, printing answers and I/O statistics.
+//
+// Usage:
+//
+//	segdb gen   -kind layers|grid|levels|stacks -n 10000 -out segs.csv
+//	segdb build -in segs.csv -db index.db -b 32 [-sol 1|2]
+//	segdb query -db index.db -b 32 -x 10 -ylo 0 -yhi 5 [-check segs.csv]
+//
+// build persists the index with a catalog page; query reopens it from
+// disk without rebuilding and optionally cross-checks the answer against
+// a linear scan of the original CSV.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: segdb gen|build|query|stats [flags]")
+	os.Exit(2)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "index.db", "store file")
+	b := fs.Int("b", 32, "block capacity (must match build)")
+	fs.Parse(args)
+
+	st, err := segdb.OpenFileStore(*db, *b, 64)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	ix, err := segdb.Open(st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d pages in use (%d bytes/page)\n", *db, st.PagesInUse(), st.PageSize())
+	type describer interface{ DescribeString() (string, error) }
+	if d, ok := ix.(describer); ok {
+		s, err := d.DescribeString()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "layers", "workload family: layers|grid|levels|stacks|wide")
+	n := fs.Int("n", 10000, "approximate segment count")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "segs.csv", "output file")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var segs []segdb.Segment
+	switch *kind {
+	case "layers":
+		segs = workload.Layers(rng, *n/100+1, 100, float64(*n))
+	case "grid":
+		side := int(math.Sqrt(float64(*n) / 2))
+		segs = workload.Grid(rng, side, side, 0.9, 0.2)
+	case "levels":
+		segs = workload.Levels(rng, *n, float64(*n), 1.2)
+	case "wide":
+		segs = workload.WideLevels(rng, *n, float64(*n))
+	case "stacks":
+		segs = workload.Stacks(*n/100+1, 100, 20)
+	case "random":
+		// Raw crossing segments, repaired by planarization — the
+		// ingestion path for un-noded data.
+		raw := make([]segdb.Segment, *n)
+		span := math.Sqrt(float64(*n)) * 4
+		for i := range raw {
+			x, y := rng.Float64()*span, rng.Float64()*span
+			raw[i] = segdb.NewSegment(uint64(i+1), x, y,
+				x+(rng.Float64()-0.5)*8, y+(rng.Float64()-0.5)*8)
+		}
+		pieces := segdb.Planarize(raw, 0)
+		segs = segs[:0]
+		for _, p := range pieces {
+			segs = append(segs, p.Seg)
+		}
+		fmt.Printf("planarized %d raw segments into %d NCT pieces\n", len(raw), len(segs))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := segdb.ValidateNCT(segs); err != nil {
+		fmt.Fprintf(os.Stderr, "generated workload invalid: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for _, s := range segs {
+		fmt.Fprintf(w, "%d,%g,%g,%g,%g\n", s.ID, s.A.X, s.A.Y, s.B.X, s.B.Y)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d segments to %s\n", len(segs), *out)
+}
+
+func loadSegs(path string) []segdb.Segment {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var segs []segdb.Segment
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		parts := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(parts) != 5 {
+			continue
+		}
+		id, _ := strconv.ParseUint(parts[0], 10, 64)
+		var c [4]float64
+		for i := 0; i < 4; i++ {
+			c[i], _ = strconv.ParseFloat(parts[i+1], 64)
+		}
+		segs = append(segs, segdb.NewSegment(id, c[0], c[1], c[2], c[3]))
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	return segs
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "segs.csv", "segment CSV")
+	db := fs.String("db", "index.db", "store file")
+	b := fs.Int("b", 32, "block capacity in segments")
+	sol := fs.Int("sol", 2, "solution 1 or 2")
+	fs.Parse(args)
+
+	segs := loadSegs(*in)
+	os.Remove(*db)
+	st, err := segdb.OpenFileStore(*db, *b, 64)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	var ix segdb.Index
+	switch *sol {
+	case 1:
+		ix, err = segdb.CreateSolution1(st, segdb.Options{B: *b}, segs)
+	case 2:
+		ix, err = segdb.CreateSolution2(st, segdb.Options{B: *b}, segs)
+	default:
+		err = fmt.Errorf("unknown solution %d", *sol)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built solution %d over %d segments: %d pages (%s)\n",
+		*sol, ix.Len(), st.PagesInUse(), *db)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fs.String("db", "index.db", "store file")
+	b := fs.Int("b", 32, "block capacity (must match build)")
+	x := fs.Float64("x", 0, "query line x")
+	ylo := fs.Float64("ylo", math.Inf(-1), "lower y bound (omit for a ray/line)")
+	yhi := fs.Float64("yhi", math.Inf(1), "upper y bound (omit for a ray/line)")
+	check := fs.String("check", "", "optional CSV to cross-check the answer against")
+	verbose := fs.Bool("v", false, "print every hit")
+	fs.Parse(args)
+
+	st, err := segdb.OpenFileStore(*db, *b, 64)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	ix, err := segdb.Open(st)
+	if err != nil {
+		fatal(err)
+	}
+
+	q := segdb.Query{X: *x, YLo: *ylo, YHi: *yhi}
+	st.DropCache()
+	st.ResetStats()
+	hits, err := segdb.CollectQuery(ix, q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%v -> %d segments, %d page reads (index of %d segments, reopened from catalog)\n",
+		q, len(hits), st.Stats().Reads, ix.Len())
+	if *verbose {
+		for _, s := range hits {
+			fmt.Printf("  %v\n", s)
+		}
+	}
+	if *check != "" {
+		segs := loadSegs(*check)
+		if want := len(segdb.FilterHits(q, segs)); want != len(hits) {
+			fatal(fmt.Errorf("index answer %d disagrees with scan %d", len(hits), want))
+		}
+		fmt.Println("answer verified against CSV scan")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segdb:", err)
+	os.Exit(1)
+}

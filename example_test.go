@@ -1,0 +1,89 @@
+package segdb_test
+
+import (
+	"fmt"
+
+	"segdb"
+)
+
+// Building an index and answering the paper's three query shapes.
+func ExampleBuildSolution2() {
+	segs := []segdb.Segment{
+		segdb.NewSegment(1, 0, 0, 10, 10), // a road
+		segdb.NewSegment(2, 0, 5, 5, 5),   // a river touching it at (5,5)
+		segdb.NewSegment(3, 2, 20, 8, 20), // a power line above
+	}
+	store := segdb.NewMemStore(16, 64)
+	index, err := segdb.BuildSolution2(store, segdb.Options{}, segs)
+	if err != nil {
+		panic(err)
+	}
+
+	hits, _ := segdb.CollectQuery(index, segdb.VSeg(5, 0, 6)) // segment query
+	fmt.Println("segment x=5, 0..6:", len(hits))
+	hits, _ = segdb.CollectQuery(index, segdb.VRayUp(5, 6)) // ray query
+	fmt.Println("ray x=5, y>=6:", len(hits))
+	hits, _ = segdb.CollectQuery(index, segdb.VLine(5)) // stabbing query
+	fmt.Println("line x=5:", len(hits))
+	// Output:
+	// segment x=5, 0..6: 2
+	// ray x=5, y>=6: 1
+	// line x=5: 3
+}
+
+// Queries of any fixed direction: rotate the data once, then rotate each
+// query (the paper's footnote 1).
+func ExampleRotationAligning() {
+	segs := []segdb.Segment{
+		segdb.NewSegment(1, 0, 0, 1, 10), // steep, crossed by horizontal queries
+		segdb.NewSegment(2, 5, 0, 6, 10),
+	}
+	rot := segdb.RotationAligning(segdb.Point{X: 1, Y: 0}) // horizontal → vertical
+	store := segdb.NewMemStore(16, 64)
+	index, err := segdb.BuildSolution1(store, segdb.Options{}, rot.ApplySegs(segs))
+	if err != nil {
+		panic(err)
+	}
+	q := rot.ApplyQuery(segdb.Point{X: -1, Y: 5}, segdb.Point{X: 2, Y: 5})
+	hits, _ := segdb.CollectQuery(index, q)
+	fmt.Println("horizontal query hits:", len(hits))
+	// Output:
+	// horizontal query hits: 1
+}
+
+// Repairing raw (crossing) data into the NCT model before indexing.
+func ExamplePlanarize() {
+	raw := []segdb.Segment{
+		segdb.NewSegment(1, 0, 0, 10, 10),
+		segdb.NewSegment(2, 0, 10, 10, 0), // crosses the first at (5,5)
+	}
+	pieces := segdb.Planarize(raw, 100)
+	fmt.Println("pieces:", len(pieces))
+	segs := make([]segdb.Segment, len(pieces))
+	for i, p := range pieces {
+		segs[i] = p.Seg
+	}
+	fmt.Println("valid:", segdb.ValidateNCT(segs) == nil)
+	// Output:
+	// pieces: 4
+	// valid: true
+}
+
+// Persisting an index and reopening it without a rebuild.
+func ExampleOpen() {
+	store := segdb.NewMemStore(16, 64)
+	segs := []segdb.Segment{segdb.NewSegment(1, 0, 0, 10, 0)}
+	ix, err := segdb.CreateSolution2(store, segdb.Options{}, segs)
+	if err != nil {
+		panic(err)
+	}
+	_ = ix
+	// ... later (or in another process over the same file store):
+	reopened, err := segdb.Open(store)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reopened with", reopened.Len(), "segment")
+	// Output:
+	// reopened with 1 segment
+}

@@ -1,0 +1,185 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/workload"
+)
+
+const testPageSize = 64 + 48*16
+
+func sameSet(t *testing.T, got, want []geom.Segment, label string) {
+	t.Helper()
+	g := map[uint64]bool{}
+	for _, s := range got {
+		if g[s.ID] {
+			t.Fatalf("%s: duplicate %d", label, s.ID)
+		}
+		g[s.ID] = true
+	}
+	w := map[uint64]bool{}
+	for _, s := range want {
+		w[s.ID] = true
+	}
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d, want %d", label, len(g), len(w))
+	}
+	for id := range w {
+		if !g[id] {
+			t.Fatalf("%s: missing %d", label, id)
+		}
+	}
+}
+
+func TestScanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := workload.Layers(rng, 8, 40, 300)
+	st := pager.MustOpenMem(testPageSize, 16)
+	sc, err := NewScan(st, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 100, box, 20) {
+		var got []geom.Segment
+		if err := sc.Query(q, func(s geom.Segment) { got = append(got, s) }); err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), "scan")
+	}
+}
+
+func TestScanInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.Levels(rng, 100, 100, 1.5)
+	st := pager.MustOpenMem(testPageSize, 16)
+	sc, err := NewScan(st, segs[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs[30:] {
+		if err := sc.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Len() != 100 {
+		t.Fatalf("Len = %d", sc.Len())
+	}
+	q := geom.VLine(50)
+	var got []geom.Segment
+	if err := sc.Query(q, func(s geom.Segment) { got = append(got, s) }); err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, q.FilterHits(segs), "scan after insert")
+}
+
+func TestScanCostIsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Levels(rng, 3200, 100, 1.5)
+	st := pager.MustOpenMem(testPageSize, 0)
+	sc, err := NewScan(st, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	if err := sc.Query(geom.VSeg(50, 0, 1), func(geom.Segment) {}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(st.Stats().Reads), len(sc.pages); got != want {
+		t.Fatalf("scan reads %d pages, want all %d", got, want)
+	}
+}
+
+func TestScanCollectAndDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	segs := workload.Levels(rng, 150, 80, 1.5)
+	st := pager.MustOpenMem(testPageSize, 16)
+	base := st.PagesInUse()
+	sc, err := NewScan(st, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, segs, "scan collect")
+	if err := sc.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesInUse() != base {
+		t.Fatalf("pages leaked after Drop: %d vs %d", st.PagesInUse(), base)
+	}
+	if sc.Len() != 0 {
+		t.Fatalf("Len after Drop = %d", sc.Len())
+	}
+}
+
+func TestStabFilterMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := workload.Grid(rng, 15, 15, 0.9, 0.2)
+	st := pager.MustOpenMem(testPageSize, 16)
+	f, err := NewStabFilter(st, 16, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	for _, q := range append(workload.RandomVS(rng, 100, box, 3), workload.RandomStabs(rng, 30, box)...) {
+		var got []geom.Segment
+		if _, err := f.Query(q, func(s geom.Segment) { got = append(got, s) }); err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), "stab-filter")
+	}
+}
+
+// TestStabFilterTouchesWholeColumn shows the structural handicap: a short
+// query over a tall stack touches every segment in the column.
+func TestStabFilterTouchesWholeColumn(t *testing.T) {
+	segs := workload.Stacks(4, 50, 20)
+	st := pager.MustOpenMem(testPageSize, 16)
+	f, err := NewStabFilter(st, 16, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.VSeg(10, -0.5, 1.5) // hits 2 of 50 levels in column 0
+	var got []geom.Segment
+	touched, err := f.Query(q, func(s geom.Segment) { got = append(got, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("answers = %d, want 2", len(got))
+	}
+	if touched != 50 {
+		t.Fatalf("touched = %d, want the whole 50-segment column", touched)
+	}
+}
+
+func TestStabFilterInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs := workload.Levels(rng, 200, 150, 1.3)
+	st := pager.MustOpenMem(testPageSize, 16)
+	f, err := NewStabFilter(st, 16, segs[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs[100:] {
+		if err := f.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found, err := f.Delete(segs[0])
+	if err != nil || !found {
+		t.Fatalf("delete: %v %v", found, err)
+	}
+	q := geom.VLine(75)
+	var got []geom.Segment
+	if _, err := f.Query(q, func(s geom.Segment) { got = append(got, s) }); err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, q.FilterHits(segs[1:]), "after delete")
+}

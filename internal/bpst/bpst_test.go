@@ -1,0 +1,323 @@
+package bpst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/workload"
+)
+
+const testPageSize = 64 + 48*16
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 64) }
+
+func sameSet(t *testing.T, got, want []geom.Segment, label string) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	wantIDs := map[uint64]bool{}
+	for _, s := range want {
+		wantIDs[s.ID] = true
+	}
+	for _, s := range got {
+		if seen[s.ID] {
+			t.Fatalf("%s: duplicate id %d", label, s.ID)
+		}
+		seen[s.ID] = true
+		if !wantIDs[s.ID] {
+			t.Fatalf("%s: spurious id %d", label, s.ID)
+		}
+	}
+	if len(seen) != len(wantIDs) {
+		t.Fatalf("%s: got %d segments, want %d", label, len(seen), len(wantIDs))
+	}
+}
+
+func TestShape(t *testing.T) {
+	f, b := Shape(testPageSize)
+	if b < 16 {
+		t.Fatalf("cache capacity %d, want ≥ 16", b)
+	}
+	if f < 2 || f > b {
+		t.Fatalf("fanout %d outside [2, %d]", f, b)
+	}
+}
+
+func TestBuildRejectsNonLineBased(t *testing.T) {
+	if _, err := Build(newStore(), 10, geom.SideLeft, []geom.Segment{geom.Seg(1, 0, 0, 5, 5)}); err == nil {
+		t.Fatal("Build accepted a non-line-based segment")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := NewEmpty(newStore(), 0, geom.SideRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.CollectQuery(geom.VSeg(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+}
+
+func TestQueryMatchesNaive(t *testing.T) {
+	for _, side := range []geom.Side{geom.SideLeft, geom.SideRight} {
+		rng := rand.New(rand.NewSource(int64(20 + side)))
+		segs := workload.FanVertical(rng, 900, 100, side, 60, 250)
+		tr, err := Build(newStore(), 100, side, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(segs) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(segs))
+		}
+		for q := 0; q < 400; q++ {
+			x := 100 + float64(side)*rng.Float64()*70
+			y := rng.Float64()*270 - 10
+			query := geom.VSeg(x, y, y+rng.Float64()*50)
+			got, err := tr.CollectQuery(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, got, query.FilterHits(segs), "query")
+		}
+	}
+}
+
+func TestCollectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.FanVertical(rng, 500, 50, geom.SideRight, 40, 200)
+	tr, err := Build(newStore(), 50, geom.SideRight, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, segs, "collect")
+}
+
+func TestRayLineQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := workload.FanVertical(rng, 400, 0, geom.SideRight, 50, 150)
+	tr, err := Build(newStore(), 0, geom.SideRight, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.VQuery{geom.VLine(20), geom.VRayUp(15, 70), geom.VRayDown(30, 50)} {
+		got, err := tr.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), q.String())
+	}
+}
+
+// TestSearchCostLogB is the heart of the Lemma-3 substitution: root-to-
+// answer search cost must scale like log_B n, clearly below the binary
+// PST's log2 n.
+func TestSearchCostLogB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 60000
+	segs := workload.FanVertical(rng, n, 0, geom.SideRight, 100, 5000)
+	st := pager.MustOpenMem(testPageSize, 0)
+	tr, err := Build(st, 0, geom.SideRight, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	const probes = 300
+	totalReported := 0
+	for i := 0; i < probes; i++ {
+		x := rng.Float64() * 90
+		y := rng.Float64() * 5000
+		stats, err := tr.Query(geom.VSeg(x, y, y+1), func(geom.Segment) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalReported += stats.Reported
+	}
+	reads := float64(st.Stats().Reads) / probes
+	_, b := Shape(testPageSize)
+	nBlocks := float64(n) / float64(b)
+	f, _ := Shape(testPageSize)
+	logB := math.Log(nBlocks) / math.Log(float64(f))
+	tTerm := float64(totalReported) / probes / float64(b)
+	// Each level costs up to 2 pages (digest + boundary caches); allow
+	// constant 4 plus the output term.
+	if limit := 4*(logB+1) + 4*tTerm + 4; reads > limit {
+		t.Fatalf("avg %.1f reads/query; want ≤ %.1f (log_%d %g = %.1f, t-term %.1f)",
+			reads, limit, f, nBlocks, logB, tTerm)
+	}
+	log2 := math.Log2(nBlocks)
+	if reads > log2 {
+		t.Fatalf("avg %.1f reads/query is not below log2(n)=%.1f: no speedup over binary PST",
+			reads, log2)
+	}
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	segs := workload.FanVertical(rng, 800, 30, geom.SideLeft, 50, 300)
+	tr, err := NewEmpty(newStore(), 30, geom.SideLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := tr.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != len(segs) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(segs))
+	}
+	for q := 0; q < 300; q++ {
+		x := 30 - rng.Float64()*45
+		y := rng.Float64() * 310
+		query := geom.VSeg(x, y, y+rng.Float64()*40)
+		got, err := tr.CollectQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, query.FilterHits(segs), "grown query")
+	}
+}
+
+func TestDeleteHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	segs := workload.FanVertical(rng, 600, 10, geom.SideRight, 70, 280)
+	tr, err := Build(newStore(), 10, geom.SideRight, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(segs))
+	dead := map[uint64]bool{}
+	for _, i := range perm[:300] {
+		found, err := tr.Delete(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("Delete(%v) not found", segs[i])
+		}
+		dead[segs[i].ID] = true
+	}
+	if found, _ := tr.Delete(segs[perm[0]]); found {
+		t.Fatal("double delete found")
+	}
+	var alive []geom.Segment
+	for _, s := range segs {
+		if !dead[s.ID] {
+			alive = append(alive, s)
+		}
+	}
+	for q := 0; q < 200; q++ {
+		x := 10 + rng.Float64()*60
+		y := rng.Float64() * 290
+		query := geom.VSeg(x, y, y+rng.Float64()*35)
+		got, err := tr.CollectQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, query.FilterHits(alive), "query after delete")
+	}
+}
+
+func TestDeleteAllFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	segs := workload.FanVertical(rng, 200, 0, geom.SideRight, 30, 90)
+	st := newStore()
+	base := st.PagesInUse()
+	tr, err := Build(st, 0, geom.SideRight, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if found, err := tr.Delete(s); err != nil || !found {
+			t.Fatalf("Delete: %v %v", found, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("pages leaked: %d, want %d", got, base)
+	}
+}
+
+func TestMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pool := workload.FanVertical(rng, 500, 40, geom.SideLeft, 60, 220)
+	tr, err := NewEmpty(newStore(), 40, geom.SideLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]bool{}
+	for op := 0; op < 800; op++ {
+		i := rng.Intn(len(pool))
+		if live[i] {
+			if _, err := tr.Delete(pool[i]); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, i)
+		} else {
+			if err := tr.Insert(pool[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = true
+		}
+		if op%50 == 0 {
+			var liveList []geom.Segment
+			for j := range pool {
+				if live[j] {
+					liveList = append(liveList, pool[j])
+				}
+			}
+			x := 40 - rng.Float64()*55
+			y := rng.Float64() * 230
+			query := geom.VSeg(x, y, y+rng.Float64()*45)
+			got, err := tr.CollectQuery(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, got, query.FilterHits(liveList), "mixed")
+		}
+	}
+}
+
+func TestLinearSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	_, b := Shape(testPageSize)
+	for _, n := range []int{2000, 8000} {
+		st := pager.MustOpenMem(testPageSize, 0)
+		segs := workload.FanVertical(rng, n, 0, geom.SideRight, 50, 1000)
+		if _, err := Build(st, 0, geom.SideRight, segs); err != nil {
+			t.Fatal(err)
+		}
+		if got, lim := st.PagesInUse(), 3*(n/b+2); got > lim {
+			t.Fatalf("n=%d: %d pages, want ≤ %d", n, got, lim)
+		}
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st := newStore()
+	base := st.PagesInUse()
+	tr, err := Build(st, 0, geom.SideRight, workload.FanVertical(rng, 700, 0, geom.SideRight, 40, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse = %d, want %d", got, base)
+	}
+}

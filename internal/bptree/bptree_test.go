@@ -1,0 +1,430 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"segdb/internal/pager"
+)
+
+const testPageSize = 256
+
+func newStore(t *testing.T) *pager.Store {
+	t.Helper()
+	return pager.MustOpenMem(testPageSize, 16)
+}
+
+func val64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func mustNew(t *testing.T, st *pager.Store) *Tree {
+	t.Helper()
+	tr, err := New(st, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func collect(t *testing.T, tr *Tree) []Key {
+	t.Helper()
+	var keys []Key
+	err := tr.Scan(MinKey(), func(k Key, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("cursor valid on empty tree")
+	}
+	if _, found, _ := tr.Find(Key{K: 1}); found {
+		t.Fatal("Find on empty tree reported a hit")
+	}
+}
+
+func TestInsertFindSmall(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	keys := []Key{{K: 3, ID: 1}, {K: 1, ID: 2}, {K: 2, ID: 3}, {K: 1, ID: 1}}
+	for i, k := range keys {
+		if err := tr.Insert(k, val64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, tr)
+	want := []Key{{K: 1, ID: 1}, {K: 1, ID: 2}, {K: 2, ID: 3}, {K: 3, ID: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	v, found, err := tr.Find(Key{K: 2, ID: 3})
+	if err != nil || !found {
+		t.Fatalf("Find: %v %v", found, err)
+	}
+	if binary.LittleEndian.Uint64(v) != 2 {
+		t.Fatalf("Find value = %d, want 2", binary.LittleEndian.Uint64(v))
+	}
+}
+
+func TestInsertRejectsWrongValSize(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	if err := tr.Insert(Key{K: 1}, make([]byte, 7)); err == nil {
+		t.Fatal("Insert accepted a short value")
+	}
+}
+
+func TestManyInsertsSortedIteration(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := Key{K: rng.Float64() * 100, ID: uint64(i)}
+		if err := tr.Insert(k, val64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	keys := collect(t, tr)
+	if len(keys) != n {
+		t.Fatalf("iterated %d keys, want %d", len(keys), n)
+	}
+	for i := 1; i < n; i++ {
+		if keys[i].Less(keys[i-1]) {
+			t.Fatalf("keys out of order at %d: %+v > %+v", i, keys[i-1], keys[i])
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d after %d inserts on %dB pages: splits never happened?",
+			tr.Height(), n, testPageSize)
+	}
+}
+
+func TestDuplicateExactKeys(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	k := Key{K: 5, ID: 7}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(k, val64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(collect(t, tr)); got != 100 {
+		t.Fatalf("duplicate key count = %d, want 100", got)
+	}
+	// Delete removes one at a time.
+	for i := 99; i >= 0; i-- {
+		found, err := tr.Delete(k)
+		if err != nil || !found {
+			t.Fatalf("Delete #%d: found=%v err=%v", 99-i, found, err)
+		}
+		if tr.Len() != i {
+			t.Fatalf("Len = %d, want %d", tr.Len(), i)
+		}
+	}
+	if found, _ := tr.Delete(k); found {
+		t.Fatal("Delete on empty found an entry")
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		if err := tr.Insert(Key{K: float64(i), ID: 1}, val64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		seek  float64
+		want  float64
+		valid bool
+	}{
+		{-5, 0, true},
+		{0, 0, true},
+		{1, 2, true},
+		{97, 98, true},
+		{98, 98, true},
+		{98.5, 0, false},
+	}
+	for _, tc := range tests {
+		c, err := tr.SeekGE(Key{K: tc.seek})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Valid() != tc.valid {
+			t.Errorf("SeekGE(%g).Valid = %v, want %v", tc.seek, c.Valid(), tc.valid)
+			continue
+		}
+		if tc.valid && c.Key().K != tc.want {
+			t.Errorf("SeekGE(%g) = %g, want %g", tc.seek, c.Key().K, tc.want)
+		}
+	}
+}
+
+func TestCursorPrev(t *testing.T) {
+	tr := mustNew(t, newStore(t))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Key{K: float64(i), ID: 1}, val64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tr.SeekGE(Key{K: n - 1, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !c.Valid() {
+			t.Fatalf("cursor died at %d", i)
+		}
+		if c.Key().K != float64(i) {
+			t.Fatalf("Prev walk at %d: key %g", i, c.Key().K)
+		}
+		if err := c.Prev(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Valid() {
+		t.Fatal("cursor valid before the start")
+	}
+}
+
+func TestBulkMatchesInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 3000
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: Key{K: rng.Float64() * 1000, ID: uint64(i)}, Val: val64(uint64(i))}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Key.Less(items[j].Key) })
+
+	st := newStore(t)
+	tr, err := Bulk(st, 8, items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	keys := collect(t, tr)
+	for i := range items {
+		if keys[i] != items[i].Key {
+			t.Fatalf("bulk key %d = %+v, want %+v", i, keys[i], items[i].Key)
+		}
+	}
+	// Every key findable.
+	for i := 0; i < n; i += 97 {
+		if _, found, _ := tr.Find(items[i].Key); !found {
+			t.Fatalf("bulk-loaded key %+v not found", items[i].Key)
+		}
+	}
+}
+
+func TestBulkRejectsUnsorted(t *testing.T) {
+	st := newStore(t)
+	items := []Item{
+		{Key: Key{K: 2}, Val: val64(0)},
+		{Key: Key{K: 1}, Val: val64(0)},
+	}
+	if _, err := Bulk(st, 8, items, 1.0); err == nil {
+		t.Fatal("Bulk accepted unsorted input")
+	}
+}
+
+func TestBulkEmptyAndSingle(t *testing.T) {
+	st := newStore(t)
+	tr, err := Bulk(st, 8, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty bulk not empty")
+	}
+	tr2, err := Bulk(st, 8, []Item{{Key: Key{K: 1}, Val: val64(9)}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, found, _ := tr2.Find(Key{K: 1})
+	if !found || binary.LittleEndian.Uint64(v) != 9 {
+		t.Fatal("single bulk item not found")
+	}
+}
+
+func TestLeafForAndSeekInLeaf(t *testing.T) {
+	st := newStore(t)
+	var items []Item
+	for i := 0; i < 1000; i++ {
+		items = append(items, Item{Key: Key{K: float64(i), ID: 1}, Val: val64(uint64(i))})
+	}
+	tr, err := Bulk(st, 8, items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{K: 437, ID: 1}
+	leaf, err := tr.LeafFor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	st.DropCache()
+	c, err := tr.SeekInLeaf(leaf, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || c.Key() != k {
+		t.Fatalf("SeekInLeaf landed on %+v", c.Key())
+	}
+	if ios := st.Stats().Reads; ios > 2 {
+		t.Fatalf("SeekInLeaf cost %d reads, want O(1) ≤ 2", ios)
+	}
+	// Stale leaf reference: point at the wrong leaf, expect fallback.
+	wrongLeaf, _ := tr.LeafFor(Key{K: 2, ID: 1})
+	c2, err := tr.SeekInLeaf(wrongLeaf, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Valid() || c2.Key() != k {
+		t.Fatalf("SeekInLeaf fallback landed on %+v", c2.Key())
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	st := newStore(t)
+	before := st.PagesInUse()
+	tr := mustNew(t, st)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(Key{K: float64(i)}, val64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.PagesInUse() <= before {
+		t.Fatal("tree allocated no pages?")
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != before {
+		t.Fatalf("PagesInUse after Drop = %d, want %d", got, before)
+	}
+}
+
+func TestSearchCostLogarithmic(t *testing.T) {
+	st := pager.MustOpenMem(4096, 0) // no cache: count every touch
+	var items []Item
+	const n = 200000
+	for i := 0; i < n; i++ {
+		items = append(items, Item{Key: Key{K: float64(i)}, Val: val64(uint64(i))})
+	}
+	tr, err := Bulk(st, 8, items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	const probes = 100
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < probes; i++ {
+		if _, found, _ := tr.Find(Key{K: float64(rng.Intn(n))}); !found {
+			t.Fatal("probe missed")
+		}
+	}
+	per := float64(st.Stats().Reads) / probes
+	if per > float64(tr.Height())+0.5 {
+		t.Fatalf("search cost %.2f reads, height %d", per, tr.Height())
+	}
+}
+
+// TestQuickShadowModel runs random insert/delete/find against a sorted-
+// slice shadow model.
+func TestQuickShadowModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := pager.MustOpenMem(testPageSize, 8)
+		tr, err := New(st, 8)
+		if err != nil {
+			return false
+		}
+		shadow := map[Key]uint64{}
+		for op := 0; op < 400; op++ {
+			k := Key{K: float64(rng.Intn(40)), ID: uint64(rng.Intn(4))}
+			switch rng.Intn(3) {
+			case 0: // insert (unique per shadow: skip if present)
+				if _, ok := shadow[k]; ok {
+					continue
+				}
+				v := rng.Uint64()
+				if err := tr.Insert(k, val64(v)); err != nil {
+					return false
+				}
+				shadow[k] = v
+			case 1: // delete
+				found, err := tr.Delete(k)
+				if err != nil {
+					return false
+				}
+				_, want := shadow[k]
+				if found != want {
+					return false
+				}
+				delete(shadow, k)
+			default: // find
+				v, found, err := tr.Find(k)
+				if err != nil {
+					return false
+				}
+				want, ok := shadow[k]
+				if found != ok {
+					return false
+				}
+				if found && binary.LittleEndian.Uint64(v) != want {
+					return false
+				}
+			}
+			if tr.Len() != len(shadow) {
+				return false
+			}
+		}
+		// Full iteration matches the shadow's sorted keys.
+		var want []Key
+		for k := range shadow {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+		var got []Key
+		tr.Scan(MinKey(), func(k Key, _ []byte) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package core assembles the paper's primary contribution behind one
+// interface: a secondary-storage index over NCT segment databases
+// answering generalized vertical-segment (VS) queries. Two
+// implementations exist, Solution 1 (Section 3 / Theorem 1) and Solution 2
+// (Section 4 / Theorem 2), plus the baselines used by the experiments.
+// The public package segdb at the module root re-exports this surface.
+package core
+
+import (
+	"segdb/internal/baseline"
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/sol1"
+	"segdb/internal/sol2"
+)
+
+// QueryStats describes the work a single query performed, beyond the I/O
+// counters kept by the store.
+type QueryStats struct {
+	FirstLevelNodes int // first-level nodes visited
+	Reported        int // segments reported (the query's T)
+	GListSearches   int // Solution 2: multislab lists positioned from the root
+	GBridgeJumps    int // Solution 2: lists positioned through bridges
+	GFallbacks      int // Solution 2: failed bridge navigations
+}
+
+// Index is a VS-query index over an NCT segment database.
+type Index interface {
+	// Query reports every stored segment intersected by q, exactly once.
+	Query(q geom.VQuery, emit func(geom.Segment)) (QueryStats, error)
+	// Insert adds a segment; it must keep the database non-crossing.
+	Insert(s geom.Segment) error
+	// Delete removes the segment with s's identity and geometry. The
+	// semi-dynamic Solution 2 returns ErrUnsupported.
+	Delete(s geom.Segment) (bool, error)
+	// Len returns the number of stored segments.
+	Len() int
+	// Collect returns every stored segment.
+	Collect() ([]geom.Segment, error)
+	// Drop frees all pages.
+	Drop() error
+}
+
+// ErrUnsupported is returned by operations outside a structure's model
+// (deletion on the semi-dynamic Solution 2 and on the scan baseline).
+var ErrUnsupported = sol2.ErrUnsupported
+
+// Solution1 adapts sol1.Index to the Index interface.
+type Solution1 struct{ *sol1.Index }
+
+// Query implements Index.
+func (s Solution1) Query(q geom.VQuery, emit func(geom.Segment)) (QueryStats, error) {
+	st, err := s.Index.Query(q, emit)
+	return QueryStats{FirstLevelNodes: st.FirstLevelNodes, Reported: st.Reported}, err
+}
+
+// Solution2 adapts sol2.Index to the Index interface.
+type Solution2 struct{ *sol2.Index }
+
+// Query implements Index.
+func (s Solution2) Query(q geom.VQuery, emit func(geom.Segment)) (QueryStats, error) {
+	st, err := s.Index.Query(q, emit)
+	return QueryStats{
+		FirstLevelNodes: st.FirstLevelNodes,
+		Reported:        st.Reported,
+		GListSearches:   st.G.ListsSearched,
+		GBridgeJumps:    st.G.BridgeJumps,
+		GFallbacks:      st.G.Fallbacks,
+	}, err
+}
+
+// DescribeString returns a human-readable structural summary (full
+// traversal; a diagnostic).
+func (s Solution1) DescribeString() (string, error) {
+	d, err := s.Index.Describe()
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
+}
+
+// DescribeString returns a human-readable structural summary (full
+// traversal; a diagnostic).
+func (s Solution2) DescribeString() (string, error) {
+	d, err := s.Index.Describe()
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
+}
+
+// BuildSolution1 bulk-loads the Section-3 structure.
+func BuildSolution1(st *pager.Store, cfg sol1.Config, segs []geom.Segment) (Solution1, error) {
+	ix, err := sol1.Build(st, cfg, segs)
+	return Solution1{ix}, err
+}
+
+// BuildSolution2 bulk-loads the Section-4 structure.
+func BuildSolution2(st *pager.Store, cfg sol2.Config, segs []geom.Segment) (Solution2, error) {
+	ix, err := sol2.Build(st, cfg, segs)
+	return Solution2{ix}, err
+}
+
+// ScanBaseline adapts baseline.Scan to the Index interface.
+type ScanBaseline struct{ *baseline.Scan }
+
+// Query implements Index.
+func (s ScanBaseline) Query(q geom.VQuery, emit func(geom.Segment)) (QueryStats, error) {
+	var st QueryStats
+	err := s.Scan.Query(q, func(sg geom.Segment) {
+		st.Reported++
+		emit(sg)
+	})
+	return st, err
+}
+
+// Delete implements Index; the scan baseline does not support deletion.
+func (s ScanBaseline) Delete(geom.Segment) (bool, error) { return false, ErrUnsupported }
+
+// NewScanBaseline stores the segments as a packed page chain.
+func NewScanBaseline(st *pager.Store, segs []geom.Segment) (ScanBaseline, error) {
+	sc, err := baseline.NewScan(st, segs)
+	return ScanBaseline{sc}, err
+}
+
+// StabFilterBaseline adapts baseline.StabFilter to the Index interface.
+type StabFilterBaseline struct {
+	*baseline.StabFilter
+	// LastTouched is the t_line of the most recent query: every segment
+	// crossing the query's vertical line, hit or not.
+	LastTouched int
+}
+
+// Query implements Index.
+func (s *StabFilterBaseline) Query(q geom.VQuery, emit func(geom.Segment)) (QueryStats, error) {
+	var st QueryStats
+	touched, err := s.StabFilter.Query(q, func(sg geom.Segment) {
+		st.Reported++
+		emit(sg)
+	})
+	s.LastTouched = touched
+	return st, err
+}
+
+// Touched returns the t_line of the most recent query.
+func (s *StabFilterBaseline) Touched() int { return s.LastTouched }
+
+// Collect is not tracked by the stab-filter baseline.
+func (s *StabFilterBaseline) Collect() ([]geom.Segment, error) { return nil, ErrUnsupported }
+
+// Drop is not tracked by the stab-filter baseline.
+func (s *StabFilterBaseline) Drop() error { return ErrUnsupported }
+
+// NewStabFilterBaseline builds the x-projection interval tree baseline.
+func NewStabFilterBaseline(st *pager.Store, b int, segs []geom.Segment) (*StabFilterBaseline, error) {
+	f, err := baseline.NewStabFilter(st, b, segs)
+	return &StabFilterBaseline{StabFilter: f}, err
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/sol1"
+	"segdb/internal/sol2"
+	"segdb/internal/workload"
+)
+
+// Compile-time interface compliance.
+var (
+	_ Index = Solution1{}
+	_ Index = Solution2{}
+	_ Index = ScanBaseline{}
+	_ Index = (*StabFilterBaseline)(nil)
+)
+
+func TestAllIndexesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := workload.Grid(rng, 14, 14, 0.85, 0.2)
+	pageSize := 64 + 48*16
+
+	build := map[string]func() (Index, error){
+		"sol1": func() (Index, error) {
+			return BuildSolution1(pager.MustOpenMem(pageSize, 32), sol1.Config{B: 16}, segs)
+		},
+		"sol1-plain": func() (Index, error) {
+			return BuildSolution1(pager.MustOpenMem(pageSize, 32), sol1.Config{B: 16, Plain: true}, segs)
+		},
+		"sol2": func() (Index, error) {
+			return BuildSolution2(pager.MustOpenMem(pageSize, 32), sol2.Config{B: 16}, segs)
+		},
+		"scan": func() (Index, error) {
+			return NewScanBaseline(pager.MustOpenMem(pageSize, 32), segs)
+		},
+		"stabfilter": func() (Index, error) {
+			return NewStabFilterBaseline(pager.MustOpenMem(pageSize, 32), 16, segs)
+		},
+	}
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 120, box, 3)
+	for name, mk := range build {
+		ix, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Len() != len(segs) {
+			t.Fatalf("%s: Len = %d, want %d", name, ix.Len(), len(segs))
+		}
+		for _, q := range queries {
+			got := map[uint64]bool{}
+			stats, err := ix.Query(q, func(s geom.Segment) { got[s.ID] = true })
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want := q.FilterHits(segs)
+			if len(got) != len(want) {
+				t.Fatalf("%s %v: got %d, want %d", name, q, len(got), len(want))
+			}
+			if stats.Reported != len(want) {
+				t.Fatalf("%s: Reported = %d, want %d", name, stats.Reported, len(want))
+			}
+		}
+	}
+}
+
+func TestSolution2StatsExposeBridges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.WideLevels(rng, 4000, 400)
+	ix, err := BuildSolution2(pager.MustOpenMem(64+48*32, 64), sol2.Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jumps := 0
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 100, box, 30) {
+		stats, err := ix.Query(q, func(geom.Segment) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jumps += stats.GBridgeJumps
+	}
+	if jumps == 0 {
+		t.Fatal("Solution 2 stats show no bridge jumps on a long-heavy workload")
+	}
+}

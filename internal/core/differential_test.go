@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/sol1"
+	"segdb/internal/sol2"
+	"segdb/internal/workload"
+)
+
+// TestQuickDifferential drives every implementation with the same random
+// workload and queries (including exact-endpoint and boundary-grazing
+// ones) and demands byte-identical answer sets. Random seeds come from
+// testing/quick so each run explores new trajectories.
+func TestQuickDifferential(t *testing.T) {
+	pageSize := 64 + 48*16
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var segs []geom.Segment
+		switch seed % 4 {
+		case 0:
+			segs = workload.Layers(rng, 3+rng.Intn(5), 20+rng.Intn(30), 200)
+		case 1:
+			segs = workload.Grid(rng, 6+rng.Intn(6), 6+rng.Intn(6), 0.9, 0.2)
+		case 2:
+			segs = workload.Levels(rng, 100+rng.Intn(300), 150, 1.2)
+		default:
+			segs = workload.WideLevels(rng, 100+rng.Intn(300), 120)
+		}
+
+		indexes := map[string]Index{}
+		ix1, err := BuildSolution1(pager.MustOpenMem(pageSize, 32), sol1.Config{B: 16}, segs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		indexes["sol1"] = ix1
+		ix1p, err := BuildSolution1(pager.MustOpenMem(pageSize, 32), sol1.Config{B: 16, Plain: true}, segs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		indexes["sol1-plain"] = ix1p
+		ix2, err := BuildSolution2(pager.MustOpenMem(pageSize, 32), sol2.Config{B: 16}, segs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		indexes["sol2"] = ix2
+		ix2nb, err := BuildSolution2(pager.MustOpenMem(pageSize, 32), sol2.Config{B: 16}, segs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ix2nb.Index.UseBridges = false
+		indexes["sol2-nocascade"] = ix2nb
+		sf, err := NewStabFilterBaseline(pager.MustOpenMem(pageSize, 32), 16, segs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		indexes["stabfilter"] = sf
+
+		box := workload.BBox(segs)
+		queries := workload.RandomVS(rng, 40, box, (box.MaxY-box.MinY)/10)
+		queries = append(queries, workload.RandomStabs(rng, 10, box)...)
+		// Knife-edge queries: through exact endpoints.
+		for i := 0; i < 10; i++ {
+			s := segs[rng.Intn(len(segs))]
+			queries = append(queries, geom.VSeg(s.A.X, s.A.Y-3, s.A.Y+3))
+			queries = append(queries, geom.VSeg(s.B.X, s.B.Y, s.B.Y))
+		}
+
+		for _, q := range queries {
+			want := map[uint64]bool{}
+			for _, s := range q.FilterHits(segs) {
+				want[s.ID] = true
+			}
+			for name, ix := range indexes {
+				got := map[uint64]bool{}
+				if _, err := ix.Query(q, func(s geom.Segment) { got[s.ID] = true }); err != nil {
+					t.Logf("%s: %v", name, err)
+					return false
+				}
+				if len(got) != len(want) {
+					t.Logf("seed %d %s %v: got %d want %d", seed, name, q, len(got), len(want))
+					return false
+				}
+				for id := range want {
+					if !got[id] {
+						t.Logf("seed %d %s %v: missing %d", seed, name, q, id)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

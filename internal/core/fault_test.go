@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/sol1"
+	"segdb/internal/sol2"
+	"segdb/internal/workload"
+)
+
+// faultDevice wraps a device and starts failing every operation after a
+// budget of successful ones — a crude disk-death model that exercises the
+// error paths of every structure layered above.
+type faultDevice struct {
+	inner  pager.Device
+	budget int
+}
+
+var errInjected = errors.New("injected device fault")
+
+func (d *faultDevice) ReadPage(idx uint32, p []byte) error {
+	if d.budget <= 0 {
+		return errInjected
+	}
+	d.budget--
+	return d.inner.ReadPage(idx, p)
+}
+
+func (d *faultDevice) WritePage(idx uint32, p []byte) error {
+	if d.budget <= 0 {
+		return errInjected
+	}
+	d.budget--
+	return d.inner.WritePage(idx, p)
+}
+
+func (d *faultDevice) Close() error { return d.inner.Close() }
+
+func faultyStore(t *testing.T, pageSize, budget int) (*pager.Store, *faultDevice) {
+	t.Helper()
+	dev := &faultDevice{inner: pager.NewMemDevice(pageSize), budget: budget}
+	st, err := pager.Open(dev, pageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, dev
+}
+
+// TestBuildSurfacesDeviceErrors drives both builders into a dying disk at
+// many different failure points: every outcome must be an error wrapping
+// the injected fault, never a panic or a silent success.
+func TestBuildSurfacesDeviceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	pageSize := 64 + 48*16
+	// A bulk build of ~190 segments needs at least ~⌈N/B⌉ page writes, so
+	// budgets below that must fail; larger budgets may legitimately
+	// succeed, but any failure must wrap the injected fault.
+	mustFail := len(segs)/16 - 1
+	for _, budget := range []int{0, 1, 3, mustFail, 30, 100, 300} {
+		st, _ := faultyStore(t, pageSize, budget)
+		if _, err := sol1.Build(st, sol1.Config{B: 16}, segs); err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("sol1 budget %d: error does not wrap the fault: %v", budget, err)
+			}
+		} else if budget <= mustFail {
+			t.Fatalf("sol1 build with budget %d succeeded", budget)
+		}
+
+		st2, _ := faultyStore(t, pageSize, budget)
+		if _, err := sol2.Build(st2, sol2.Config{B: 16}, segs); err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("sol2 budget %d: error does not wrap the fault: %v", budget, err)
+			}
+		} else if budget <= mustFail {
+			t.Fatalf("sol2 build with budget %d succeeded", budget)
+		}
+	}
+}
+
+// TestQuerySurfacesDeviceErrors builds successfully, then kills the disk
+// and checks queries fail cleanly.
+func TestQuerySurfacesDeviceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	pageSize := 64 + 48*16
+
+	st, dev := faultyStore(t, pageSize, 1<<30)
+	ix, err := sol2.Build(st, sol2.Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.budget = 0 // disk dies; the zero-size pool forces real reads
+	if _, err := ix.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, errInjected) {
+		t.Fatalf("query on dead disk: %v", err)
+	}
+
+	st1, dev1 := faultyStore(t, pageSize, 1<<30)
+	ix1, err := sol1.Build(st1, sol1.Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev1.budget = 0
+	if _, err := ix1.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, errInjected) {
+		t.Fatalf("sol1 query on dead disk: %v", err)
+	}
+}
+
+// TestInsertSurfacesDeviceErrors kills the disk mid-insert-stream.
+func TestInsertSurfacesDeviceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Levels(rng, 300, 200, 1.3)
+	pageSize := 64 + 48*16
+
+	st, dev := faultyStore(t, pageSize, 1<<30)
+	ix, err := sol1.Build(st, sol1.Config{B: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		if i == 150 {
+			dev.budget = 5
+		}
+		if err := ix.Insert(s); err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("insert error does not wrap the fault: %v", err)
+			}
+			return // failed cleanly
+		}
+	}
+	t.Fatal("inserts kept succeeding on a dead disk")
+}

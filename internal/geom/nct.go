@@ -1,0 +1,69 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation describes a pair of segments that breaks the NCT
+// (non-crossing, touching allowed) model: a proper crossing or a collinear
+// overlap.
+type Violation struct {
+	S1, S2   Segment
+	Relation Relation
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("geom: NCT violation: %v and %v %v", v.S1, v.S2, v.Relation)
+}
+
+// FindViolation scans a segment set for a crossing or overlapping pair and
+// returns the first one found, or nil if the set is NCT. It runs a plane
+// sweep over x with bounding-interval pruning: O(N log N + K·A) where A is
+// the number of x-overlapping pairs, which is small for the map-like data
+// segment databases hold. Generators in internal/workload guarantee NCT by
+// construction; this check is the independent witness used by tests.
+func FindViolation(segs []Segment) *Violation {
+	idx := make([]int, len(segs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return segs[idx[a]].MinX() < segs[idx[b]].MinX()
+	})
+
+	// Active list of segments whose x range may still overlap new ones,
+	// pruned lazily as the sweep advances.
+	var active []int
+	for _, i := range idx {
+		s := segs[i]
+		keep := active[:0]
+		for _, j := range active {
+			if segs[j].MaxX() >= s.MinX() {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		for _, j := range active {
+			// Cheap y-range rejection before the exact predicate.
+			if segs[j].MinY() > s.MaxY() || s.MinY() > segs[j].MaxY() {
+				continue
+			}
+			switch rel := Relate(s, segs[j]); rel {
+			case RelCross, RelOverlap:
+				return &Violation{S1: segs[j], S2: s, Relation: rel}
+			}
+		}
+		active = append(active, i)
+	}
+	return nil
+}
+
+// ValidateNCT returns an error if the set contains a crossing or
+// overlapping pair, and nil if the set is a valid NCT segment database.
+func ValidateNCT(segs []Segment) error {
+	if v := FindViolation(segs); v != nil {
+		return v
+	}
+	return nil
+}

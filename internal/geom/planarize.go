@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// PlanarPiece is one output fragment of Planarize: a segment piece plus
+// the ID of the input segment it came from.
+type PlanarPiece struct {
+	Seg    Segment
+	Source uint64
+}
+
+// Planarize converts an arbitrary segment set into an NCT set covering
+// the same points, by splitting every segment at its intersections with
+// the others: crossings and T-junctions become shared vertices
+// (touching), and collinear overlaps collapse to a single copy per
+// sub-piece. Pieces receive fresh sequential IDs starting at idBase+1 and
+// remember their source segment.
+//
+// This is the ingestion step real data needs before indexing — digitised
+// maps routinely contain un-noded crossings. The paper assumes NCT input
+// (its data model); Planarize supplies it.
+//
+// Both segments of a crossing pair are cut at the same computed Point, so
+// the pieces share that vertex exactly. Near-coincident intersections
+// (three segments through almost one point) can leave unit-of-last-place
+// artifacts after one pass, so planarization repeats on its own output
+// until it validates, up to a small bound; inputs defeating that need
+// exact arithmetic or snap rounding, which are out of scope.
+func Planarize(segs []Segment, idBase uint64) []PlanarPiece {
+	pieces := planarizeOnce(segs)
+	for pass := 0; pass < 4 && FindViolation(piecesSegs(pieces)) != nil; pass++ {
+		again := planarizeOnce(piecesSegs(pieces))
+		// Re-thread the original sources through this pass's IDs.
+		srcOf := make(map[uint64]uint64, len(pieces))
+		for _, p := range pieces {
+			srcOf[p.Seg.ID] = p.Source
+		}
+		for i := range again {
+			again[i].Source = srcOf[again[i].Source]
+		}
+		pieces = again
+	}
+	for i := range pieces {
+		idBase++
+		pieces[i].Seg.ID = idBase
+	}
+	return pieces
+}
+
+func piecesSegs(pieces []PlanarPiece) []Segment {
+	out := make([]Segment, len(pieces))
+	for i, p := range pieces {
+		out[i] = p.Seg
+	}
+	return out
+}
+
+// weldEndpoints snaps endpoints within eps of each other to a single
+// representative point (the first seen) — the snap tolerance every GIS
+// noding pipeline applies, here sized to absorb unit-of-last-place
+// disagreement between float intersection computations. Segments whose
+// endpoints weld together vanish.
+func weldEndpoints(segs []Segment, eps float64) []Segment {
+	type cell struct{ x, y int64 }
+	reps := map[cell][]Point{}
+	snap := func(p Point) Point {
+		cx, cy := int64(math.Floor(p.X/eps)), int64(math.Floor(p.Y/eps))
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, r := range reps[cell{cx + dx, cy + dy}] {
+					ddx, ddy := p.X-r.X, p.Y-r.Y
+					if ddx*ddx+ddy*ddy <= eps*eps {
+						return r
+					}
+				}
+			}
+		}
+		reps[cell{cx, cy}] = append(reps[cell{cx, cy}], p)
+		return p
+	}
+	out := make([]Segment, 0, len(segs))
+	for _, s := range segs {
+		s.A, s.B = snap(s.A), snap(s.B)
+		if s.A == s.B {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// planarizeOnce performs one cut-everything pass; output piece IDs are
+// provisional (sequential from 0) with Source referring to input IDs.
+func planarizeOnce(segs []Segment) []PlanarPiece {
+	segs = weldEndpoints(segs, 1e-9)
+	// Collect cut points per segment. The shared Point for each pair is
+	// computed once, so both sides split identically.
+	cuts := make([][]Point, len(segs))
+
+	// Sweep with x-overlap pruning, like FindViolation.
+	idx := make([]int, len(segs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return segs[idx[a]].MinX() < segs[idx[b]].MinX() })
+	var active []int
+	for _, i := range idx {
+		s := segs[i]
+		keep := active[:0]
+		for _, j := range active {
+			if segs[j].MaxX() >= s.MinX() {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		for _, j := range active {
+			if segs[j].MinY() > s.MaxY() || s.MinY() > segs[j].MaxY() {
+				continue
+			}
+			switch Relate(s, segs[j]) {
+			case RelCross:
+				p := crossingPoint(s, segs[j])
+				cuts[i] = append(cuts[i], p)
+				cuts[j] = append(cuts[j], p)
+			case RelTouch:
+				// Node T-junctions: an endpoint in the other's interior
+				// becomes a shared vertex. Besides being what GIS noding
+				// does, it keeps the output robust — pieces produced by
+				// nearby float cuts would otherwise wobble off a touched
+				// interior and turn the touch into a crossing.
+				for _, p := range []Point{segs[j].A, segs[j].B} {
+					if strictlyInside(s, p) {
+						cuts[i] = append(cuts[i], p)
+					}
+				}
+				for _, p := range []Point{s.A, s.B} {
+					if strictlyInside(segs[j], p) {
+						cuts[j] = append(cuts[j], p)
+					}
+				}
+			case RelOverlap:
+				// Cut each at the other's endpoints that lie inside it;
+				// duplicate sub-pieces are removed after splitting.
+				for _, p := range []Point{segs[j].A, segs[j].B} {
+					if strictlyInside(s, p) {
+						cuts[i] = append(cuts[i], p)
+					}
+				}
+				for _, p := range []Point{s.A, s.B} {
+					if strictlyInside(segs[j], p) {
+						cuts[j] = append(cuts[j], p)
+					}
+				}
+			}
+		}
+		active = append(active, i)
+	}
+
+	var out []PlanarPiece
+	seen := map[[4]float64]bool{} // canonical piece -> already emitted
+	var id uint64
+	for i, s := range segs {
+		for _, piece := range split(s, cuts[i]) {
+			key := canonicalKey(piece)
+			if seen[key] {
+				continue // overlap duplicate: keep the first copy
+			}
+			seen[key] = true
+			id++
+			piece.ID = id
+			out = append(out, PlanarPiece{Seg: piece, Source: s.ID})
+		}
+	}
+	return out
+}
+
+// crossingPoint returns the intersection of two properly crossing
+// segments.
+func crossingPoint(s1, s2 Segment) Point {
+	d1x, d1y := s1.B.X-s1.A.X, s1.B.Y-s1.A.Y
+	d2x, d2y := s2.B.X-s2.A.X, s2.B.Y-s2.A.Y
+	den := d1x*d2y - d1y*d2x
+	t := ((s2.A.X-s1.A.X)*d2y - (s2.A.Y-s1.A.Y)*d2x) / den
+	return Point{X: s1.A.X + t*d1x, Y: s1.A.Y + t*d1y}
+}
+
+// strictlyInside reports whether p lies on s but is not an endpoint.
+func strictlyInside(s Segment, p Point) bool {
+	if p == s.A || p == s.B {
+		return false
+	}
+	return Orient(s.A, s.B, p) == 0 && onSegment(s, p)
+}
+
+// split cuts s at the given points (each on s), returning the pieces in
+// order along s. Duplicate and endpoint-coincident cut points collapse.
+func split(s Segment, at []Point) []Segment {
+	if len(at) == 0 {
+		return []Segment{s}
+	}
+	// Order along the segment by parameter on the dominant axis.
+	t := func(p Point) float64 {
+		if dx := s.B.X - s.A.X; dx != 0 {
+			return (p.X - s.A.X) / dx
+		}
+		return (p.Y - s.A.Y) / (s.B.Y - s.A.Y)
+	}
+	pts := append([]Point{}, at...)
+	sort.Slice(pts, func(a, b int) bool { return t(pts[a]) < t(pts[b]) })
+
+	// Near-coincident cuts (distinct float results of the same geometric
+	// intersection) collapse to one, avoiding sliver pieces.
+	const eps = 1e-9
+	var pieces []Segment
+	prev := s.A
+	for _, p := range pts {
+		if p == prev || p == s.B {
+			continue
+		}
+		if dx, dy := p.X-prev.X, p.Y-prev.Y; dx*dx+dy*dy < eps*eps {
+			continue
+		}
+		if dx, dy := p.X-s.B.X, p.Y-s.B.Y; dx*dx+dy*dy < eps*eps {
+			continue
+		}
+		pieces = append(pieces, Segment{ID: s.ID, A: prev, B: p})
+		prev = p
+	}
+	if prev != s.B {
+		pieces = append(pieces, Segment{ID: s.ID, A: prev, B: s.B})
+	}
+	if len(pieces) == 0 { // every cut coincided with the endpoints
+		pieces = []Segment{s}
+	}
+	return pieces
+}
+
+// canonicalKey identifies a piece by its unordered endpoint pair.
+func canonicalKey(s Segment) [4]float64 {
+	a, b := s.A, s.B
+	if b.X < a.X || (b.X == a.X && b.Y < a.Y) {
+		a, b = b, a
+	}
+	return [4]float64{a.X, a.Y, b.X, b.Y}
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlanarizeCross(t *testing.T) {
+	segs := []Segment{
+		Seg(1, 0, 0, 10, 10),
+		Seg(2, 0, 10, 10, 0),
+	}
+	pieces := Planarize(segs, 100)
+	if len(pieces) != 4 {
+		t.Fatalf("X-crossing produced %d pieces, want 4", len(pieces))
+	}
+	var out []Segment
+	for _, p := range pieces {
+		out = append(out, p.Seg)
+		if p.Source != 1 && p.Source != 2 {
+			t.Fatalf("piece has source %d", p.Source)
+		}
+		if p.Seg.ID <= 100 {
+			t.Fatalf("piece ID %d not above idBase", p.Seg.ID)
+		}
+	}
+	if err := ValidateNCT(out); err != nil {
+		t.Fatalf("planarized set invalid: %v", err)
+	}
+	// All four pieces meet at (5,5).
+	for _, p := range pieces {
+		if p.Seg.A != (Point{5, 5}) && p.Seg.B != (Point{5, 5}) {
+			t.Fatalf("piece %v does not touch the crossing point", p.Seg)
+		}
+	}
+}
+
+func TestPlanarizeOverlap(t *testing.T) {
+	segs := []Segment{
+		Seg(1, 0, 0, 10, 0),
+		Seg(2, 4, 0, 14, 0),
+	}
+	pieces := Planarize(segs, 0)
+	// Expect [0,4], [4,10], [10,14]: the shared [4,10] kept once.
+	if len(pieces) != 3 {
+		t.Fatalf("overlap produced %d pieces, want 3", len(pieces))
+	}
+	var out []Segment
+	total := 0.0
+	for _, p := range pieces {
+		out = append(out, p.Seg)
+		total += p.Seg.MaxX() - p.Seg.MinX()
+	}
+	if total != 14 {
+		t.Fatalf("pieces cover length %g, want 14", total)
+	}
+	if err := ValidateNCT(out); err != nil {
+		t.Fatalf("planarized set invalid: %v", err)
+	}
+}
+
+func TestPlanarizeAlreadyNCT(t *testing.T) {
+	segs := []Segment{
+		Seg(1, 0, 0, 5, 5),
+		Seg(2, 5, 5, 10, 0), // touching is preserved untouched
+	}
+	pieces := Planarize(segs, 0)
+	if len(pieces) != 2 {
+		t.Fatalf("NCT input produced %d pieces, want 2 unchanged", len(pieces))
+	}
+	for i, p := range pieces {
+		if p.Seg.A != segs[i].A || p.Seg.B != segs[i].B {
+			t.Fatalf("piece %d geometry changed: %v", i, p.Seg)
+		}
+	}
+}
+
+func TestPlanarizeRandomIsNCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		segs := make([]Segment, n)
+		for i := range segs {
+			// Small integer coordinates: many crossings, touches and
+			// overlaps.
+			segs[i] = Seg(uint64(i+1),
+				float64(rng.Intn(12)), float64(rng.Intn(12)),
+				float64(rng.Intn(12)), float64(rng.Intn(12)))
+			if segs[i].IsPoint() {
+				segs[i].B.X++
+			}
+		}
+		pieces := Planarize(segs, 1000)
+		var out []Segment
+		ids := map[uint64]bool{}
+		for _, p := range pieces {
+			out = append(out, p.Seg)
+			if ids[p.Seg.ID] {
+				t.Fatalf("trial %d: duplicate piece ID %d", trial, p.Seg.ID)
+			}
+			ids[p.Seg.ID] = true
+			if p.Seg.IsPoint() {
+				t.Fatalf("trial %d: degenerate piece", trial)
+			}
+		}
+		if err := ValidateNCT(out); err != nil {
+			t.Fatalf("trial %d: %v\ninput: %v", trial, err, segs)
+		}
+		// Coverage: midpoints of original segments lie on some piece
+		// (within float tolerance: cut points are computed intersections).
+		for _, s := range segs {
+			mid := Point{(s.A.X + s.B.X) / 2, (s.A.Y + s.B.Y) / 2}
+			found := false
+			for _, p := range pieces {
+				if nearSegment(p.Seg, mid, 1e-9) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: midpoint of %v not covered", trial, s)
+			}
+		}
+	}
+}
+
+// nearSegment reports whether p lies within eps of segment s.
+func nearSegment(s Segment, p Point, eps float64) bool {
+	if p.X < s.MinX()-eps || p.X > s.MaxX()+eps ||
+		p.Y < s.MinY()-eps || p.Y > s.MaxY()+eps {
+		return false
+	}
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	cross := dx*(p.Y-s.A.Y) - dy*(p.X-s.A.X)
+	len2 := dx*dx + dy*dy
+	return cross*cross <= eps*len2
+}
+
+func TestPlanarizeEmpty(t *testing.T) {
+	if got := Planarize(nil, 0); len(got) != 0 {
+		t.Fatalf("Planarize(nil) = %v", got)
+	}
+}

@@ -1,0 +1,247 @@
+package intervaltree
+
+import (
+	"fmt"
+	"sort"
+
+	"segdb/internal/bptree"
+	"segdb/internal/pager"
+)
+
+// New creates an empty interval tree.
+func New(st *pager.Store, cfg Config) (*Tree, error) {
+	return Build(st, cfg, nil)
+}
+
+// Build bulk-loads an interval tree, O(n log_f n) I/Os.
+func Build(st *pager.Store, cfg Config, items []Item) (*Tree, error) {
+	if cfg.Fanout < 2 || cfg.LeafCap < 1 {
+		return nil, fmt.Errorf("intervaltree: bad config %+v", cfg)
+	}
+	if err := validate(items); err != nil {
+		return nil, err
+	}
+	t := &Tree{st: st, cfg: cfg}
+	if t.maxMEntries(cfg.Fanout) < cfg.Fanout*cfg.Fanout {
+		return nil, fmt.Errorf("intervaltree: fanout %d does not fit page size %d",
+			cfg.Fanout, st.PageSize())
+	}
+
+	loItems := make([]bptree.Item, len(items))
+	order := make([]Item, len(items))
+	copy(order, items)
+	sort.Slice(order, func(a, b int) bool {
+		return loKey(order[a]).Less(loKey(order[b]))
+	})
+	for i, it := range order {
+		loItems[i] = bptree.Item{Key: loKey(it), Val: encodeItem(it)}
+	}
+	lo, err := bptree.Bulk(st, valSize, loItems, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	t.loIndex = lo
+
+	root, err := t.buildNode(order)
+	if err != nil {
+		return nil, err
+	}
+	if root == pager.InvalidPage {
+		// Represent the empty tree as an empty leaf so descent logic is
+		// uniform.
+		root = t.st.Alloc()
+		if err := t.writeNode(root, &node{typ: typeLeaf}); err != nil {
+			return nil, err
+		}
+	}
+	t.root = root
+	t.length = len(items)
+	return t, nil
+}
+
+func loKey(it Item) bptree.Key    { return bptree.Key{K: it.Lo, ID: it.Seg.ID} }
+func negHiKey(it Item) bptree.Key { return bptree.Key{K: -it.Hi, ID: it.Seg.ID} }
+
+// bulkList builds a B+-tree over items pre-sorted by key.
+func (t *Tree) bulkList(items []Item, key func(Item) bptree.Key) (handle, error) {
+	bi := make([]bptree.Item, len(items))
+	for i, it := range items {
+		bi[i] = bptree.Item{Key: key(it), Val: encodeItem(it)}
+	}
+	bt, err := bptree.Bulk(t.st, valSize, bi, 1.0)
+	if err != nil {
+		return handle{}, err
+	}
+	return toHandle(bt), nil
+}
+
+// buildNode recursively materialises the subtree for items and returns its
+// page, or InvalidPage for an empty set.
+func (t *Tree) buildNode(items []Item) (pager.PageID, error) {
+	if len(items) == 0 {
+		return pager.InvalidPage, nil
+	}
+	if len(items) <= t.cfg.LeafCap {
+		sort.Slice(items, func(a, b int) bool { return loKey(items[a]).Less(loKey(items[b])) })
+		h, err := t.bulkList(items, loKey)
+		if err != nil {
+			return pager.InvalidPage, err
+		}
+		id := t.st.Alloc()
+		return id, t.writeNode(id, &node{typ: typeLeaf, leafH: h})
+	}
+
+	bounds := chooseBounds(items, t.cfg.Fanout)
+	f := len(bounds)
+	n := &node{
+		typ:      typeInternal,
+		bounds:   bounds,
+		children: make([]pager.PageID, f+1),
+		l:        make([]handle, f),
+		r:        make([]handle, f),
+	}
+
+	slabs := make([][]Item, f+1)
+	lLists := make([][]Item, f)
+	rLists := make([][]Item, f)
+	mLists := map[[2]int][]Item{}
+	for _, it := range items {
+		i, j, ok := crossRange(bounds, it.Lo, it.Hi)
+		if !ok {
+			k := slabOf(bounds, it.Lo)
+			slabs[k] = append(slabs[k], it)
+			continue
+		}
+		lLists[i-1] = append(lLists[i-1], it)
+		rLists[j-1] = append(rLists[j-1], it)
+		mLists[[2]int{i, j}] = append(mLists[[2]int{i, j}], it)
+	}
+
+	var err error
+	for i := range lLists {
+		if len(lLists[i]) == 0 {
+			continue
+		}
+		sort.Slice(lLists[i], func(a, b int) bool { return loKey(lLists[i][a]).Less(loKey(lLists[i][b])) })
+		if n.l[i], err = t.bulkList(lLists[i], loKey); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	for i := range rLists {
+		if len(rLists[i]) == 0 {
+			continue
+		}
+		sort.Slice(rLists[i], func(a, b int) bool { return negHiKey(rLists[i][a]).Less(negHiKey(rLists[i][b])) })
+		if n.r[i], err = t.bulkList(rLists[i], negHiKey); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	// Deterministic multislab directory order.
+	var ranges [][2]int
+	for r := range mLists {
+		ranges = append(ranges, r)
+	}
+	sort.Slice(ranges, func(a, b int) bool {
+		if ranges[a][0] != ranges[b][0] {
+			return ranges[a][0] < ranges[b][0]
+		}
+		return ranges[a][1] < ranges[b][1]
+	})
+	for _, r := range ranges {
+		list := mLists[r]
+		sort.Slice(list, func(a, b int) bool { return loKey(list[a]).Less(loKey(list[b])) })
+		h, err := t.bulkList(list, loKey)
+		if err != nil {
+			return pager.InvalidPage, err
+		}
+		n.mdir = append(n.mdir, mentry{i: r[0], j: r[1], h: h})
+	}
+
+	for k := range slabs {
+		if n.children[k], err = t.buildNode(slabs[k]); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	id := t.st.Alloc()
+	return id, t.writeNode(id, n)
+}
+
+// chooseBounds picks up to f distinct boundary values at endpoint
+// quantiles. Every returned boundary is an endpoint of some item, so at
+// least one item crosses it, which guarantees recursion progress.
+func chooseBounds(items []Item, f int) []float64 {
+	eps := make([]float64, 0, 2*len(items))
+	for _, it := range items {
+		eps = append(eps, it.Lo, it.Hi)
+	}
+	sort.Float64s(eps)
+	var bounds []float64
+	for i := 1; i <= f; i++ {
+		idx := i * (len(eps) - 1) / (f + 1)
+		v := eps[idx]
+		if len(bounds) == 0 || bounds[len(bounds)-1] != v {
+			bounds = append(bounds, v)
+		}
+	}
+	if len(bounds) == 0 {
+		bounds = append(bounds, eps[len(eps)/2])
+	}
+	return bounds
+}
+
+// Drop frees every page of the tree.
+func (t *Tree) Drop() error {
+	if err := t.loIndex.Drop(); err != nil {
+		return err
+	}
+	return t.dropNode(t.root)
+}
+
+func (t *Tree) dropNode(id pager.PageID) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	drop := func(h handle) error {
+		bt, err := t.attach(h)
+		if err != nil || bt == nil {
+			return err
+		}
+		return bt.Drop()
+	}
+	if n.typ == typeLeaf {
+		if err := drop(n.leafH); err != nil {
+			return err
+		}
+		t.st.Free(id)
+		return nil
+	}
+	for _, h := range n.l {
+		if err := drop(h); err != nil {
+			return err
+		}
+	}
+	for _, h := range n.r {
+		if err := drop(h); err != nil {
+			return err
+		}
+	}
+	if err := drop(n.catch); err != nil {
+		return err
+	}
+	for _, m := range n.mdir {
+		if err := drop(m.h); err != nil {
+			return err
+		}
+	}
+	for _, ch := range n.children {
+		if err := t.dropNode(ch); err != nil {
+			return err
+		}
+	}
+	t.st.Free(id)
+	return nil
+}

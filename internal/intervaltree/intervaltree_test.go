@@ -1,0 +1,392 @@
+package intervaltree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+const testPageSize = 2048
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 32) }
+
+func cfg() Config { return Config{Fanout: 4, LeafCap: 8} }
+
+func mkItem(id uint64, lo, hi float64) Item {
+	return Item{Lo: lo, Hi: hi, Seg: geom.Seg(id, lo, 0, hi, 0)}
+}
+
+func randomItems(rng *rand.Rand, n int, span float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		lo := rng.Float64() * span
+		hi := lo + rng.Float64()*span/4
+		items[i] = mkItem(uint64(i+1), lo, hi)
+	}
+	return items
+}
+
+func naiveStab(items []Item, x float64) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, it := range items {
+		if it.Lo <= x && x <= it.Hi {
+			out[it.Seg.ID] = true
+		}
+	}
+	return out
+}
+
+func naiveIntersect(items []Item, a, b float64) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, it := range items {
+		if it.Lo <= b && a <= it.Hi {
+			out[it.Seg.ID] = true
+		}
+	}
+	return out
+}
+
+// checkAnswer verifies got (with possible duplicates => fails) equals want.
+func checkAnswer(t *testing.T, got []Item, want map[uint64]bool, label string) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	for _, it := range got {
+		if seen[it.Seg.ID] {
+			t.Fatalf("%s: duplicate result id %d", label, it.Seg.ID)
+		}
+		seen[it.Seg.ID] = true
+		if !want[it.Seg.ID] {
+			t.Fatalf("%s: spurious result id %d", label, it.Seg.ID)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(seen), len(want))
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr, err := New(newStore(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.CollectStab(5); len(got) != 0 {
+		t.Fatalf("stab on empty returned %v", got)
+	}
+	if got, _ := tr.CollectIntersect(1, 2); len(got) != 0 {
+		t.Fatalf("intersect on empty returned %v", got)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(newStore(), cfg(), []Item{mkItem(1, 5, 2)}); err == nil {
+		t.Error("Build accepted lo > hi")
+	}
+	if _, err := Build(newStore(), Config{Fanout: 1, LeafCap: 4}, nil); err == nil {
+		t.Error("Build accepted fanout 1")
+	}
+	if _, err := Build(newStore(), Config{Fanout: 4, LeafCap: 0}, nil); err == nil {
+		t.Error("Build accepted leafCap 0")
+	}
+}
+
+func TestStabKnownCases(t *testing.T) {
+	items := []Item{
+		mkItem(1, 0, 10),
+		mkItem(2, 5, 6),
+		mkItem(3, 20, 30),
+		mkItem(4, 9, 21),
+		mkItem(5, 7, 7), // degenerate point interval
+	}
+	tr, err := Build(newStore(), Config{Fanout: 2, LeafCap: 1}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 5, 6.5, 7, 9, 15, 20, 25, 30, 31} {
+		got, err := tr.CollectStab(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAnswer(t, got, naiveStab(items, x), "stab")
+	}
+}
+
+func TestStabMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(400)
+		items := randomItems(rng, n, 100)
+		tr, err := Build(newStore(), cfg(), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.check(); err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			x := rng.Float64()*120 - 10
+			got, err := tr.CollectStab(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAnswer(t, got, naiveStab(items, x), "stab")
+		}
+		// Stab exactly at endpoints (boundary values of the tree).
+		for q := 0; q < 20; q++ {
+			it := items[rng.Intn(len(items))]
+			for _, x := range []float64{it.Lo, it.Hi} {
+				got, err := tr.CollectStab(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAnswer(t, got, naiveStab(items, x), "stab@endpoint")
+			}
+		}
+	}
+}
+
+func TestIntersectMatchesNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		items := randomItems(rng, 1+rng.Intn(300), 100)
+		tr, err := Build(newStore(), cfg(), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 40; q++ {
+			a := rng.Float64() * 110
+			b := a + rng.Float64()*20
+			got, err := tr.CollectIntersect(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAnswer(t, got, naiveIntersect(items, a, b), "intersect")
+		}
+	}
+}
+
+func TestIntersectSwapsBounds(t *testing.T) {
+	items := []Item{mkItem(1, 0, 10)}
+	tr, err := Build(newStore(), cfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.CollectIntersect(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("swapped-bounds intersect returned %d results", len(got))
+	}
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomItems(rng, 500, 100)
+
+	built, err := Build(newStore(), cfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New(newStore(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := grown.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := grown.check(); err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() != built.Len() {
+		t.Fatalf("Len: grown %d, built %d", grown.Len(), built.Len())
+	}
+	for q := 0; q < 100; q++ {
+		x := rng.Float64() * 110
+		a, _ := built.CollectStab(x)
+		b, _ := grown.CollectStab(x)
+		checkAnswer(t, b, naiveStab(items, x), "grown stab")
+		if len(a) != len(b) {
+			t.Fatalf("stab(%g): built %d vs grown %d", x, len(a), len(b))
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randomItems(rng, 300, 50)
+	tr, err := Build(newStore(), cfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a random half.
+	perm := rng.Perm(len(items))
+	dead := map[uint64]bool{}
+	for _, i := range perm[:len(items)/2] {
+		found, err := tr.Delete(items[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("Delete(%v) not found", items[i])
+		}
+		dead[items[i].Seg.ID] = true
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(items)-len(items)/2 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	// Deleting again fails cleanly.
+	if found, _ := tr.Delete(items[perm[0]]); found {
+		t.Fatal("double delete reported found")
+	}
+	var alive []Item
+	for _, it := range items {
+		if !dead[it.Seg.ID] {
+			alive = append(alive, it)
+		}
+	}
+	for q := 0; q < 80; q++ {
+		x := rng.Float64() * 60
+		got, err := tr.CollectStab(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAnswer(t, got, naiveStab(alive, x), "stab after delete")
+	}
+}
+
+func TestQuickMixedOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New(newStore(), Config{Fanout: 3, LeafCap: 4})
+		if err != nil {
+			return false
+		}
+		var live []Item
+		nextID := uint64(1)
+		for op := 0; op < 150; op++ {
+			switch {
+			case len(live) == 0 || rng.Intn(3) > 0:
+				lo := float64(rng.Intn(50))
+				it := mkItem(nextID, lo, lo+float64(rng.Intn(20)))
+				nextID++
+				if err := tr.Insert(it); err != nil {
+					return false
+				}
+				live = append(live, it)
+			default:
+				i := rng.Intn(len(live))
+				found, err := tr.Delete(live[i])
+				if err != nil || !found {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if rng.Intn(5) == 0 {
+				x := float64(rng.Intn(75))
+				got, err := tr.CollectStab(x)
+				if err != nil {
+					return false
+				}
+				want := naiveStab(live, x)
+				if len(got) != len(want) {
+					return false
+				}
+				for _, it := range got {
+					if !want[it.Seg.ID] {
+						return false
+					}
+				}
+			}
+		}
+		return tr.check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabOutputSensitive(t *testing.T) {
+	// Many small non-overlapping intervals plus a few covering ones: a
+	// stab must not touch lists proportional to N.
+	var items []Item
+	for i := 0; i < 5000; i++ {
+		lo := float64(i) * 10
+		items = append(items, mkItem(uint64(i+1), lo, lo+5))
+	}
+	st := pager.MustOpenMem(testPageSize, 0)
+	tr, err := Build(st, DefaultConfig(40), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetStats()
+	got, err := tr.CollectStab(25003) // inside interval 2500
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if reads := st.Stats().Reads; reads > 40 {
+		t.Fatalf("stab cost %d reads for 1 result on n=%d: not output-sensitive",
+			reads, len(items))
+	}
+}
+
+func TestDropFreesAllPages(t *testing.T) {
+	st := newStore()
+	base := st.PagesInUse()
+	rng := rand.New(rand.NewSource(5))
+	tr, err := Build(st, cfg(), randomItems(rng, 400, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse after Drop = %d, want %d", got, base)
+	}
+}
+
+func TestLinearSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var prevPerItem float64
+	for _, n := range []int{2000, 8000} {
+		st := pager.MustOpenMem(testPageSize, 0)
+		if _, err := Build(st, DefaultConfig(30), randomItems(rng, n, float64(n))); err != nil {
+			t.Fatal(err)
+		}
+		perItem := float64(st.PagesInUse()) / float64(n)
+		if prevPerItem > 0 && perItem > prevPerItem*1.5 {
+			t.Fatalf("space per item grew from %.4f to %.4f pages: superlinear", prevPerItem, perItem)
+		}
+		prevPerItem = perItem
+	}
+}
+
+func TestChooseBoundsDistinctAndSorted(t *testing.T) {
+	items := []Item{mkItem(1, 5, 5), mkItem(2, 5, 5), mkItem(3, 5, 5)}
+	b := chooseBounds(items, 4)
+	if len(b) != 1 || b[0] != 5 {
+		t.Fatalf("chooseBounds on identical points = %v", b)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b2 := chooseBounds(randomItems(rng, 100, 50), 8)
+	if !sort.Float64sAreSorted(b2) {
+		t.Fatalf("bounds not sorted: %v", b2)
+	}
+	for i := 1; i < len(b2); i++ {
+		if b2[i] == b2[i-1] {
+			t.Fatalf("duplicate bound %g", b2[i])
+		}
+	}
+}

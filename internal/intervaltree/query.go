@@ -1,0 +1,149 @@
+package intervaltree
+
+import (
+	"math"
+
+	"segdb/internal/bptree"
+	"segdb/internal/pager"
+)
+
+// Stab reports every stored interval containing x, in no particular order.
+func (t *Tree) Stab(x float64, emit func(Item)) error {
+	id := t.root
+	for id != pager.InvalidPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.typ == typeLeaf {
+			return t.scanFiltered(n.leafH, x, emit)
+		}
+
+		if bi := boundaryIndex(n.bounds, x); bi > 0 {
+			// x sits exactly on boundary bi: the answer at this node is
+			// every multislab list whose range covers bi, and nothing can
+			// live deeper (children cross no boundary).
+			for _, m := range n.mdir {
+				if m.i <= bi && bi <= m.j {
+					if err := t.emitAll(m.h, emit); err != nil {
+						return err
+					}
+				}
+			}
+			return t.scanFiltered(n.catch, x, emit)
+		}
+
+		k := slabOf(n.bounds, x)
+		if k >= 1 && !n.r[k-1].empty() {
+			// R_k is ordered by hi descending: the intervals with hi ≥ x
+			// form a prefix. Their lo ≤ s_k < x holds by construction.
+			if err := t.takeWhile(n.r[k-1], func(it Item) bool { return it.Hi >= x }, emit); err != nil {
+				return err
+			}
+		}
+		if k < len(n.bounds) && !n.l[k].empty() {
+			// L_{k+1} is ordered by lo ascending: lo ≤ x is a prefix, and
+			// hi ≥ s_{k+1} > x holds by construction.
+			if err := t.takeWhile(n.l[k], func(it Item) bool { return it.Lo <= x }, emit); err != nil {
+				return err
+			}
+		}
+		for _, m := range n.mdir {
+			if m.i <= k && m.j >= k+1 {
+				if err := t.emitAll(m.h, emit); err != nil {
+					return err
+				}
+			}
+		}
+		if err := t.scanFiltered(n.catch, x, emit); err != nil {
+			return err
+		}
+		id = n.children[k]
+	}
+	return nil
+}
+
+// Intersect reports every stored interval intersecting [a, b] (touching
+// counts). This is the VS query against the collinear segments held in
+// C(v)/C_i: intervals containing a, plus intervals whose lo falls in
+// (a, b], found through the global lo index — the two sets are disjoint,
+// so nothing is reported twice.
+func (t *Tree) Intersect(a, b float64, emit func(Item)) error {
+	if a > b {
+		a, b = b, a
+	}
+	if err := t.Stab(a, emit); err != nil {
+		return err
+	}
+	from := bptree.Key{K: math.Nextafter(a, math.Inf(1))}
+	var scanErr error
+	err := t.loIndex.Scan(from, func(k bptree.Key, v []byte) bool {
+		if k.K > b {
+			return false
+		}
+		emit(decodeItem(v))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+// emitAll reports the full contents of a list.
+func (t *Tree) emitAll(h handle, emit func(Item)) error {
+	bt, err := t.attach(h)
+	if err != nil || bt == nil {
+		return err
+	}
+	return bt.Scan(bptree.MinKey(), func(_ bptree.Key, v []byte) bool {
+		emit(decodeItem(v))
+		return true
+	})
+}
+
+// takeWhile reports the prefix of a list for which cond holds.
+func (t *Tree) takeWhile(h handle, cond func(Item) bool, emit func(Item)) error {
+	bt, err := t.attach(h)
+	if err != nil || bt == nil {
+		return err
+	}
+	return bt.Scan(bptree.MinKey(), func(_ bptree.Key, v []byte) bool {
+		it := decodeItem(v)
+		if !cond(it) {
+			return false
+		}
+		emit(it)
+		return true
+	})
+}
+
+// scanFiltered reports list members containing x (full scan + filter; used
+// for leaves and the catch-all).
+func (t *Tree) scanFiltered(h handle, x float64, emit func(Item)) error {
+	bt, err := t.attach(h)
+	if err != nil || bt == nil {
+		return err
+	}
+	return bt.Scan(bptree.MinKey(), func(_ bptree.Key, v []byte) bool {
+		it := decodeItem(v)
+		if it.Lo <= x && x <= it.Hi {
+			emit(it)
+		}
+		return true
+	})
+}
+
+// CollectStab is a convenience wrapper returning Stab results as a slice.
+func (t *Tree) CollectStab(x float64) ([]Item, error) {
+	var out []Item
+	err := t.Stab(x, func(it Item) { out = append(out, it) })
+	return out, err
+}
+
+// CollectIntersect is a convenience wrapper returning Intersect results.
+func (t *Tree) CollectIntersect(a, b float64) ([]Item, error) {
+	var out []Item
+	err := t.Intersect(a, b, func(it Item) { out = append(out, it) })
+	return out, err
+}

@@ -1,0 +1,285 @@
+package intervaltree
+
+import (
+	"fmt"
+
+	"segdb/internal/bptree"
+	"segdb/internal/pager"
+)
+
+// Insert adds one interval. The tree is semi-dynamic in the same sense as
+// the paper's structures: inserts are supported directly; global balance
+// is the responsibility of the owner's amortized rebuild schedule (the
+// two-level structures rebuild their C-trees when they rebalance).
+func (t *Tree) Insert(it Item) error {
+	if err := validate([]Item{it}); err != nil {
+		return err
+	}
+	if err := t.loIndex.Insert(loKey(it), encodeItem(it)); err != nil {
+		return err
+	}
+	if err := t.insertAt(t.root, it); err != nil {
+		return err
+	}
+	t.length++
+	return nil
+}
+
+func (t *Tree) insertAt(id pager.PageID, it Item) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.typ == typeLeaf {
+		// A leaf that outgrows 2× its capacity is rebuilt in place into a
+		// proper subtree, keeping query paths short; the rebuild cost
+		// amortizes against the inserts that caused it.
+		if n.leafH.length+1 > 2*t.cfg.LeafCap {
+			items, err := t.collectList(n.leafH)
+			if err != nil {
+				return err
+			}
+			items = append(items, it)
+			if bt, err := t.attach(n.leafH); err != nil {
+				return err
+			} else if bt != nil {
+				if err := bt.Drop(); err != nil {
+					return err
+				}
+			}
+			sub, err := t.buildNode(items)
+			if err != nil {
+				return err
+			}
+			// Graft the new subtree over this page so the parent pointer
+			// stays valid.
+			sn, err := t.readNode(sub)
+			if err != nil {
+				return err
+			}
+			t.st.Free(sub)
+			return t.writeNode(id, sn)
+		}
+		h, err := t.listInsert(n.leafH, loKey(it), it)
+		if err != nil {
+			return err
+		}
+		n.leafH = h
+		return t.writeNode(id, n)
+	}
+
+	i, j, ok := crossRange(n.bounds, it.Lo, it.Hi)
+	if !ok {
+		k := slabOf(n.bounds, it.Lo)
+		if n.children[k] == pager.InvalidPage {
+			leaf := t.st.Alloc()
+			lh, err := t.listInsert(handle{}, loKey(it), it)
+			if err != nil {
+				return err
+			}
+			if err := t.writeNode(leaf, &node{typ: typeLeaf, leafH: lh}); err != nil {
+				return err
+			}
+			n.children[k] = leaf
+			return t.writeNode(id, n)
+		}
+		return t.insertAt(n.children[k], it)
+	}
+
+	// Crossing interval: find (or create) its multislab slot first, so the
+	// overflow decision is made before any list is touched.
+	slot := -1
+	for idx, m := range n.mdir {
+		if m.i == i && m.j == j {
+			slot = idx
+			break
+		}
+	}
+	if slot < 0 && len(n.mdir) >= t.maxMEntries(len(n.bounds)) {
+		// Directory full: the catch-all holds the interval alone.
+		h, err := t.listInsert(n.catch, loKey(it), it)
+		if err != nil {
+			return err
+		}
+		n.catch = h
+		return t.writeNode(id, n)
+	}
+	if slot < 0 {
+		n.mdir = append(n.mdir, mentry{i: i, j: j})
+		slot = len(n.mdir) - 1
+	}
+	if n.mdir[slot].h, err = t.listInsert(n.mdir[slot].h, loKey(it), it); err != nil {
+		return err
+	}
+	if n.l[i-1], err = t.listInsert(n.l[i-1], loKey(it), it); err != nil {
+		return err
+	}
+	if n.r[j-1], err = t.listInsert(n.r[j-1], negHiKey(it), it); err != nil {
+		return err
+	}
+	return t.writeNode(id, n)
+}
+
+// Delete removes the interval with it's exact (Lo, Hi, Seg.ID) identity and
+// reports whether it was found.
+func (t *Tree) Delete(it Item) (bool, error) {
+	found, err := t.deleteAt(t.root, it)
+	if err != nil || !found {
+		return found, err
+	}
+	if _, err := t.loIndex.Delete(loKey(it)); err != nil {
+		return true, err
+	}
+	t.length--
+	return true, nil
+}
+
+func (t *Tree) deleteAt(id pager.PageID, it Item) (bool, error) {
+	if id == pager.InvalidPage {
+		return false, nil
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.typ == typeLeaf {
+		found, h, err := t.listDelete(n.leafH, loKey(it))
+		if err != nil || !found {
+			return found, err
+		}
+		n.leafH = h
+		return true, t.writeNode(id, n)
+	}
+	i, j, ok := crossRange(n.bounds, it.Lo, it.Hi)
+	if !ok {
+		return t.deleteAt(n.children[slabOf(n.bounds, it.Lo)], it)
+	}
+	for idx, m := range n.mdir {
+		if m.i != i || m.j != j {
+			continue
+		}
+		found, h, err := t.listDelete(m.h, loKey(it))
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			break // fall through to the catch-all
+		}
+		n.mdir[idx].h = h
+		if _, n.l[i-1], err = t.listDelete(n.l[i-1], loKey(it)); err != nil {
+			return false, err
+		}
+		if _, n.r[j-1], err = t.listDelete(n.r[j-1], negHiKey(it)); err != nil {
+			return false, err
+		}
+		return true, t.writeNode(id, n)
+	}
+	found, h, err := t.listDelete(n.catch, loKey(it))
+	if err != nil || !found {
+		return found, err
+	}
+	n.catch = h
+	return true, t.writeNode(id, n)
+}
+
+// listInsert inserts into the list behind h, creating the tree if needed,
+// and returns the updated handle.
+func (t *Tree) listInsert(h handle, k bptree.Key, it Item) (handle, error) {
+	bt, err := t.attach(h)
+	if err != nil {
+		return h, err
+	}
+	if bt == nil {
+		if bt, err = bptree.New(t.st, valSize); err != nil {
+			return h, err
+		}
+	}
+	if err := bt.Insert(k, encodeItem(it)); err != nil {
+		return h, err
+	}
+	return toHandle(bt), nil
+}
+
+// listDelete removes key k from the list behind h, if present.
+func (t *Tree) listDelete(h handle, k bptree.Key) (bool, handle, error) {
+	bt, err := t.attach(h)
+	if err != nil || bt == nil {
+		return false, h, err
+	}
+	found, err := bt.Delete(k)
+	if err != nil {
+		return false, h, err
+	}
+	return found, toHandle(bt), nil
+}
+
+// collectList materialises a list's items in key order.
+func (t *Tree) collectList(h handle) ([]Item, error) {
+	bt, err := t.attach(h)
+	if err != nil || bt == nil {
+		return nil, err
+	}
+	items := make([]Item, 0, bt.Len())
+	err = bt.Scan(bptree.MinKey(), func(_ bptree.Key, v []byte) bool {
+		items = append(items, decodeItem(v))
+		return true
+	})
+	return items, err
+}
+
+// check asserts internal consistency in tests.
+func (t *Tree) check() error {
+	count := 0
+	if err := t.checkNode(t.root, &count); err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("intervaltree: node lists hold %d items, Len says %d", count, t.length)
+	}
+	if t.loIndex.Len() != t.length {
+		return fmt.Errorf("intervaltree: loIndex holds %d items, Len says %d", t.loIndex.Len(), t.length)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id pager.PageID, count *int) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.typ == typeLeaf {
+		items, err := t.collectList(n.leafH)
+		if err != nil {
+			return err
+		}
+		*count += len(items)
+		return nil
+	}
+	for _, m := range n.mdir {
+		items, err := t.collectList(m.h)
+		if err != nil {
+			return err
+		}
+		*count += len(items)
+		for _, it := range items {
+			i, j, ok := crossRange(n.bounds, it.Lo, it.Hi)
+			if !ok || i != m.i || j != m.j {
+				return fmt.Errorf("intervaltree: %v misfiled in M[%d:%d]", it, m.i, m.j)
+			}
+		}
+	}
+	catch, err := t.collectList(n.catch)
+	if err != nil {
+		return err
+	}
+	*count += len(catch)
+	for _, ch := range n.children {
+		if err := t.checkNode(ch, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

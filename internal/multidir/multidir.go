@@ -1,0 +1,150 @@
+// Package multidir extends the library toward the paper's stated future
+// work (Section 5: "the extension of the proposed technique to deal with
+// query segments having arbitrary angular coefficients").
+//
+// Truly arbitrary directions remain open; what applications usually need
+// — and what this package provides — is a small *set* of registered
+// query directions (the two viewport axes, a handful of scan lines). One
+// rotated Solution-2 instance is kept per registered direction, in the
+// frame where that direction is vertical. Queries along any registered
+// direction are answered exactly; the cost is one full index per
+// direction (space and insert time scale with the direction count, which
+// is why the direction set is fixed at build time).
+package multidir
+
+import (
+	"fmt"
+	"math"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/sol2"
+)
+
+// DirTolerance is the angular slack (in radians, ≈ 0.0000573°) within
+// which a query direction matches a registered one.
+const DirTolerance = 1e-9
+
+// Index answers intersection queries along a fixed set of directions.
+type Index struct {
+	st   *pager.Store
+	dirs []entry
+}
+
+type entry struct {
+	dir geom.Point // canonical unit direction, upper half-plane
+	rot geom.Rotation
+	inv geom.Rotation
+	ix  *sol2.Index
+}
+
+// canonical returns the unit direction in the closed upper half-plane
+// (a query line's direction and its negation are the same direction).
+func canonical(dir geom.Point) (geom.Point, error) {
+	n := math.Hypot(dir.X, dir.Y)
+	if n == 0 {
+		return dir, fmt.Errorf("multidir: zero direction")
+	}
+	dir.X /= n
+	dir.Y /= n
+	if dir.Y < 0 || (dir.Y == 0 && dir.X < 0) {
+		dir.X, dir.Y = -dir.X, -dir.Y
+	}
+	return dir, nil
+}
+
+// Build creates one rotated Solution-2 index per registered direction
+// over the NCT segment set.
+func Build(st *pager.Store, cfg sol2.Config, dirs []geom.Point, segs []geom.Segment) (*Index, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("multidir: no directions registered")
+	}
+	m := &Index{st: st}
+	for _, d := range dirs {
+		cd, err := canonical(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range m.dirs {
+			if angularClose(e.dir, cd) {
+				return nil, fmt.Errorf("multidir: duplicate direction (%g, %g)", d.X, d.Y)
+			}
+		}
+		rot := geom.RotationAligning(cd)
+		ix, err := sol2.Build(st, cfg, rot.ApplySegs(segs))
+		if err != nil {
+			return nil, err
+		}
+		m.dirs = append(m.dirs, entry{dir: cd, rot: rot, inv: rot.Inverse(), ix: ix})
+	}
+	return m, nil
+}
+
+func angularClose(a, b geom.Point) bool {
+	// Both unit vectors in the upper half-plane: compare by cross product.
+	return math.Abs(a.X*b.Y-a.Y*b.X) <= DirTolerance && a.X*b.X+a.Y*b.Y > 0
+}
+
+// Directions returns the registered canonical unit directions.
+func (m *Index) Directions() []geom.Point {
+	out := make([]geom.Point, len(m.dirs))
+	for i, e := range m.dirs {
+		out[i] = e.dir
+	}
+	return out
+}
+
+// Len returns the number of stored segments.
+func (m *Index) Len() int { return m.dirs[0].ix.Len() }
+
+// ErrDirection reports a query along an unregistered direction.
+type ErrDirection struct {
+	Dir geom.Point
+}
+
+func (e *ErrDirection) Error() string {
+	return fmt.Sprintf("multidir: direction (%g, %g) is not registered", e.Dir.X, e.Dir.Y)
+}
+
+// QuerySegment reports every stored segment intersected by the query
+// segment from a to b, whose direction must match a registered one.
+// Results carry the original geometry up to rotation round-trip error
+// (≤ a few ULPs); IDs are exact.
+func (m *Index) QuerySegment(a, b geom.Point, emit func(geom.Segment)) error {
+	dir, err := canonical(geom.Point{X: b.X - a.X, Y: b.Y - a.Y})
+	if err != nil {
+		return fmt.Errorf("multidir: degenerate query segment")
+	}
+	for _, e := range m.dirs {
+		if !angularClose(e.dir, dir) {
+			continue
+		}
+		q := e.rot.ApplyQuery(a, b)
+		_, err := e.ix.Query(q, func(s geom.Segment) {
+			emit(e.inv.ApplySeg(s))
+		})
+		return err
+	}
+	return &ErrDirection{Dir: dir}
+}
+
+// Insert adds a segment to every direction's index. The segment must keep
+// the database NCT.
+func (m *Index) Insert(s geom.Segment) error {
+	for _, e := range m.dirs {
+		if err := e.ix.Insert(e.rot.ApplySeg(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop frees every page of every direction's index.
+func (m *Index) Drop() error {
+	for _, e := range m.dirs {
+		if err := e.ix.Drop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

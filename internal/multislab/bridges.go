@@ -1,0 +1,326 @@
+package multislab
+
+import (
+	"sort"
+
+	"segdb/internal/fragtree"
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+// BuildG bulk-loads a G over the given fragments and builds its bridges.
+func BuildG(st *pager.Store, bounds []float64, d int, frags []Frag) (*G, error) {
+	g, err := NewG(st, bounds, d)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]geom.Segment, len(g.nodes))
+	for _, f := range frags {
+		if err := g.validateFrag(f); err != nil {
+			return nil, err
+		}
+		g.allocation(f.I, f.J, func(idx int) {
+			lists[idx] = append(lists[idx], f.Seg)
+		})
+	}
+	if err := g.rebuildAll(lists); err != nil {
+		return nil, err
+	}
+	g.length = len(frags)
+	g.sinceBridges = 0
+	return g, nil
+}
+
+// RebuildBridges rebuilds every list and its cascading state from the
+// stored originals. Insert calls it on an amortized schedule.
+func (g *G) RebuildBridges() error {
+	originals := make([][]geom.Segment, len(g.nodes))
+	for i := range g.nodes {
+		if g.nodes[i].treeL == nil {
+			continue
+		}
+		err := g.nodes[i].treeL.Scan(func(e fragtree.Entry) bool {
+			if e.Flags&fragtree.FlagAugmented == 0 {
+				originals[i] = append(originals[i], e.Seg)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := g.rebuildAll(originals); err != nil {
+		return err
+	}
+	g.sinceBridges = 0
+	return nil
+}
+
+// rebuildAll reassembles every node's list variants bottom-up: children
+// are finalized before the parent's bridge entries reference their leaves.
+func (g *G) rebuildAll(originals [][]geom.Segment) error {
+	var rec func(idx int) error
+	rec = func(idx int) error {
+		n := &g.nodes[idx]
+		if n.left >= 0 {
+			if err := rec(n.left); err != nil {
+				return err
+			}
+			if err := rec(n.right); err != nil {
+				return err
+			}
+		}
+		refX := g.refX(n)
+		sorted := make([]geom.Segment, len(originals[idx]))
+		copy(sorted, originals[idx])
+		sort.Slice(sorted, func(a, b int) bool {
+			ka, kb := sorted[a].YAt(refX), sorted[b].YAt(refX)
+			if ka != kb {
+				return ka < kb
+			}
+			return sorted[a].ID < sorted[b].ID
+		})
+
+		dropBoth := func() error {
+			if n.treeL != nil {
+				if err := n.treeL.Drop(); err != nil {
+					return err
+				}
+				n.treeL = nil
+			}
+			if n.treeR != nil {
+				if err := n.treeR.Drop(); err != nil {
+					return err
+				}
+				n.treeR = nil
+			}
+			return nil
+		}
+		if n.left < 0 { // leaf: one plain list
+			if err := dropBoth(); err != nil {
+				return err
+			}
+			if len(sorted) == 0 {
+				return nil
+			}
+			entries := make([]fragtree.Entry, len(sorted))
+			for i, s := range sorted {
+				entries[i] = fragtree.Entry{Seg: s}
+			}
+			t, err := fragtree.Bulk(g.st, refX, entries)
+			if err != nil {
+				return err
+			}
+			n.treeL = t
+			return nil
+		}
+
+		entriesL, err := g.planVariant(sorted, refX, n.left)
+		if err != nil {
+			return err
+		}
+		entriesR, err := g.planVariant(sorted, refX, n.right)
+		if err != nil {
+			return err
+		}
+		if err := dropBoth(); err != nil {
+			return err
+		}
+		if len(entriesL) > 0 {
+			if n.treeL, err = fragtree.Bulk(g.st, refX, entriesL); err != nil {
+				return err
+			}
+		}
+		if len(entriesR) > 0 {
+			if n.treeR, err = fragtree.Bulk(g.st, refX, entriesR); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// childOriginal is one child-list original with its leaf positions in the
+// child's two variants.
+type childOriginal struct {
+	seg          geom.Segment
+	leafL, leafR pager.PageID
+}
+
+// childOriginals walks a child's variants in lockstep, yielding each
+// original with its position in both.
+func (g *G) childOriginals(childIdx int) ([]childOriginal, error) {
+	child := &g.nodes[childIdx]
+	if child.treeL == nil {
+		return nil, nil
+	}
+	curL, err := child.treeL.First()
+	if err != nil {
+		return nil, err
+	}
+	treeR := child.treeR
+	if treeR == nil {
+		treeR = child.treeL
+	}
+	curR, err := treeR.First()
+	if err != nil {
+		return nil, err
+	}
+	skip := func(c *fragtree.Cursor) error {
+		for c.Valid() && c.Entry().Flags&fragtree.FlagAugmented != 0 {
+			if err := c.Next(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var out []childOriginal
+	for {
+		if err := skip(curL); err != nil {
+			return nil, err
+		}
+		if err := skip(curR); err != nil {
+			return nil, err
+		}
+		if !curL.Valid() {
+			break
+		}
+		out = append(out, childOriginal{
+			seg:   curL.Entry().Seg,
+			leafL: curL.Leaf(),
+			leafR: curR.Leaf(),
+		})
+		if err := curL.Next(); err != nil {
+			return nil, err
+		}
+		if err := curR.Next(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// planVariant assembles one variant of a parent list: the parent's
+// originals (sorted at refX), annotated with jumps where they are bridge
+// elements, plus augmented copies of child-side bridge elements. Every
+// (d+1)-th element of the merged parent/child sequence is a bridge, which
+// realises the paper's d-property at build time.
+func (g *G) planVariant(parentSorted []geom.Segment, refX float64, childIdx int) ([]fragtree.Entry, error) {
+	childs, err := g.childOriginals(childIdx)
+	if err != nil {
+		return nil, err
+	}
+	type melem struct {
+		seg          geom.Segment
+		fromChild    bool
+		leafL, leafR pager.PageID // child positions (running for parent elems)
+	}
+	merged := make([]melem, 0, len(parentSorted)+len(childs))
+	lastL, lastR := pager.InvalidPage, pager.InvalidPage
+	if len(childs) > 0 {
+		lastL, lastR = childs[0].leafL, childs[0].leafR
+	}
+	pi, ci := 0, 0
+	for pi < len(parentSorted) || ci < len(childs) {
+		var takeParent bool
+		switch {
+		case ci >= len(childs):
+			takeParent = true
+		case pi >= len(parentSorted):
+			takeParent = false
+		default:
+			pk, ck := parentSorted[pi].YAt(refX), childs[ci].seg.YAt(refX)
+			takeParent = pk < ck || (pk == ck && parentSorted[pi].ID <= childs[ci].seg.ID)
+		}
+		if takeParent {
+			merged = append(merged, melem{seg: parentSorted[pi], leafL: lastL, leafR: lastR})
+			pi++
+		} else {
+			lastL, lastR = childs[ci].leafL, childs[ci].leafR
+			merged = append(merged, melem{seg: childs[ci].seg, fromChild: true, leafL: lastL, leafR: lastR})
+			ci++
+		}
+	}
+
+	// Bridge selection: every (d+1)-th merged element.
+	augmented := map[int]bool{}   // merged index → copy into parent
+	annotated := map[uint64]int{} // parent segment ID → merged index
+	for i := g.d; i < len(merged); i += g.d + 1 {
+		if merged[i].leafL == pager.InvalidPage {
+			continue // empty child: nothing to jump to
+		}
+		if merged[i].fromChild {
+			augmented[i] = true
+		} else {
+			annotated[merged[i].seg.ID] = i
+		}
+	}
+
+	var entries []fragtree.Entry
+	for i, m := range merged {
+		switch {
+		case m.fromChild && augmented[i]:
+			entries = append(entries, fragtree.Entry{
+				Seg:   m.seg,
+				Flags: fragtree.FlagAugmented | fragtree.FlagJump,
+				JumpA: m.leafL,
+				JumpB: m.leafR,
+			})
+		case m.fromChild:
+			// Non-bridge child element: not copied.
+		default:
+			e := fragtree.Entry{Seg: m.seg}
+			if j, ok := annotated[m.seg.ID]; ok && j == i {
+				e.Flags = fragtree.FlagJump
+				e.JumpA = m.leafL
+				e.JumpB = m.leafR
+			}
+			entries = append(entries, e)
+		}
+	}
+	return entries, nil
+}
+
+// Insert adds a fragment to both variants of its allocation nodes.
+// Bridges are not maintained incrementally; when enough inserts accumulate
+// the whole cascading state is rebuilt, amortizing to the Theorem 2(iii)
+// bound (substitution for the multislab-list operations of the paper's
+// [10], see DESIGN.md §5). Queries stay correct between rebuilds via the
+// root-search fallback.
+func (g *G) Insert(f Frag) error {
+	if err := g.validateFrag(f); err != nil {
+		return err
+	}
+	var insertErr error
+	g.allocation(f.I, f.J, func(idx int) {
+		if insertErr != nil {
+			return
+		}
+		n := &g.nodes[idx]
+		if n.treeL == nil {
+			if n.treeL, insertErr = fragtree.New(g.st, g.refX(n)); insertErr != nil {
+				return
+			}
+		}
+		insertErr = n.treeL.Insert(fragtree.Entry{Seg: f.Seg})
+		if insertErr != nil || n.left < 0 {
+			return
+		}
+		if n.treeR == nil {
+			if n.treeR, insertErr = fragtree.New(g.st, g.refX(n)); insertErr != nil {
+				return
+			}
+		}
+		insertErr = n.treeR.Insert(fragtree.Entry{Seg: f.Seg})
+	})
+	if insertErr != nil {
+		return insertErr
+	}
+	g.length++
+	g.sinceBridges++
+	if g.sinceBridges > g.length/4+16 {
+		return g.RebuildBridges()
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+// Package multislab implements the structure G of Section 4.2: a segment
+// tree over the slab boundaries s_1..s_b of a Solution-2 first-level node,
+// storing the long fragments (segments spanning at least one full slab) in
+// per-node multislab lists, each list held in a fragment B+-tree
+// (internal/fragtree), plus the fractional-cascading bridges of Section
+// 4.3 that make every list search after the first cost O(1) I/Os.
+//
+// Topology. The leaves of G are the b-1 inner slabs [s_i, s_{i+1}]; an
+// internal node covers the union of its leaves' slabs and splits them at a
+// middle boundary. A long fragment crossing boundaries i..j is recorded at
+// its canonical allocation nodes — at most two per level, O(log2 b) total.
+// Every fragment in a node's list spans the node's whole interval, so the
+// list is totally ordered vertically and searchable at any x inside the
+// interval.
+//
+// Bridges and list variants. The paper augments each list with copies of
+// every (d+1)-th element of the merged parent/child sequence. A copy of a
+// left-child fragment spans only the left half of the parent's interval,
+// so a single augmented list would no longer be totally ordered at every
+// query line. This implementation therefore keeps, per internal node, two
+// list variants: treeL = originals + left-child copies (every entry spans
+// [s_lo, s_split], sound for queries with x0 ≤ s_split) and treeR =
+// originals + right-child copies (sound for x0 ≥ s_split). The query
+// descends toward exactly one child, and the variant selected by x0 is
+// precisely the one carrying the bridges toward that child. Space doubles
+// against the paper's single augmented list — a constant factor inside
+// the O(n log2 B) bound of Theorem 2(i), recorded in DESIGN.md §5.
+//
+// The d-property (paper, Section 4.3) — between consecutive bridges lie at
+// most 2d merged elements — bounds both the scan from any list position to
+// a jump entry and the walk from a jump landing to the child's first
+// answer by O(d) entries: O(1) pages. Bridges are only an accelerator:
+// a failed scan (possible between the amortized bridge rebuilds) falls
+// back to a root search.
+package multislab
+
+import (
+	"fmt"
+	"sort"
+
+	"segdb/internal/fragtree"
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+// Frag is a long fragment: a segment together with the 1-based range
+// [I, J] of first-level boundaries it crosses; it must satisfy J ≥ I+1
+// (spanning at least one full slab). The segment keeps its original
+// geometry; the fragment's extent is implied by the boundary range.
+type Frag struct {
+	Seg  geom.Segment
+	I, J int
+}
+
+// G is the long-fragment structure of one Solution-2 node.
+type G struct {
+	st           *pager.Store
+	bounds       []float64 // s_1..s_b, ascending, b ≥ 2
+	d            int       // bridge spacing
+	nodes        []gnode
+	length       int
+	sinceBridges int
+}
+
+// gnode is one segment-tree node. Topology is a pure function of
+// len(bounds), so only the tree handles persist. Lists are nil until they
+// receive a fragment; leaves hold at most a single list (treeR stays nil).
+type gnode struct {
+	lo, hi      int // covered boundary range: interval [s_lo, s_hi]
+	split       int // middle boundary index; 0 for leaves
+	left, right int // node indexes; -1 for leaves
+	treeL       *fragtree.Tree
+	treeR       *fragtree.Tree
+}
+
+// Stats describes the work of one G query, for experiments E7 and E14.
+type Stats struct {
+	ListsSearched int // lists positioned by a root search
+	BridgeJumps   int // lists positioned through a bridge
+	Fallbacks     int // bridge navigation gave up and searched from the root
+	Reported      int
+}
+
+// NewG creates an empty G over the given boundaries. d is the bridge
+// spacing constant (≥ 2 per the paper); 0 selects 4.
+func NewG(st *pager.Store, bounds []float64, d int) (*G, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("multislab: need ≥ 2 boundaries, got %d", len(bounds))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return nil, fmt.Errorf("multislab: boundaries not sorted")
+	}
+	if d == 0 {
+		d = 4
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("multislab: d=%d < 2", d)
+	}
+	g := &G{st: st, bounds: bounds, d: d}
+	g.buildTopology()
+	// Lists are created lazily (nil = empty): a G with no long fragments
+	// costs no pages, which matters because every first-level node of
+	// Solution 2 embeds one G.
+	return g, nil
+}
+
+// buildTopology lays out the segment tree over inner slabs, identified by
+// their left boundary index.
+func (g *G) buildTopology() {
+	b := len(g.bounds)
+	var build func(lo, hi int) int // node over boundaries [lo, hi]
+	build = func(lo, hi int) int {
+		idx := len(g.nodes)
+		g.nodes = append(g.nodes, gnode{lo: lo, hi: hi, left: -1, right: -1})
+		if hi-lo > 1 {
+			mid := (lo + hi) / 2
+			l := build(lo, mid)
+			r := build(mid, hi)
+			g.nodes[idx].split = mid
+			g.nodes[idx].left = l
+			g.nodes[idx].right = r
+		}
+		return idx
+	}
+	build(1, b)
+}
+
+// NodeCount returns the number of G nodes for b boundaries, for sizing
+// the directory in the owner's page.
+func NodeCount(b int) int {
+	if b < 2 {
+		return 0
+	}
+	return 2*(b-1) - 1
+}
+
+// refX is the ordering line of a node's lists: its split boundary, or the
+// slab midpoint for leaves. Every fragment allocated at the node spans
+// [s_lo, s_hi] ∋ refX, and so do both children's fragments (each child's
+// interval has the split as an endpoint), so copies are orderable too.
+func (g *G) refX(n *gnode) float64 {
+	if n.split > 0 {
+		return g.bounds[n.split-1]
+	}
+	return (g.bounds[n.lo-1] + g.bounds[n.hi-1]) / 2
+}
+
+// validateFrag checks the fragment's boundary range.
+func (g *G) validateFrag(f Frag) error {
+	if f.I < 1 || f.J > len(g.bounds) || f.J < f.I+1 {
+		return fmt.Errorf("multislab: fragment range [%d,%d] invalid for %d boundaries",
+			f.I, f.J, len(g.bounds))
+	}
+	if !geom.SpansX(f.Seg, g.bounds[f.I-1]) || !geom.SpansX(f.Seg, g.bounds[f.J-1]) {
+		return fmt.Errorf("multislab: %v does not span boundaries %d..%d", f.Seg, f.I, f.J)
+	}
+	return nil
+}
+
+// allocation calls fn with each canonical allocation node index for a
+// fragment covering boundary interval [s_i, s_j].
+func (g *G) allocation(i, j int, fn func(idx int)) {
+	var rec func(idx int)
+	rec = func(idx int) {
+		n := &g.nodes[idx]
+		if i <= n.lo && n.hi <= j {
+			fn(idx)
+			return
+		}
+		if n.left < 0 {
+			return
+		}
+		if i < n.split {
+			rec(n.left)
+		}
+		if j > n.split {
+			rec(n.right)
+		}
+	}
+	rec(0)
+}
+
+// Len returns the number of fragments added.
+func (g *G) Len() int { return g.length }
+
+// D returns the bridge spacing parameter.
+func (g *G) D() int { return g.d }
+
+// handleSize is one persisted tree handle: root u32, height u8, len u32.
+const handleSize = 9
+
+// DirSize returns the encoded directory size for b boundaries: meta plus
+// two handles per node.
+func DirSize(b int) int { return 1 + 4 + 4 + NodeCount(b)*2*handleSize }
+
+func putTreeHandle(c *pager.Buf, t *fragtree.Tree) {
+	if t == nil {
+		c.PutPage(pager.InvalidPage)
+		c.PutU8(0)
+		c.PutU32(0)
+		return
+	}
+	root, height, length := t.Handle()
+	c.PutPage(root)
+	c.PutU8(uint8(height))
+	c.PutU32(uint32(length))
+}
+
+func getTreeHandle(st *pager.Store, refX float64, c *pager.Buf) *fragtree.Tree {
+	root := c.Page()
+	height := int(c.U8())
+	length := int(c.U32())
+	if root == pager.InvalidPage {
+		return nil
+	}
+	return fragtree.Attach(st, refX, root, height, length)
+}
+
+// EncodeTo persists the directory (d, counters, per-node tree handles).
+func (g *G) EncodeTo(c *pager.Buf) {
+	c.PutU8(uint8(g.d))
+	c.PutU32(uint32(g.length))
+	c.PutU32(uint32(g.sinceBridges))
+	for i := range g.nodes {
+		putTreeHandle(c, g.nodes[i].treeL)
+		putTreeHandle(c, g.nodes[i].treeR)
+	}
+}
+
+// DecodeG reconstructs a G from a directory persisted with EncodeTo.
+func DecodeG(st *pager.Store, bounds []float64, c *pager.Buf) (*G, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("multislab: decode with %d boundaries", len(bounds))
+	}
+	g := &G{st: st, bounds: bounds}
+	g.d = int(c.U8())
+	g.length = int(c.U32())
+	g.sinceBridges = int(c.U32())
+	g.buildTopology()
+	for i := range g.nodes {
+		refX := g.refX(&g.nodes[i])
+		g.nodes[i].treeL = getTreeHandle(st, refX, c)
+		g.nodes[i].treeR = getTreeHandle(st, refX, c)
+	}
+	return g, nil
+}
+
+// Drop frees all pages.
+func (g *G) Drop() error {
+	for i := range g.nodes {
+		if g.nodes[i].treeL != nil {
+			if err := g.nodes[i].treeL.Drop(); err != nil {
+				return err
+			}
+		}
+		if g.nodes[i].treeR != nil {
+			if err := g.nodes[i].treeR.Drop(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ListEntries returns the total number of list entries across all nodes
+// and variants, including fractional-cascading copies — the G structure's
+// raw footprint, for diagnostics.
+func (g *G) ListEntries() (int, error) {
+	total := 0
+	for i := range g.nodes {
+		if g.nodes[i].treeL != nil {
+			total += g.nodes[i].treeL.Len()
+		}
+		if g.nodes[i].treeR != nil {
+			total += g.nodes[i].treeR.Len()
+		}
+	}
+	return total, nil
+}
+
+// Collect returns the stored fragments: original entries only, one per
+// allocation node; callers dedup by segment ID.
+func (g *G) Collect() ([]geom.Segment, error) {
+	var out []geom.Segment
+	for i := range g.nodes {
+		if g.nodes[i].treeL == nil {
+			continue
+		}
+		err := g.nodes[i].treeL.Scan(func(e fragtree.Entry) bool {
+			if e.Flags&fragtree.FlagAugmented == 0 {
+				out = append(out, e.Seg)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

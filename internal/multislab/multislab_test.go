@@ -1,0 +1,334 @@
+package multislab
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb/internal/fragtree"
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+const testPageSize = 1024
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 64) }
+
+func bounds(b int) []float64 {
+	out := make([]float64, b)
+	for i := range out {
+		out[i] = float64(i+1) * 10
+	}
+	return out
+}
+
+// randomFrags makes n non-crossing long fragments over the given
+// boundaries: horizontal lines at distinct heights, each spanning a random
+// boundary range (extending slightly past its end boundaries, as real
+// segments do).
+func randomFrags(rng *rand.Rand, n int, bds []float64) []Frag {
+	frags := make([]Frag, n)
+	for k := range frags {
+		i := 1 + rng.Intn(len(bds)-1)
+		j := i + 1 + rng.Intn(len(bds)-i)
+		y := float64(k) + rng.Float64()*0.5
+		frags[k] = Frag{
+			Seg: geom.Seg(uint64(k+1), bds[i-1]-rng.Float64()*5, y, bds[j-1]+rng.Float64()*5, y),
+			I:   i, J: j,
+		}
+	}
+	return frags
+}
+
+func naiveHits(frags []Frag, bds []float64, q geom.VQuery) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, f := range frags {
+		// G answers for the central part only: q.X within [s_I, s_J].
+		if q.X < bds[f.I-1] || q.X > bds[f.J-1] {
+			continue
+		}
+		if q.Hits(f.Seg) {
+			out[f.Seg.ID] = true
+		}
+	}
+	return out
+}
+
+func checkQuery(t *testing.T, g *G, frags []Frag, bds []float64, q geom.VQuery, useBridges bool) Stats {
+	t.Helper()
+	got := map[uint64]bool{}
+	stats, err := g.Query(q, useBridges, func(s geom.Segment) {
+		got[s.ID] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveHits(frags, bds, q)
+	for id := range got {
+		if !want[id] {
+			t.Fatalf("%v bridges=%v: spurious id %d", q, useBridges, id)
+		}
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("%v bridges=%v: missing id %d", q, useBridges, id)
+		}
+	}
+	return stats
+}
+
+func TestNewGValidation(t *testing.T) {
+	if _, err := NewG(newStore(), []float64{1}, 0); err == nil {
+		t.Error("accepted a single boundary")
+	}
+	if _, err := NewG(newStore(), []float64{2, 1}, 0); err == nil {
+		t.Error("accepted unsorted boundaries")
+	}
+	if _, err := NewG(newStore(), bounds(4), 1); err == nil {
+		t.Error("accepted d=1")
+	}
+}
+
+func TestFragValidation(t *testing.T) {
+	g, err := NewG(newStore(), bounds(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(Frag{Seg: geom.Seg(1, 0, 0, 100, 0), I: 2, J: 2}); err == nil {
+		t.Error("accepted J == I")
+	}
+	if err := g.Insert(Frag{Seg: geom.Seg(1, 15, 0, 25, 0), I: 1, J: 3}); err == nil {
+		t.Error("accepted fragment not spanning its claimed boundaries")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	for _, tc := range []struct{ b, want int }{{1, 0}, {2, 1}, {3, 3}, {5, 7}, {16, 29}} {
+		if got := NodeCount(tc.b); got != tc.want {
+			t.Errorf("NodeCount(%d) = %d, want %d", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestQueryMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range []int{2, 3, 5, 8} {
+		bds := bounds(b)
+		frags := randomFrags(rng, 300, bds)
+		g, err := BuildG(newStore(), bds, 4, frags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useBridges := range []bool{false, true} {
+			for trial := 0; trial < 200; trial++ {
+				x := rng.Float64() * float64(b+1) * 10
+				y := rng.Float64() * 310
+				q := geom.VSeg(x, y, y+rng.Float64()*40)
+				checkQuery(t, g, frags, bds, q, useBridges)
+			}
+			// Boundary-exact queries (sol2 dedups; here hits are unique
+			// already because checkQuery uses sets).
+			for _, s := range bds {
+				q := geom.VSeg(s, 50, 150)
+				got := map[uint64]bool{}
+				if _, err := g.Query(q, useBridges, func(sg geom.Segment) { got[sg.ID] = true }); err != nil {
+					t.Fatal(err)
+				}
+				want := naiveHits(frags, bds, q)
+				if len(got) != len(want) {
+					t.Fatalf("boundary %g: got %d, want %d", s, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestBridgesActuallyUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bds := bounds(8)
+	frags := randomFrags(rng, 2000, bds)
+	g, err := BuildG(newStore(), bds, 4, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jumps, searches int
+	for trial := 0; trial < 300; trial++ {
+		x := 10 + rng.Float64()*70
+		y := rng.Float64() * 2000
+		stats := checkQuery(t, g, frags, bds, geom.VSeg(x, y, y+20), true)
+		jumps += stats.BridgeJumps
+		searches += stats.ListsSearched
+	}
+	if jumps == 0 {
+		t.Fatal("bridges never used")
+	}
+	// With bridges, root searches should be roughly one per query (the
+	// first list), not one per level.
+	if searches > 2*300 {
+		t.Fatalf("bridges ineffective: %d root searches, %d jumps", searches, jumps)
+	}
+}
+
+func TestBridgesReduceIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bds := bounds(16)
+	frags := randomFrags(rng, 6000, bds)
+	st := pager.MustOpenMem(testPageSize, 0)
+	g, err := BuildG(st, bds, 4, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]geom.VQuery, 200)
+	for i := range queries {
+		x := 10 + rng.Float64()*150
+		y := rng.Float64() * 6000
+		queries[i] = geom.VSeg(x, y, y+10)
+	}
+	run := func(useBridges bool) int64 {
+		st.ResetStats()
+		for _, q := range queries {
+			if _, err := g.Query(q, useBridges, func(geom.Segment) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.Stats().Reads
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("bridges did not reduce I/O: %d with vs %d without", with, without)
+	}
+}
+
+// TestDProperty checks the paper's Figure-7 invariant at build time: in
+// every variant list, the gap between consecutive jump entries is bounded
+// (≤ 2(d+1) list entries; the d-property plus uncopied child elements).
+func TestDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bds := bounds(8)
+	frags := randomFrags(rng, 1500, bds)
+	for _, d := range []int{2, 4, 8} {
+		g, err := BuildG(newStore(), bds, d, frags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g.nodes {
+			n := &g.nodes[i]
+			if n.left < 0 {
+				continue
+			}
+			for _, tree := range []*fragtree.Tree{n.treeL, n.treeR} {
+				if tree.Len() == 0 {
+					continue
+				}
+				gap := 0
+				maxGap := 0
+				total := 0
+				err := tree.Scan(func(e fragtree.Entry) bool {
+					total++
+					if e.Flags&fragtree.FlagJump != 0 {
+						if gap > maxGap {
+							maxGap = gap
+						}
+						gap = 0
+					} else {
+						gap++
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Lists shorter than a bridge interval may have no jumps.
+				if total > 2*(d+1) && maxGap > 2*(d+1) {
+					t.Fatalf("d=%d node %d: max jump gap %d exceeds 2(d+1)=%d",
+						d, i, maxGap, 2*(d+1))
+				}
+			}
+		}
+	}
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bds := bounds(6)
+	all := randomFrags(rng, 600, bds)
+	g, err := BuildG(newStore(), bds, 4, all[:300])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range all[300:] {
+		if err := g.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != 600 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Float64() * 70
+		y := rng.Float64() * 620
+		checkQuery(t, g, all, bds, geom.VSeg(x, y, y+30), true)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bds := bounds(5)
+	frags := randomFrags(rng, 400, bds)
+	st := newStore()
+	g, err := BuildG(st, bds, 4, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, DirSize(len(bds)))
+	g.EncodeTo(pager.NewBuf(buf))
+	g2, err := DecodeG(st, bds, pager.NewBuf(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() || g2.D() != g.D() {
+		t.Fatalf("decoded meta mismatch: len %d/%d d %d/%d", g2.Len(), g.Len(), g2.D(), g.D())
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Float64() * 60
+		y := rng.Float64() * 420
+		checkQuery(t, g2, frags, bds, geom.VSeg(x, y, y+25), true)
+	}
+}
+
+func TestCollectDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bds := bounds(6)
+	frags := randomFrags(rng, 200, bds)
+	g, err := BuildG(newStore(), bds, 4, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := g.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range segs {
+		ids[s.ID] = true
+	}
+	if len(ids) != len(frags) {
+		t.Fatalf("Collect covers %d distinct fragments, want %d", len(ids), len(frags))
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	st := newStore()
+	base := st.PagesInUse()
+	g, err := BuildG(st, bounds(8), 4, randomFrags(rng, 500, bounds(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse = %d, want %d", got, base)
+	}
+}

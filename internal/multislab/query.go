@@ -1,0 +1,170 @@
+package multislab
+
+import (
+	"segdb/internal/fragtree"
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+// Query reports every long fragment whose central part is intersected by
+// the vertical query q (Section 4.3's search algorithm). The walk visits
+// the root-to-leaf path of G covering q.X; the first list is positioned by
+// a root search, subsequent lists through bridges when useBridges is true
+// (Theorem 2) and by root searches otherwise (the Lemma 4 configuration,
+// measured as the fractional-cascading ablation E6 vs E7).
+//
+// When q.X coincides with a split boundary both children are walked; the
+// same fragment can then be reported from two allocation nodes, and the
+// caller (internal/sol2) deduplicates, as it already must for boundary
+// queries.
+func (g *G) Query(q geom.VQuery, useBridges bool, emit func(geom.Segment)) (Stats, error) {
+	var stats Stats
+	if len(g.nodes) == 0 || q.X < g.bounds[0] || q.X > g.bounds[len(g.bounds)-1] {
+		return stats, nil
+	}
+	err := g.walk(0, q, useBridges, nil, &stats, emit)
+	return stats, err
+}
+
+// bridgeBudget bounds how many entries a bridge scan or landing walk-back
+// may touch before falling back to a root search: the d-property promises
+// a bridge within ~2(d+1) list elements of any position.
+func (g *G) bridgeBudget() int { return 4 * (g.d + 1) }
+
+// variantFor returns the list variant sound for q.X (possibly nil for an
+// empty list): treeL covers x0 ≤ split, treeR covers x0 ≥ split.
+// Boundary-exact queries use treeL.
+func (g *G) variantFor(n *gnode, x0 float64) *fragtree.Tree {
+	if n.split > 0 && x0 > g.bounds[n.split-1] {
+		return n.treeR
+	}
+	return n.treeL
+}
+
+// walk processes node idx. hint, when non-nil, is a cursor in the parent's
+// variant positioned at the parent's first candidate; the parent's variant
+// is the one whose bridges lead exactly to this node.
+func (g *G) walk(idx int, q geom.VQuery, useBridges bool, hint *fragtree.Cursor, stats *Stats, emit func(geom.Segment)) error {
+	n := &g.nodes[idx]
+	variant := g.variantFor(n, q.X)
+	var anchor *fragtree.Cursor
+	if variant != nil {
+		var err error
+		anchor, err = g.position(variant, variant == n.treeR, q, useBridges, hint, stats)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Report forward: every entry of this variant spans q.X, so the
+	// candidates are ordered and the answers are the prefix with crossing
+	// ≤ q.YHi. Augmented copies are position markers, never answers.
+	rep := &fragtree.Cursor{}
+	if anchor != nil {
+		rep = anchor.Clone()
+	}
+	for rep.Valid() {
+		e := rep.Entry()
+		y := e.Seg.YAt(q.X)
+		if y > q.YHi {
+			break
+		}
+		if e.Flags&fragtree.FlagAugmented == 0 && y >= q.YLo {
+			stats.Reported++
+			emit(e.Seg)
+		}
+		if err := rep.Next(); err != nil {
+			return err
+		}
+	}
+
+	if n.left < 0 {
+		return nil
+	}
+	split := g.bounds[n.split-1]
+	if q.X <= split {
+		// The treeL anchor carries bridges into the left child.
+		leftHint := anchor
+		if variant != n.treeL {
+			leftHint = nil
+		}
+		if err := g.walk(n.left, q, useBridges, leftHint, stats, emit); err != nil {
+			return err
+		}
+	}
+	if q.X >= split {
+		rightHint := anchor
+		if variant != n.treeR {
+			rightHint = nil
+		}
+		return g.walk(n.right, q, useBridges, rightHint, stats, emit)
+	}
+	return nil
+}
+
+// position returns a cursor at the variant's first candidate: the first
+// entry crossing q.X at or above q.YLo. isRight tells which of the node's
+// two variants was chosen, selecting the matching jump pointer.
+func (g *G) position(variant *fragtree.Tree, isRight bool, q geom.VQuery, useBridges bool, hint *fragtree.Cursor, stats *Stats) (*fragtree.Cursor, error) {
+	if useBridges && hint != nil {
+		c, ok, err := g.followBridge(variant, isRight, q, hint)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			stats.BridgeJumps++
+			return c, nil
+		}
+		stats.Fallbacks++
+	}
+	stats.ListsSearched++
+	return variant.SeekCrossing(q.X, q.YLo)
+}
+
+// followBridge scans forward from the parent's anchor for a jump entry,
+// lands in this variant's leaf, and walks back to the first entry at or
+// above q.YLo. Failure (no jump within budget, or a landing needing too
+// long a walk) reports ok = false; the caller falls back to a root
+// search, so bridges never affect answers.
+func (g *G) followBridge(variant *fragtree.Tree, isRight bool, q geom.VQuery, hint *fragtree.Cursor) (*fragtree.Cursor, bool, error) {
+	budget := g.bridgeBudget()
+	scan := hint.Clone()
+	var leaf pager.PageID
+	found := false
+	for i := 0; i < budget && scan.Valid(); i++ {
+		e := scan.Entry()
+		if e.Flags&fragtree.FlagJump != 0 {
+			// JumpA targets the child's treeL, JumpB its treeR.
+			leaf = e.JumpA
+			if isRight {
+				leaf = e.JumpB
+			}
+			found = true
+			break
+		}
+		if err := scan.Next(); err != nil {
+			return nil, false, err
+		}
+	}
+	if !found || leaf == pager.InvalidPage {
+		return nil, false, nil
+	}
+	c, err := variant.SeekInLeaf(leaf, q.X, q.YLo)
+	if err != nil {
+		return nil, false, err
+	}
+	if !c.Valid() {
+		return nil, false, nil // past the end or stale: confirm by fallback
+	}
+	for i := 0; i < budget; i++ {
+		prev := c.Clone()
+		if err := prev.Prev(); err != nil {
+			return nil, false, err
+		}
+		if !prev.Valid() || prev.Entry().Seg.YAt(q.X) < q.YLo {
+			return c, true, nil
+		}
+		c = prev
+	}
+	return nil, false, nil // walk-back budget exhausted: stale bridges
+}

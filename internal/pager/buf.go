@@ -1,0 +1,85 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buf is a cursor over a page buffer with typed little-endian accessors.
+// Index structures use it to encode and decode their node layouts. Out-of-
+// bounds access panics: a node layout that does not fit its page is a
+// programming error in the structure's capacity arithmetic, not a runtime
+// condition to handle.
+type Buf struct {
+	b   []byte
+	off int
+}
+
+// NewBuf returns a cursor positioned at the start of b.
+func NewBuf(b []byte) *Buf { return &Buf{b: b} }
+
+// Bytes returns the underlying buffer.
+func (c *Buf) Bytes() []byte { return c.b }
+
+// Pos returns the cursor offset.
+func (c *Buf) Pos() int { return c.off }
+
+// Seek positions the cursor at off.
+func (c *Buf) Seek(off int) *Buf {
+	if off < 0 || off > len(c.b) {
+		panic(fmt.Sprintf("pager: seek %d outside page of %d bytes", off, len(c.b)))
+	}
+	c.off = off
+	return c
+}
+
+// Skip advances the cursor by n bytes.
+func (c *Buf) Skip(n int) *Buf { return c.Seek(c.off + n) }
+
+func (c *Buf) need(n int) []byte {
+	if c.off+n > len(c.b) {
+		panic(fmt.Sprintf("pager: access of %d bytes at %d overruns page of %d bytes",
+			n, c.off, len(c.b)))
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+// PutU64 writes a uint64 and advances.
+func (c *Buf) PutU64(v uint64) { binary.LittleEndian.PutUint64(c.need(8), v) }
+
+// U64 reads a uint64 and advances.
+func (c *Buf) U64() uint64 { return binary.LittleEndian.Uint64(c.need(8)) }
+
+// PutU32 writes a uint32 and advances.
+func (c *Buf) PutU32(v uint32) { binary.LittleEndian.PutUint32(c.need(4), v) }
+
+// U32 reads a uint32 and advances.
+func (c *Buf) U32() uint32 { return binary.LittleEndian.Uint32(c.need(4)) }
+
+// PutU16 writes a uint16 and advances.
+func (c *Buf) PutU16(v uint16) { binary.LittleEndian.PutUint16(c.need(2), v) }
+
+// U16 reads a uint16 and advances.
+func (c *Buf) U16() uint16 { return binary.LittleEndian.Uint16(c.need(2)) }
+
+// PutU8 writes a byte and advances.
+func (c *Buf) PutU8(v uint8) { c.need(1)[0] = v }
+
+// U8 reads a byte and advances.
+func (c *Buf) U8() uint8 { return c.need(1)[0] }
+
+// PutF64 writes a float64 and advances. NaN payloads and infinities round-
+// trip exactly, which the index code relies on for open-ended queries.
+func (c *Buf) PutF64(v float64) { c.PutU64(math.Float64bits(v)) }
+
+// F64 reads a float64 and advances.
+func (c *Buf) F64() float64 { return math.Float64frombits(c.U64()) }
+
+// PutPage writes a PageID and advances.
+func (c *Buf) PutPage(id PageID) { c.PutU32(uint32(id)) }
+
+// Page reads a PageID and advances.
+func (c *Buf) Page() PageID { return PageID(c.U32()) }

@@ -1,0 +1,238 @@
+// Package pager simulates secondary storage for external-memory data
+// structures in the I/O model of Aggarwal and Vitter, which is the cost
+// model used throughout Bertino, Catania and Shidlovsky's "Towards Optimal
+// Indexing for Segment Databases" (EDBT 1998).
+//
+// A Store manages fixed-size pages on a Device and counts every physical
+// block transfer. Data structures built on a Store perform all data access
+// through Read and Write, so the Stats counters are faithful I/O-model
+// costs rather than wall-clock proxies. A small LRU buffer pool models the
+// constant-size internal memory that external-memory algorithms are allowed
+// to use; reads served by the pool are counted as cache hits, not I/Os.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies an allocated page. The zero value is never a valid
+// page, so it can be used as a null pointer inside on-disk structures.
+type PageID uint32
+
+// InvalidPage is the null page reference.
+const InvalidPage PageID = 0
+
+// Stats accumulates I/O-model costs. Reads and Writes count physical block
+// transfers; CacheHits counts reads served by the buffer pool.
+type Stats struct {
+	Reads     int64 // physical page reads
+	Writes    int64 // physical page writes
+	CacheHits int64 // reads served from the buffer pool
+	Allocs    int64 // pages allocated
+	Frees     int64 // pages freed
+}
+
+// IOs returns the total number of physical block transfers.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Sub returns the component-wise difference s - o, for measuring the cost
+// of a single operation between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:     s.Reads - o.Reads,
+		Writes:    s.Writes - o.Writes,
+		CacheHits: s.CacheHits - o.CacheHits,
+		Allocs:    s.Allocs - o.Allocs,
+		Frees:     s.Frees - o.Frees,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d allocs=%d frees=%d",
+		s.Reads, s.Writes, s.CacheHits, s.Allocs, s.Frees)
+}
+
+// Store manages pages of a fixed size on a Device, with allocation,
+// an LRU buffer pool, and I/O accounting.
+//
+// Store itself is safe for concurrent use (one mutex guards the pool,
+// allocator and counters). The index structures above it are not: they
+// cache handles in memory, so writers need external synchronization —
+// the public package provides segdb.Synchronized for that. Concurrent
+// readers of a quiescent index are safe.
+type Store struct {
+	mu       sync.Mutex
+	dev      Device
+	pageSize int
+	pool     *lruPool
+	next     PageID
+	free     []PageID
+	stats    Stats
+}
+
+// ErrPageSize reports a page buffer whose length does not match the store's
+// page size.
+var ErrPageSize = errors.New("pager: buffer length does not match page size")
+
+// Open creates a Store over dev with the given page size in bytes and a
+// buffer pool of poolPages pages. poolPages may be zero, in which case every
+// read is a physical read — the strictest interpretation of the I/O model.
+func Open(dev Device, pageSize, poolPages int) (*Store, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pager: invalid page size %d", pageSize)
+	}
+	if poolPages < 0 {
+		return nil, fmt.Errorf("pager: invalid pool size %d", poolPages)
+	}
+	return &Store{
+		dev:      dev,
+		pageSize: pageSize,
+		pool:     newLRUPool(poolPages),
+	}, nil
+}
+
+// MustOpenMem returns a Store over a fresh in-memory device. It is a
+// convenience for tests and benchmarks, where the configuration is static
+// and cannot fail.
+func MustOpenMem(pageSize, poolPages int) *Store {
+	s, err := Open(NewMemDevice(pageSize), pageSize, poolPages)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// PageSize returns the size of every page in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Alloc reserves a new page and returns its ID. The page contents are
+// undefined until the first Write.
+func (s *Store) Alloc() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Allocs++
+	if k := len(s.free); k > 0 {
+		id := s.free[k-1]
+		s.free = s.free[:k-1]
+		return id
+	}
+	s.next++
+	return s.next
+}
+
+// Free releases a page for reuse. Freeing InvalidPage is a no-op; freeing a
+// page twice corrupts the allocator and is the caller's responsibility to
+// avoid, as with any disk-space manager.
+func (s *Store) Free(id PageID) {
+	if id == InvalidPage {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Frees++
+	s.pool.drop(id)
+	s.free = append(s.free, id)
+}
+
+// PagesInUse returns the number of currently allocated pages: the
+// structure's space cost in blocks.
+func (s *Store) PagesInUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.next) - len(s.free)
+}
+
+// NextPage returns the high-water mark of the allocator: the first page
+// ID that was never allocated. Catalogs persist it so a reopened store
+// does not hand out pages that already hold data.
+func (s *Store) NextPage() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next + 1
+}
+
+// Reserve raises the allocator high-water mark so that every page below
+// upTo is treated as allocated. It is how a catalog restores allocation
+// state on reopen; the in-session free list is not persisted, so space
+// freed in earlier sessions is not reclaimed (a real system would keep a
+// free-space map — out of scope for the I/O-model experiments).
+func (s *Store) Reserve(upTo PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if upTo > s.next+1 {
+		s.next = upTo - 1
+	}
+}
+
+// Read returns the contents of page id. The returned slice is owned by the
+// caller and remains valid indefinitely. A read served by the buffer pool
+// is counted as a cache hit; otherwise it is one physical read.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	if id == InvalidPage {
+		return nil, errors.New("pager: read of invalid page")
+	}
+	s.mu.Lock()
+	if data, ok := s.pool.get(id); ok {
+		s.stats.CacheHits++
+		out := make([]byte, s.pageSize)
+		copy(out, data)
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.mu.Unlock()
+	out := make([]byte, s.pageSize)
+	if err := s.dev.ReadPage(uint32(id-1), out); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Reads++
+	s.pool.put(id, out)
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Write stores data as the new contents of page id (write-through: one
+// physical write) and refreshes the buffer pool.
+func (s *Store) Write(id PageID, data []byte) error {
+	if id == InvalidPage {
+		return errors.New("pager: write to invalid page")
+	}
+	if len(data) != s.pageSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrPageSize, len(data), s.pageSize)
+	}
+	if err := s.dev.WritePage(uint32(id-1), data); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Writes++
+	s.pool.put(id, data)
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters. Allocation state is unaffected.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// DropCache empties the buffer pool, so that subsequent reads are cold.
+// Experiments call it between build and query phases.
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.reset()
+}
+
+// Close releases the underlying device.
+func (s *Store) Close() error { return s.dev.Close() }

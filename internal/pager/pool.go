@@ -1,0 +1,74 @@
+package pager
+
+import "container/list"
+
+// lruPool is a least-recently-used page cache modelling the bounded
+// internal memory of the I/O model. It stores page copies keyed by PageID.
+type lruPool struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *poolEntry
+	byID     map[PageID]*list.Element
+}
+
+type poolEntry struct {
+	id   PageID
+	data []byte
+}
+
+func newLRUPool(capacity int) *lruPool {
+	return &lruPool{
+		capacity: capacity,
+		order:    list.New(),
+		byID:     make(map[PageID]*list.Element),
+	}
+}
+
+// get returns the cached contents of id, promoting it to most recently
+// used. The returned slice is the pool's copy; callers must not retain it.
+func (p *lruPool) get(id PageID) ([]byte, bool) {
+	el, ok := p.byID[id]
+	if !ok {
+		return nil, false
+	}
+	p.order.MoveToFront(el)
+	return el.Value.(*poolEntry).data, true
+}
+
+// put caches data as the contents of id, evicting the least recently used
+// page if the pool is full.
+func (p *lruPool) put(id PageID, data []byte) {
+	if p.capacity == 0 {
+		return
+	}
+	if el, ok := p.byID[id]; ok {
+		e := el.Value.(*poolEntry)
+		if len(e.data) != len(data) {
+			e.data = make([]byte, len(data))
+		}
+		copy(e.data, data)
+		p.order.MoveToFront(el)
+		return
+	}
+	for p.order.Len() >= p.capacity {
+		back := p.order.Back()
+		p.order.Remove(back)
+		delete(p.byID, back.Value.(*poolEntry).id)
+	}
+	e := &poolEntry{id: id, data: make([]byte, len(data))}
+	copy(e.data, data)
+	p.byID[id] = p.order.PushFront(e)
+}
+
+// drop removes id from the pool, if present.
+func (p *lruPool) drop(id PageID) {
+	if el, ok := p.byID[id]; ok {
+		p.order.Remove(el)
+		delete(p.byID, id)
+	}
+}
+
+// reset empties the pool.
+func (p *lruPool) reset() {
+	p.order.Init()
+	clear(p.byID)
+}

@@ -1,0 +1,42 @@
+// Package segrec defines the on-page record format for plane segments,
+// shared by every index structure in the module: 40 bytes per segment
+// (ID + four float64 coordinates), little-endian.
+package segrec
+
+import (
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+// Size is the encoded size of one segment record in bytes.
+const Size = 40
+
+// Put encodes s at the cursor position.
+func Put(c *pager.Buf, s geom.Segment) {
+	c.PutU64(s.ID)
+	c.PutF64(s.A.X)
+	c.PutF64(s.A.Y)
+	c.PutF64(s.B.X)
+	c.PutF64(s.B.Y)
+}
+
+// Get decodes a segment at the cursor position.
+func Get(c *pager.Buf) geom.Segment {
+	var s geom.Segment
+	s.ID = c.U64()
+	s.A.X = c.F64()
+	s.A.Y = c.F64()
+	s.B.X = c.F64()
+	s.B.Y = c.F64()
+	return s
+}
+
+// PutAt encodes s into buf at byte offset off.
+func PutAt(buf []byte, off int, s geom.Segment) {
+	Put(pager.NewBuf(buf).Seek(off), s)
+}
+
+// GetAt decodes a segment from buf at byte offset off.
+func GetAt(buf []byte, off int) geom.Segment {
+	return Get(pager.NewBuf(buf).Seek(off))
+}

@@ -1,0 +1,63 @@
+package segrec
+
+import (
+	"math"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tests := []geom.Segment{
+		geom.Seg(1, 0, 0, 1, 1),
+		geom.Seg(math.MaxUint64, -1e300, 1e300, 1e-300, -1e-300),
+		geom.Seg(42, math.Inf(-1), 0, math.Inf(1), 0),
+		{},
+	}
+	buf := make([]byte, Size)
+	for _, want := range tests {
+		Put(pager.NewBuf(buf), want)
+		got := Get(pager.NewBuf(buf))
+		if got != want {
+			t.Errorf("round trip: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPutAtGetAt(t *testing.T) {
+	buf := make([]byte, 3*Size)
+	segs := []geom.Segment{
+		geom.Seg(1, 1, 2, 3, 4),
+		geom.Seg(2, 5, 6, 7, 8),
+		geom.Seg(3, 9, 10, 11, 12),
+	}
+	for i, s := range segs {
+		PutAt(buf, i*Size, s)
+	}
+	for i, want := range segs {
+		if got := GetAt(buf, i*Size); got != want {
+			t.Errorf("slot %d: got %v, want %v", i, got, want)
+		}
+	}
+	// Overwriting a middle slot leaves neighbours intact.
+	PutAt(buf, Size, geom.Seg(99, 0, 0, 0, 1))
+	if got := GetAt(buf, 0); got != segs[0] {
+		t.Error("slot 0 corrupted by neighbouring write")
+	}
+	if got := GetAt(buf, 2*Size); got != segs[2] {
+		t.Error("slot 2 corrupted by neighbouring write")
+	}
+	if got := GetAt(buf, Size); got.ID != 99 {
+		t.Error("overwrite not visible")
+	}
+}
+
+func TestSizeMatchesEncoding(t *testing.T) {
+	buf := make([]byte, Size)
+	c := pager.NewBuf(buf)
+	Put(c, geom.Seg(7, 1, 2, 3, 4))
+	if c.Pos() != Size {
+		t.Fatalf("Put consumed %d bytes, Size says %d", c.Pos(), Size)
+	}
+}

@@ -1,0 +1,212 @@
+package sol1
+
+import (
+	"fmt"
+	"sort"
+
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/pager"
+)
+
+// Build bulk-loads a Solution-1 index over an NCT segment set. Segment
+// IDs must be unique and non-zero; degenerate segments are rejected. The
+// NCT property itself is the caller's contract (checkable with
+// geom.ValidateNCT); the structure does not depend on it for safety, only
+// for its complexity bounds.
+func Build(st *pager.Store, cfg Config, segs []geom.Segment) (*Index, error) {
+	cfg, err := cfg.withDefaults(st.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{st: st, cfg: cfg, cCfg: intervaltree.DefaultConfig(cfg.B)}
+	if err := checkSegs(segs); err != nil {
+		return nil, err
+	}
+	root, err := ix.buildRec(segs)
+	if err != nil {
+		return nil, err
+	}
+	ix.root = root
+	ix.length = len(segs)
+	return ix, nil
+}
+
+func checkSegs(segs []geom.Segment) error {
+	seen := make(map[uint64]bool, len(segs))
+	for _, s := range segs {
+		if s.ID == 0 {
+			return fmt.Errorf("sol1: segment %v has zero ID", s)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("sol1: duplicate segment ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.IsPoint() {
+			return fmt.Errorf("sol1: degenerate segment %v", s)
+		}
+	}
+	return nil
+}
+
+// buildRec builds the first-level subtree for segs and returns its page.
+func (ix *Index) buildRec(segs []geom.Segment) (pager.PageID, error) {
+	if len(segs) == 0 {
+		return pager.InvalidPage, nil
+	}
+	if len(segs) <= ix.leafCap() {
+		id := ix.st.Alloc()
+		return id, ix.writeLeaf(id, segs)
+	}
+
+	m := medianEndpointX(segs)
+	var onL, leftS, rightS, crossing []geom.Segment
+	for _, s := range segs {
+		switch {
+		case onLine(s, m):
+			onL = append(onL, s)
+		case s.MaxX() < m:
+			leftS = append(leftS, s)
+		case s.MinX() > m:
+			rightS = append(rightS, s)
+		default:
+			crossing = append(crossing, s)
+		}
+	}
+
+	n := &inode{baseX: m, leftW: len(leftS), rightW: len(rightS)}
+	var lParts, rParts []geom.Segment
+	for _, s := range crossing {
+		if s.MinX() < m {
+			lParts = append(lParts, s)
+		}
+		if s.MaxX() > m {
+			rParts = append(rParts, s)
+		}
+	}
+
+	var err error
+	if len(onL) > 0 { // C(v) is lazy: most base lines carry no collinear segments
+		items := make([]intervaltree.Item, len(onL))
+		for i, s := range onL {
+			items[i] = cItem(s)
+		}
+		if n.c, err = intervaltree.Build(ix.st, ix.cCfg, items); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	if n.l, err = ix.buildLine(m, geom.SideLeft, lParts); err != nil {
+		return pager.InvalidPage, err
+	}
+	if n.r, err = ix.buildLine(m, geom.SideRight, rParts); err != nil {
+		return pager.InvalidPage, err
+	}
+	if n.left, err = ix.buildRec(leftS); err != nil {
+		return pager.InvalidPage, err
+	}
+	if n.right, err = ix.buildRec(rightS); err != nil {
+		return pager.InvalidPage, err
+	}
+	id := ix.st.Alloc()
+	return id, ix.writeInternal(id, n)
+}
+
+// medianEndpointX returns the median of the 2N endpoint x-coordinates —
+// the paper's choice of base line, which halves the endpoints and hence
+// bounds the first-level height by O(log n).
+func medianEndpointX(segs []geom.Segment) float64 {
+	xs := make([]float64, 0, 2*len(segs))
+	for _, s := range segs {
+		xs = append(xs, s.A.X, s.B.X)
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// Collect returns every stored segment, deduplicating the two-tree
+// representation of crossing segments.
+func (ix *Index) Collect() ([]geom.Segment, error) {
+	seen := make(map[uint64]bool, ix.length)
+	var out []geom.Segment
+	err := ix.collectRec(ix.root, seen, &out)
+	return out, err
+}
+
+func (ix *Index) collectRec(id pager.PageID, seen map[uint64]bool, out *[]geom.Segment) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	add := func(s geom.Segment) {
+		if !seen[s.ID] {
+			seen[s.ID] = true
+			*out = append(*out, s)
+		}
+	}
+	if leaf != nil {
+		for _, s := range leaf {
+			add(s)
+		}
+		return nil
+	}
+	if n.c != nil {
+		if err := n.c.Intersect(minusInf, plusInf, func(it intervaltree.Item) { add(it.Seg) }); err != nil {
+			return err
+		}
+	}
+	for _, lt := range []lineTree{n.l, n.r} {
+		segs, err := lt.Collect()
+		if err != nil {
+			return err
+		}
+		for _, s := range segs {
+			add(s)
+		}
+	}
+	if err := ix.collectRec(n.left, seen, out); err != nil {
+		return err
+	}
+	return ix.collectRec(n.right, seen, out)
+}
+
+// Drop frees every page of the index.
+func (ix *Index) Drop() error {
+	err := ix.dropRec(ix.root)
+	ix.root = pager.InvalidPage
+	ix.length = 0
+	return err
+}
+
+func (ix *Index) dropRec(id pager.PageID) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, _, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n != nil {
+		if n.c != nil {
+			if err := n.c.Drop(); err != nil {
+				return err
+			}
+		}
+		if err := n.l.Drop(); err != nil {
+			return err
+		}
+		if err := n.r.Drop(); err != nil {
+			return err
+		}
+		if err := ix.dropRec(n.left); err != nil {
+			return err
+		}
+		if err := ix.dropRec(n.right); err != nil {
+			return err
+		}
+	}
+	ix.st.Free(id)
+	return nil
+}

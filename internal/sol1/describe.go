@@ -1,0 +1,63 @@
+package sol1
+
+import (
+	"fmt"
+	"strings"
+
+	"segdb/internal/pager"
+)
+
+// Description summarises the structure for operators. It is computed by
+// a full traversal (O(n) I/Os): a diagnostic, not a per-query facility.
+type Description struct {
+	Segments        int
+	FirstLevelNodes int
+	Leaves          int
+	Height          int
+	SegsInLeaves    int
+	SegsInC         int // lying on base lines
+	SegsInSide      int // L(v)+R(v) entries (crossing segments count twice)
+}
+
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solution 1: %d segments, %d internal nodes + %d leaves, height %d\n",
+		d.Segments, d.FirstLevelNodes, d.Leaves, d.Height)
+	fmt.Fprintf(&b, "  leaves: %d segs; base lines: %d collinear; side trees: %d entries",
+		d.SegsInLeaves, d.SegsInC, d.SegsInSide)
+	return b.String()
+}
+
+// Describe traverses the index and returns its structural summary.
+func (ix *Index) Describe() (Description, error) {
+	d := Description{Segments: ix.length}
+	err := ix.describeRec(ix.root, 1, &d)
+	return d, err
+}
+
+func (ix *Index) describeRec(id pager.PageID, depth int, d *Description) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	if depth > d.Height {
+		d.Height = depth
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	if leaf != nil {
+		d.Leaves++
+		d.SegsInLeaves += len(leaf)
+		return nil
+	}
+	d.FirstLevelNodes++
+	if n.c != nil {
+		d.SegsInC += n.c.Len()
+	}
+	d.SegsInSide += n.l.Len() + n.r.Len()
+	if err := ix.describeRec(n.left, depth+1, d); err != nil {
+		return err
+	}
+	return ix.describeRec(n.right, depth+1, d)
+}

@@ -1,0 +1,91 @@
+package sol1
+
+import (
+	"math"
+
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/pager"
+)
+
+var (
+	minusInf = math.Inf(-1)
+	plusInf  = math.Inf(1)
+)
+
+// Stats reports the work one query did at the first level.
+type Stats struct {
+	FirstLevelNodes int
+	Reported        int
+}
+
+// Query reports every stored segment intersected by the vertical query
+// segment q, exactly once. The walk visits one first-level node per level
+// (paper, Section 3): at each node it queries the side tree facing q and
+// descends; when q lies exactly on a base line it queries C(v), L(v) and
+// R(v) and stops, deduplicating the crossing segments present in both
+// side trees.
+func (ix *Index) Query(q geom.VQuery, emit func(geom.Segment)) (Stats, error) {
+	var stats Stats
+	count := func(s geom.Segment) {
+		stats.Reported++
+		emit(s)
+	}
+	id := ix.root
+	for id != pager.InvalidPage {
+		n, leaf, err := ix.readNode(id)
+		if err != nil {
+			return stats, err
+		}
+		stats.FirstLevelNodes++
+		if leaf != nil {
+			for _, s := range leaf {
+				if q.Hits(s) {
+					count(s)
+				}
+			}
+			return stats, nil
+		}
+		switch {
+		case q.X == n.baseX:
+			seen := map[uint64]bool{}
+			dedup := func(s geom.Segment) {
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					count(s)
+				}
+			}
+			if n.c != nil {
+				err := n.c.Intersect(q.YLo, q.YHi, func(it intervaltree.Item) { dedup(it.Seg) })
+				if err != nil {
+					return stats, err
+				}
+			}
+			if err := n.l.QueryInto(q, dedup); err != nil {
+				return stats, err
+			}
+			if err := n.r.QueryInto(q, dedup); err != nil {
+				return stats, err
+			}
+			return stats, nil
+		case q.X < n.baseX:
+			if err := n.l.QueryInto(q, count); err != nil {
+				return stats, err
+			}
+			id = n.left
+		default:
+			if err := n.r.QueryInto(q, count); err != nil {
+				return stats, err
+			}
+			id = n.right
+		}
+	}
+	return stats, nil
+}
+
+// CollectQuery returns the query result as a slice.
+func (ix *Index) CollectQuery(q geom.VQuery) ([]geom.Segment, error) {
+	var out []geom.Segment
+	_, err := ix.Query(q, func(s geom.Segment) { out = append(out, s) })
+	return out, err
+}

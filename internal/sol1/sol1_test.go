@@ -1,0 +1,411 @@
+package sol1
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/workload"
+)
+
+const testPageSize = 64 + 48*16
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 64) }
+
+func sameSet(t *testing.T, got, want []geom.Segment, label string) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	wantIDs := map[uint64]geom.Segment{}
+	for _, s := range want {
+		wantIDs[s.ID] = s
+	}
+	for _, s := range got {
+		if seen[s.ID] {
+			t.Fatalf("%s: duplicate id %d", label, s.ID)
+		}
+		seen[s.ID] = true
+		w, ok := wantIDs[s.ID]
+		if !ok {
+			t.Fatalf("%s: spurious id %d", label, s.ID)
+		}
+		if s != w {
+			t.Fatalf("%s: id %d returned with altered geometry %v, want %v", label, s.ID, s, w)
+		}
+	}
+	if len(seen) != len(wantIDs) {
+		t.Fatalf("%s: got %d, want %d", label, len(seen), len(wantIDs))
+	}
+}
+
+func configs() map[string]Config {
+	return map[string]Config{
+		"accelerated": {B: 16},
+		"plain":       {B: 16, Plain: true},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build(newStore(), Config{B: -1}, nil); err == nil {
+		t.Error("negative B accepted")
+	}
+	if _, err := Build(newStore(), Config{Alpha: 0.5}, nil); err == nil {
+		t.Error("alpha ≥ 1-1/√2 accepted")
+	}
+	if _, err := Build(newStore(), Config{B: 100000}, nil); err == nil {
+		t.Error("oversized B accepted")
+	}
+}
+
+func TestBuildRejectsBadSegments(t *testing.T) {
+	if _, err := Build(newStore(), Config{}, []geom.Segment{geom.Seg(0, 0, 0, 1, 1)}); err == nil {
+		t.Error("zero ID accepted")
+	}
+	if _, err := Build(newStore(), Config{}, []geom.Segment{
+		geom.Seg(1, 0, 0, 1, 1), geom.Seg(1, 2, 2, 3, 3),
+	}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := Build(newStore(), Config{}, []geom.Segment{geom.Seg(1, 2, 2, 2, 2)}); err == nil {
+		t.Error("degenerate segment accepted")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix, err := Build(newStore(), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.CollectQuery(geom.VSeg(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty index returned results")
+	}
+}
+
+func TestQueryMatchesNaiveAllWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sets := map[string][]geom.Segment{
+		"layers": workload.Layers(rng, 10, 60, 400),
+		"grid":   workload.Grid(rng, 18, 18, 0.85, 0.2),
+		"levels": workload.Levels(rng, 500, 300, 1.2),
+		"stacks": workload.Stacks(8, 30, 25),
+	}
+	for cname, cfg := range configs() {
+		for wname, segs := range sets {
+			ix, err := Build(newStore(), cfg, segs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cname, wname, err)
+			}
+			box := workload.BBox(segs)
+			queries := workload.RandomVS(rng, 120, box, (box.MaxY-box.MinY)/4)
+			queries = append(queries, workload.RandomStabs(rng, 30, box)...)
+			for _, q := range queries {
+				got, err := ix.CollectQuery(q)
+				if err != nil {
+					t.Fatalf("%s/%s %v: %v", cname, wname, q, err)
+				}
+				sameSet(t, got, q.FilterHits(segs), cname+"/"+wname)
+			}
+		}
+	}
+}
+
+// TestQueryOnBaseLines aims queries exactly at first-level base lines,
+// where C(v), L(v) and R(v) must all answer and crossing segments appear
+// in both side trees — the dedup path.
+func TestQueryOnBaseLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.Layers(rng, 8, 40, 300) // layers occupy y < 80
+	// Add vertical segments above the layer bands to populate C(v) trees.
+	id := uint64(10000)
+	for i := 0; i < 60; i++ {
+		x := float64(i * 5) // distinct x per vertical: no collinear overlap
+		y := 100 + rng.Float64()*70
+		id++
+		segs = append(segs, geom.Seg(id, x, y, x, y+rng.Float64()*15))
+	}
+	if err := geom.ValidateNCT(segs); err != nil {
+		t.Fatalf("test workload invalid: %v", err)
+	}
+	ix, err := Build(newStore(), Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at every segment endpoint x (base lines are endpoint medians,
+	// so this hits many of them exactly).
+	for i := 0; i < len(segs); i += 7 {
+		x := segs[i].A.X
+		y := segs[i].A.Y
+		q := geom.VSeg(x, y-20, y+20)
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), "base-line query")
+	}
+}
+
+func TestCollectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Grid(rng, 15, 15, 0.9, 0.2)
+	ix, err := Build(newStore(), Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, segs, "collect")
+}
+
+func TestLinearSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var prev float64
+	for _, n := range []int{60, 240} {
+		st := pager.MustOpenMem(testPageSize, 0)
+		segs := workload.Layers(rng, n, 50, 1000)
+		if _, err := Build(st, Config{B: 16}, segs); err != nil {
+			t.Fatal(err)
+		}
+		perSeg := float64(st.PagesInUse()) / float64(len(segs))
+		if prev > 0 && perSeg > prev*1.5 {
+			t.Fatalf("pages per segment grew %g → %g: space not linear", prev, perSeg)
+		}
+		prev = perSeg
+	}
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs := workload.Grid(rng, 14, 14, 0.85, 0.2)
+	for cname, cfg := range configs() {
+		ix, err := Build(newStore(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			if err := ix.Insert(s); err != nil {
+				t.Fatalf("%s: %v", cname, err)
+			}
+		}
+		if ix.Len() != len(segs) {
+			t.Fatalf("%s: Len = %d, want %d", cname, ix.Len(), len(segs))
+		}
+		box := workload.BBox(segs)
+		for _, q := range workload.RandomVS(rng, 150, box, 4) {
+			got, err := ix.CollectQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, got, q.FilterHits(segs), cname+" grown")
+		}
+	}
+}
+
+func TestDeleteHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	segs := workload.Levels(rng, 400, 200, 1.3)
+	ix, err := Build(newStore(), Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(segs))
+	dead := map[uint64]bool{}
+	for _, i := range perm[:200] {
+		found, err := ix.Delete(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("Delete(%v) not found", segs[i])
+		}
+		dead[segs[i].ID] = true
+	}
+	if found, _ := ix.Delete(segs[perm[0]]); found {
+		t.Fatal("double delete found")
+	}
+	var alive []geom.Segment
+	for _, s := range segs {
+		if !dead[s.ID] {
+			alive = append(alive, s)
+		}
+	}
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 150, box, 30) {
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(alive), "after delete")
+	}
+}
+
+func TestMixedOpsWithVerticalSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Disjoint mini-columns: vertical segments never cross anything.
+	var pool []geom.Segment
+	for i := 0; i < 300; i++ {
+		x := float64(i)
+		if i%3 == 0 {
+			pool = append(pool, geom.Seg(uint64(i+1), x, 0, x, 5+rng.Float64()*10))
+		} else {
+			pool = append(pool, geom.Seg(uint64(i+1), x, rng.Float64()*10, x+0.9, rng.Float64()*10))
+		}
+	}
+	ix, err := Build(newStore(), Config{B: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]bool{}
+	for op := 0; op < 700; op++ {
+		i := rng.Intn(len(pool))
+		if live[i] {
+			found, err := ix.Delete(pool[i])
+			if err != nil || !found {
+				t.Fatalf("delete: %v %v", found, err)
+			}
+			delete(live, i)
+		} else {
+			if err := ix.Insert(pool[i]); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = true
+		}
+		if op%50 == 0 {
+			var liveList []geom.Segment
+			for j := range pool {
+				if live[j] {
+					liveList = append(liveList, pool[j])
+				}
+			}
+			x := rng.Float64() * 300
+			y := rng.Float64() * 15
+			q := geom.VSeg(x, y-3, y+3)
+			got, err := ix.CollectQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, got, q.FilterHits(liveList), "mixed")
+		}
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	segs := workload.Levels(rng, 800, 400, 1.3)
+	st := newStore()
+	ix, err := Build(st, Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(segs))
+	for _, i := range perm[:600] {
+		if found, err := ix.Delete(segs[i]); err != nil || !found {
+			t.Fatalf("delete: %v %v", found, err)
+		}
+	}
+	before := st.PagesInUse()
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := st.PagesInUse()
+	if after >= before {
+		t.Fatalf("Compact did not reclaim space: %d -> %d pages", before, after)
+	}
+	// Still correct.
+	alive := map[uint64]bool{}
+	for _, i := range perm[600:] {
+		alive[segs[i].ID] = true
+	}
+	var liveList []geom.Segment
+	for _, s := range segs {
+		if alive[s.ID] {
+			liveList = append(liveList, s)
+		}
+	}
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 80, box, 30) {
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(liveList), "after compact")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	ix, err := Build(newStore(), Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ix.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Segments != len(segs) {
+		t.Fatalf("Segments = %d, want %d", d.Segments, len(segs))
+	}
+	if d.SegsInLeaves+d.SegsInC+d.SegsInSide < d.Segments {
+		t.Fatalf("description misses segments: %+v", d)
+	}
+	if s := d.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	st := newStore()
+	base := st.PagesInUse()
+	ix, err := Build(st, Config{B: 16}, workload.Layers(rng, 6, 50, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse after Drop = %d, want %d", got, base)
+	}
+}
+
+// TestQueryCostShape validates Theorem 1(ii) empirically: I/Os per query
+// grow like log2(n) · log_B(n), far below a scan.
+func TestQueryCostShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := pager.MustOpenMem(testPageSize, 0)
+	segs := workload.Layers(rng, 100, 100, 2000) // 10k segments
+	ix, err := Build(st, Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 200, box, 5)
+	st.ResetStats()
+	totalT := 0
+	for _, q := range queries {
+		stats, err := ix.Query(q, func(geom.Segment) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalT += stats.Reported
+	}
+	reads := float64(st.Stats().Reads) / float64(len(queries))
+	n := float64(len(segs)) / 16
+	bound := math.Log2(n) * (math.Log(n)/math.Log(16) + 2) * 3
+	bound += float64(totalT) / float64(len(queries)) / 16 * 4
+	if reads > bound {
+		t.Fatalf("avg %.1f reads/query, want ≤ %.1f", reads, bound)
+	}
+	// And far below a full scan (n pages).
+	if reads > n/4 {
+		t.Fatalf("avg %.1f reads/query is within 4× of a full scan (%g pages)", reads, n)
+	}
+}

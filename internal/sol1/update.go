@@ -1,0 +1,270 @@
+package sol1
+
+import (
+	"fmt"
+
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/pager"
+)
+
+// Insert adds a segment. The new segment must keep the database NCT (the
+// paper's update model: "insertion of a segment non-crossing, but possibly
+// touching, the already stored ones"); that precondition is the caller's
+// contract. Rebalancing follows the BB[α] scheme: the highest subtree on
+// the insertion path whose child weights violate α-balance is rebuilt.
+func (ix *Index) Insert(s geom.Segment) error {
+	if s.ID == 0 || s.IsPoint() {
+		return fmt.Errorf("sol1: invalid segment %v", s)
+	}
+	newRoot, err := ix.insertRec(ix.root, s)
+	if err != nil {
+		return err
+	}
+	ix.root = newRoot
+	ix.length++
+	return nil
+}
+
+func (ix *Index) insertRec(id pager.PageID, s geom.Segment) (pager.PageID, error) {
+	if id == pager.InvalidPage {
+		id = ix.st.Alloc()
+		return id, ix.writeLeaf(id, []geom.Segment{s})
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return id, err
+	}
+	if leaf != nil {
+		leaf = append(leaf, s)
+		if len(leaf) <= ix.leafCap() {
+			return id, ix.writeLeaf(id, leaf)
+		}
+		// Leaf overflow: rebuild this leaf as a proper subtree.
+		ix.st.Free(id)
+		return ix.buildRec(leaf)
+	}
+
+	m := n.baseX
+	switch {
+	case onLine(s, m):
+		if n.c == nil {
+			if n.c, err = intervaltree.New(ix.st, ix.cCfg); err != nil {
+				return id, err
+			}
+		}
+		if err := n.c.Insert(cItem(s)); err != nil {
+			return id, err
+		}
+		return id, ix.writeInternal(id, n)
+	case s.MinX() <= m && m <= s.MaxX():
+		if s.MinX() < m {
+			if err := n.l.Insert(s); err != nil {
+				return id, err
+			}
+		}
+		if s.MaxX() > m {
+			if err := n.r.Insert(s); err != nil {
+				return id, err
+			}
+		}
+		return id, ix.writeInternal(id, n)
+	case s.MaxX() < m:
+		if n.left, err = ix.insertRec(n.left, s); err != nil {
+			return id, err
+		}
+		n.leftW++
+	default:
+		if n.right, err = ix.insertRec(n.right, s); err != nil {
+			return id, err
+		}
+		n.rightW++
+	}
+	if ix.unbalanced(n) {
+		return ix.rebuildSubtree(id, n)
+	}
+	return id, ix.writeInternal(id, n)
+}
+
+// unbalanced applies the BB[α] criterion to the subtree weights.
+func (ix *Index) unbalanced(n *inode) bool {
+	total := n.leftW + n.rightW
+	if total < 8 {
+		return false
+	}
+	limit := ix.cfg.Alpha * float64(total+2)
+	return float64(n.leftW+1) < limit || float64(n.rightW+1) < limit
+}
+
+// rebuildSubtree replaces the subtree rooted at id with a freshly built
+// balanced one over the same segments. Its O(k log k) cost amortizes over
+// the ≥ α·k updates needed to unbalance a subtree of size k — the
+// standard BB[α] argument the paper appeals to.
+func (ix *Index) rebuildSubtree(id pager.PageID, n *inode) (pager.PageID, error) {
+	seen := map[uint64]bool{}
+	var segs []geom.Segment
+	// Gather this node's own content, then both subtrees.
+	if err := ix.collectNode(n, seen, &segs); err != nil {
+		return id, err
+	}
+	if err := ix.collectRec(n.left, seen, &segs); err != nil {
+		return id, err
+	}
+	if err := ix.collectRec(n.right, seen, &segs); err != nil {
+		return id, err
+	}
+	if n.c != nil {
+		if err := n.c.Drop(); err != nil {
+			return id, err
+		}
+	}
+	if err := n.l.Drop(); err != nil {
+		return id, err
+	}
+	if err := n.r.Drop(); err != nil {
+		return id, err
+	}
+	if err := ix.dropRec(n.left); err != nil {
+		return id, err
+	}
+	if err := ix.dropRec(n.right); err != nil {
+		return id, err
+	}
+	ix.st.Free(id)
+	return ix.buildRec(segs)
+}
+
+// collectNode gathers the segments held at one internal node.
+func (ix *Index) collectNode(n *inode, seen map[uint64]bool, out *[]geom.Segment) error {
+	add := func(s geom.Segment) {
+		if !seen[s.ID] {
+			seen[s.ID] = true
+			*out = append(*out, s)
+		}
+	}
+	if n.c != nil {
+		if err := n.c.Intersect(minusInf, plusInf, func(it intervaltree.Item) { add(it.Seg) }); err != nil {
+			return err
+		}
+	}
+	for _, lt := range []lineTree{n.l, n.r} {
+		segs, err := lt.Collect()
+		if err != nil {
+			return err
+		}
+		for _, s := range segs {
+			add(s)
+		}
+	}
+	return nil
+}
+
+// Compact rebuilds the whole index balanced and tightly packed,
+// reclaiming the slack that deletions leave behind (the B+-tree layers do
+// not merge underfull pages; see bptree.Delete). It is the explicit form
+// of the rebuild that BB[α] performs piecemeal.
+func (ix *Index) Compact() error {
+	segs, err := ix.Collect()
+	if err != nil {
+		return err
+	}
+	if err := ix.dropRec(ix.root); err != nil {
+		return err
+	}
+	root, err := ix.buildRec(segs)
+	if err != nil {
+		return err
+	}
+	ix.root = root
+	ix.length = len(segs)
+	return nil
+}
+
+// Delete removes the segment matching s's ID and geometry, reporting
+// whether it was found, and rebalances like Insert.
+func (ix *Index) Delete(s geom.Segment) (bool, error) {
+	found, newRoot, err := ix.deleteRec(ix.root, s)
+	if err != nil {
+		return false, err
+	}
+	if found {
+		ix.root = newRoot
+		ix.length--
+	}
+	return found, nil
+}
+
+func (ix *Index) deleteRec(id pager.PageID, s geom.Segment) (bool, pager.PageID, error) {
+	if id == pager.InvalidPage {
+		return false, id, nil
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return false, id, err
+	}
+	if leaf != nil {
+		for i, e := range leaf {
+			if e.ID == s.ID && e.A == s.A && e.B == s.B {
+				leaf = append(leaf[:i], leaf[i+1:]...)
+				if len(leaf) == 0 {
+					ix.st.Free(id)
+					return true, pager.InvalidPage, nil
+				}
+				return true, id, ix.writeLeaf(id, leaf)
+			}
+		}
+		return false, id, nil
+	}
+
+	m := n.baseX
+	switch {
+	case onLine(s, m):
+		if n.c == nil {
+			return false, id, nil
+		}
+		found, err := n.c.Delete(cItem(s))
+		if err != nil || !found {
+			return found, id, err
+		}
+		return true, id, ix.writeInternal(id, n)
+	case s.MinX() <= m && m <= s.MaxX():
+		var found bool
+		if s.MinX() < m {
+			f, err := n.l.Delete(s)
+			if err != nil {
+				return false, id, err
+			}
+			found = found || f
+		}
+		if s.MaxX() > m {
+			f, err := n.r.Delete(s)
+			if err != nil {
+				return false, id, err
+			}
+			found = found || f
+		}
+		if !found {
+			return false, id, nil
+		}
+		return true, id, ix.writeInternal(id, n)
+	case s.MaxX() < m:
+		found, newID, err := ix.deleteRec(n.left, s)
+		if err != nil || !found {
+			return found, id, err
+		}
+		n.left = newID
+		n.leftW--
+	default:
+		found, newID, err := ix.deleteRec(n.right, s)
+		if err != nil || !found {
+			return found, id, err
+		}
+		n.right = newID
+		n.rightW--
+	}
+	if ix.unbalanced(n) {
+		newID, err := ix.rebuildSubtree(id, n)
+		return true, newID, err
+	}
+	return true, id, ix.writeInternal(id, n)
+}

@@ -1,0 +1,213 @@
+package sol2
+
+import (
+	"fmt"
+	"sort"
+
+	"segdb/internal/bpst"
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/multislab"
+	"segdb/internal/pager"
+)
+
+// Build bulk-loads a Solution-2 index over an NCT segment set. Segment
+// IDs must be unique and non-zero; degenerate segments are rejected.
+func Build(st *pager.Store, cfg Config, segs []geom.Segment) (*Index, error) {
+	cfg, err := cfg.withDefaults(st.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{st: st, cfg: cfg, cCfg: intervaltree.DefaultConfig(cfg.B), UseBridges: true}
+	if sz := nodePageSize(cfg.branching()); sz > st.PageSize() {
+		return nil, fmt.Errorf("sol2: branching %d needs %d-byte pages, have %d",
+			cfg.branching(), sz, st.PageSize())
+	}
+	if err := checkSegs(segs); err != nil {
+		return nil, err
+	}
+	root, err := ix.buildRec(segs)
+	if err != nil {
+		return nil, err
+	}
+	ix.root = root
+	ix.length = len(segs)
+	return ix, nil
+}
+
+func checkSegs(segs []geom.Segment) error {
+	seen := make(map[uint64]bool, len(segs))
+	for _, s := range segs {
+		if s.ID == 0 {
+			return fmt.Errorf("sol2: segment %v has zero ID", s)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("sol2: duplicate segment ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.IsPoint() {
+			return fmt.Errorf("sol2: degenerate segment %v", s)
+		}
+	}
+	return nil
+}
+
+// buildRec builds the first-level subtree for segs and returns its page.
+func (ix *Index) buildRec(segs []geom.Segment) (pager.PageID, error) {
+	if len(segs) == 0 {
+		return pager.InvalidPage, nil
+	}
+	if len(segs) <= ix.leafCutoff() {
+		return ix.writeLeafChain(segs, nil)
+	}
+	// Adaptive branching: children should hold several blocks each, or
+	// the slabs shred the set across near-empty pages and tiny lists.
+	b := ix.cfg.branching()
+	if small := len(segs) / ix.leafCutoff(); small < b {
+		b = small
+	}
+	if b < 2 {
+		b = 2
+	}
+	return ix.buildNode(segs, chooseBounds(segs, b))
+}
+
+// buildNode materialises one internal node and its subtrees.
+func (ix *Index) buildNode(segs []geom.Segment, bounds []float64) (pager.PageID, error) {
+	b := len(bounds)
+	onLine := make([][]geom.Segment, b)
+	lList := make([][]geom.Segment, b)
+	rList := make([][]geom.Segment, b)
+	var gFrags []multislab.Frag
+	slabs := make([][]geom.Segment, b+1)
+
+	for _, s := range segs {
+		if bi := onBoundary(bounds, s); bi > 0 {
+			onLine[bi-1] = append(onLine[bi-1], s)
+			continue
+		}
+		i, j, ok := crossRange(bounds, s.MinX(), s.MaxX())
+		if !ok {
+			k := slabOf(bounds, s.MinX())
+			slabs[k] = append(slabs[k], s)
+			continue
+		}
+		// Short fragments (paper, Fig. 6): a left stub left of s_i, a
+		// right stub right of s_j; the central part, when it spans at
+		// least one slab (j > i), goes to G.
+		if s.MinX() < bounds[i-1] {
+			lList[i-1] = append(lList[i-1], s)
+		}
+		if s.MaxX() > bounds[j-1] {
+			rList[j-1] = append(rList[j-1], s)
+		}
+		if j > i {
+			gFrags = append(gFrags, multislab.Frag{Seg: s, I: i, J: j})
+		}
+	}
+
+	n := &inode{
+		bounds:   bounds,
+		children: make([]pager.PageID, b+1),
+		weight:   make([]int, b+1),
+		built:    make([]int, b+1),
+		c:        make([]*intervaltree.Tree, b),
+		l:        make([]*bpst.Tree, b),
+		r:        make([]*bpst.Tree, b),
+	}
+	var err error
+	for i := 0; i < b; i++ {
+		if len(onLine[i]) > 0 { // C_i is lazy: most boundaries carry no collinear segments
+			items := make([]intervaltree.Item, len(onLine[i]))
+			for k, s := range onLine[i] {
+				items[k] = cItem(s)
+			}
+			if n.c[i], err = intervaltree.Build(ix.st, ix.cCfg, items); err != nil {
+				return pager.InvalidPage, err
+			}
+		}
+		if n.l[i], err = bpst.Build(ix.st, bounds[i], geom.SideLeft, lList[i]); err != nil {
+			return pager.InvalidPage, err
+		}
+		if n.r[i], err = bpst.Build(ix.st, bounds[i], geom.SideRight, rList[i]); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	if n.g, err = multislab.BuildG(ix.st, bounds, ix.cfg.D, gFrags); err != nil {
+		return pager.InvalidPage, err
+	}
+	for k := 0; k <= b; k++ {
+		if n.children[k], err = ix.buildRec(slabs[k]); err != nil {
+			return pager.InvalidPage, err
+		}
+		n.weight[k] = len(slabs[k])
+		n.built[k] = len(slabs[k])
+	}
+	id := ix.st.Alloc()
+	return id, ix.writeInternal(id, n)
+}
+
+// chooseBounds picks up to b distinct boundary values at endpoint
+// quantiles: every boundary is an endpoint, so at least one segment meets
+// it and recursion strictly shrinks.
+func chooseBounds(segs []geom.Segment, b int) []float64 {
+	eps := make([]float64, 0, 2*len(segs))
+	for _, s := range segs {
+		eps = append(eps, s.A.X, s.B.X)
+	}
+	sort.Float64s(eps)
+	var bounds []float64
+	for i := 1; i <= b; i++ {
+		idx := i * (len(eps) - 1) / (b + 1)
+		v := eps[idx]
+		if len(bounds) == 0 || bounds[len(bounds)-1] != v {
+			bounds = append(bounds, v)
+		}
+	}
+	if len(bounds) == 0 {
+		bounds = append(bounds, eps[len(eps)/2])
+	}
+	// The G structure needs at least two boundaries; widen degenerate
+	// cases with the extreme endpoints.
+	if len(bounds) == 1 {
+		if eps[0] != bounds[0] {
+			bounds = append([]float64{eps[0]}, bounds...)
+		} else if eps[len(eps)-1] != bounds[0] {
+			bounds = append(bounds, eps[len(eps)-1])
+		} else {
+			// All endpoints identical: nothing can avoid this boundary,
+			// so a second synthetic one is safe.
+			bounds = append(bounds, bounds[0]+1)
+		}
+	}
+	return bounds
+}
+
+// onBoundary returns the 1-based index of the boundary the segment lies
+// on (vertical and collinear), or 0.
+func onBoundary(bounds []float64, s geom.Segment) int {
+	if !s.IsVertical() {
+		return 0
+	}
+	k := sort.SearchFloat64s(bounds, s.A.X)
+	if k < len(bounds) && bounds[k] == s.A.X {
+		return k + 1
+	}
+	return 0
+}
+
+// crossRange returns the 1-based leftmost and rightmost boundaries crossed
+// by [lo, hi], or ok = false.
+func crossRange(bounds []float64, lo, hi float64) (i, j int, ok bool) {
+	a := sort.SearchFloat64s(bounds, lo)
+	if a == len(bounds) || bounds[a] > hi {
+		return 0, 0, false
+	}
+	b := sort.Search(len(bounds), func(k int) bool { return bounds[k] > hi }) - 1
+	return a + 1, b + 1, true
+}
+
+// slabOf returns the child slab 0..b containing x (x not on a boundary).
+func slabOf(bounds []float64, x float64) int {
+	return sort.SearchFloat64s(bounds, x)
+}

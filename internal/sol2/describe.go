@@ -1,0 +1,77 @@
+package sol2
+
+import (
+	"fmt"
+	"strings"
+
+	"segdb/internal/pager"
+)
+
+// Description summarises the structure for operators: how deep the first
+// level is, where segments live, and how large the second-level
+// structures are. It is computed by a full traversal (O(n) I/Os), so it
+// is a diagnostic, not a per-query facility.
+type Description struct {
+	Segments        int
+	FirstLevelNodes int
+	LeafChains      int
+	Height          int
+	SegsInLeaves    int
+	SegsInC         int // lying on slab boundaries
+	SegsInShort     int // short-fragment tree entries (L_i + R_i, with double counting)
+	GFragments      int // long fragments (counted once per node's G)
+	GListEntries    int // multislab list entries incl. cascading copies
+}
+
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solution 2: %d segments, %d internal nodes + %d leaf chains, height %d\n",
+		d.Segments, d.FirstLevelNodes, d.LeafChains, d.Height)
+	fmt.Fprintf(&b, "  leaves: %d segs; boundaries: %d collinear; short trees: %d entries; G: %d fragments in %d list entries",
+		d.SegsInLeaves, d.SegsInC, d.SegsInShort, d.GFragments, d.GListEntries)
+	return b.String()
+}
+
+// Describe traverses the index and returns its structural summary.
+func (ix *Index) Describe() (Description, error) {
+	d := Description{Segments: ix.length}
+	err := ix.describeRec(ix.root, 1, &d)
+	return d, err
+}
+
+func (ix *Index) describeRec(id pager.PageID, depth int, d *Description) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	if depth > d.Height {
+		d.Height = depth
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	if leaf != nil {
+		d.LeafChains++
+		d.SegsInLeaves += len(leaf)
+		return nil
+	}
+	d.FirstLevelNodes++
+	for i := range n.bounds {
+		if n.c[i] != nil {
+			d.SegsInC += n.c[i].Len()
+		}
+		d.SegsInShort += n.l[i].Len() + n.r[i].Len()
+	}
+	d.GFragments += n.g.Len()
+	entries, err := n.g.ListEntries()
+	if err != nil {
+		return err
+	}
+	d.GListEntries += entries
+	for _, ch := range n.children {
+		if err := ix.describeRec(ch, depth+1, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package sol2
+
+import (
+	"math"
+	"sort"
+
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/multislab"
+	"segdb/internal/pager"
+)
+
+// Stats reports per-query work.
+type Stats struct {
+	FirstLevelNodes int
+	Reported        int
+	G               multislab.Stats // aggregated over visited nodes
+}
+
+// Query reports every stored segment intersected by the vertical query
+// segment q, exactly once (paper, Section 4.2/4.3). At each first-level
+// node it searches the two facing short-fragment trees and G, then
+// descends into the slab containing q.X; a query exactly on a boundary
+// additionally searches C_i and both its side trees, deduplicates (the
+// three fragment classes overlap only there) and stops.
+func (ix *Index) Query(q geom.VQuery, emit func(geom.Segment)) (Stats, error) {
+	var stats Stats
+	count := func(s geom.Segment) {
+		stats.Reported++
+		emit(s)
+	}
+	id := ix.root
+	for id != pager.InvalidPage {
+		n, leaf, err := ix.readNode(id)
+		if err != nil {
+			return stats, err
+		}
+		stats.FirstLevelNodes++
+		if leaf != nil {
+			for _, s := range leaf {
+				if q.Hits(s) {
+					count(s)
+				}
+			}
+			return stats, nil
+		}
+
+		if bi := boundaryIndexOf(n.bounds, q.X); bi > 0 {
+			seen := map[uint64]bool{}
+			dedup := func(s geom.Segment) {
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					count(s)
+				}
+			}
+			if n.c[bi-1] != nil {
+				err := n.c[bi-1].Intersect(q.YLo, q.YHi, func(it intervaltree.Item) { dedup(it.Seg) })
+				if err != nil {
+					return stats, err
+				}
+			}
+			if _, err := n.l[bi-1].Query(q, dedup); err != nil {
+				return stats, err
+			}
+			if _, err := n.r[bi-1].Query(q, dedup); err != nil {
+				return stats, err
+			}
+			gs, err := n.g.Query(q, ix.UseBridges, dedup)
+			if err != nil {
+				return stats, err
+			}
+			stats.G = addG(stats.G, gs)
+			return stats, nil
+		}
+
+		k := slabOf(n.bounds, q.X)
+		if k >= 1 {
+			if _, err := n.r[k-1].Query(q, count); err != nil {
+				return stats, err
+			}
+		}
+		if k < len(n.bounds) {
+			if _, err := n.l[k].Query(q, count); err != nil {
+				return stats, err
+			}
+		}
+		gs, err := n.g.Query(q, ix.UseBridges, count)
+		if err != nil {
+			return stats, err
+		}
+		stats.G = addG(stats.G, gs)
+		id = n.children[k]
+	}
+	return stats, nil
+}
+
+func addG(a, b multislab.Stats) multislab.Stats {
+	a.ListsSearched += b.ListsSearched
+	a.BridgeJumps += b.BridgeJumps
+	a.Fallbacks += b.Fallbacks
+	a.Reported += b.Reported
+	return a
+}
+
+// boundaryIndexOf returns the 1-based boundary equal to x, or 0.
+func boundaryIndexOf(bounds []float64, x float64) int {
+	k := sort.SearchFloat64s(bounds, x)
+	if k < len(bounds) && bounds[k] == x {
+		return k + 1
+	}
+	return 0
+}
+
+// CollectQuery returns the query result as a slice.
+func (ix *Index) CollectQuery(q geom.VQuery) ([]geom.Segment, error) {
+	var out []geom.Segment
+	_, err := ix.Query(q, func(s geom.Segment) { out = append(out, s) })
+	return out, err
+}
+
+var (
+	minusInf = math.Inf(-1)
+	plusInf  = math.Inf(1)
+)
+
+// Collect returns every stored segment, deduplicating multi-structure
+// representation.
+func (ix *Index) Collect() ([]geom.Segment, error) {
+	seen := make(map[uint64]bool, ix.length)
+	var out []geom.Segment
+	err := ix.collectRec(ix.root, seen, &out)
+	return out, err
+}
+
+func (ix *Index) collectRec(id pager.PageID, seen map[uint64]bool, out *[]geom.Segment) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	add := func(s geom.Segment) {
+		if !seen[s.ID] {
+			seen[s.ID] = true
+			*out = append(*out, s)
+		}
+	}
+	if leaf != nil {
+		for _, s := range leaf {
+			add(s)
+		}
+		return nil
+	}
+	if err := ix.collectNode(n, add); err != nil {
+		return err
+	}
+	for _, ch := range n.children {
+		if err := ix.collectRec(ch, seen, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *Index) collectNode(n *inode, add func(geom.Segment)) error {
+	for i := range n.bounds {
+		if n.c[i] != nil {
+			err := n.c[i].Intersect(minusInf, plusInf, func(it intervaltree.Item) { add(it.Seg) })
+			if err != nil {
+				return err
+			}
+		}
+		for _, t := range []interface {
+			Collect() ([]geom.Segment, error)
+		}{n.l[i], n.r[i]} {
+			segs, err := t.Collect()
+			if err != nil {
+				return err
+			}
+			for _, s := range segs {
+				add(s)
+			}
+		}
+	}
+	segs, err := n.g.Collect()
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		add(s)
+	}
+	return nil
+}
+
+// Drop frees every page of the index.
+func (ix *Index) Drop() error {
+	err := ix.dropRec(ix.root)
+	ix.root = pager.InvalidPage
+	ix.length = 0
+	return err
+}
+
+func (ix *Index) dropRec(id pager.PageID) error {
+	if id == pager.InvalidPage {
+		return nil
+	}
+	n, _, err := ix.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		// Leaf chain: free every page.
+		pages, err := ix.leafChainPages(id)
+		if err != nil {
+			return err
+		}
+		for _, p := range pages {
+			ix.st.Free(p)
+		}
+		return nil
+	}
+	{
+		for i := range n.bounds {
+			if n.c[i] != nil {
+				if err := n.c[i].Drop(); err != nil {
+					return err
+				}
+			}
+			if err := n.l[i].Drop(); err != nil {
+				return err
+			}
+			if err := n.r[i].Drop(); err != nil {
+				return err
+			}
+		}
+		if err := n.g.Drop(); err != nil {
+			return err
+		}
+		for _, ch := range n.children {
+			if err := ix.dropRec(ch); err != nil {
+				return err
+			}
+		}
+	}
+	ix.st.Free(id)
+	return nil
+}

@@ -1,0 +1,314 @@
+// Package sol2 implements the improved solution of Bertino, Catania and
+// Shidlovsky (EDBT 1998), Section 4: the two-level structure whose first
+// level is an external interval tree with branching b = B/4 and whose
+// second level combines, per node, the interval trees C_i (segments lying
+// on a boundary), the priority search trees L_i/R_i (short fragments), and
+// the segment tree G over multislab lists with fractional cascading (long
+// fragments).
+//
+// Cost profile (paper): O(n log2 B) blocks of storage; VS queries in
+// O(log_B n (log_B n + log2 B + IL*(B)) + t) I/Os with cascading enabled
+// (Theorem 2) and O(log_B n (log_B n log2 B + IL*(B)) + t) without
+// (Lemma 4); insertions amortized O(log_B n + log2 B + log²_B n / B)
+// (Theorem 2(iii)). The structure is semi-dynamic: the paper defines
+// insertions only, and so does this implementation.
+package sol2
+
+import (
+	"fmt"
+
+	"segdb/internal/bpst"
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/multislab"
+	"segdb/internal/pager"
+	"segdb/internal/segrec"
+)
+
+// Config parameterises the structure.
+type Config struct {
+	// B is the block capacity in segments. Zero selects the page-size
+	// maximum. The first-level branching is b = max(2, B/4) as in the
+	// paper (Section 4.1).
+	B int
+	// D is the fractional-cascading bridge spacing (≥ 2); 0 selects 4.
+	D int
+}
+
+func (c Config) withDefaults(pageSize int) (Config, error) {
+	maxB := (pageSize - leafHeader) / segrec.Size
+	if c.B == 0 {
+		c.B = maxB
+	}
+	if c.D == 0 {
+		c.D = 4
+	}
+	if c.B < 4 || c.B > maxB {
+		return c, fmt.Errorf("sol2: B=%d outside [4, %d]", c.B, maxB)
+	}
+	if c.D < 2 {
+		return c, fmt.Errorf("sol2: D=%d < 2", c.D)
+	}
+	return c, nil
+}
+
+// branching returns the first-level branching factor b.
+func (c Config) branching() int {
+	b := c.B / 4
+	if b < 2 {
+		b = 2
+	}
+	if b > 250 {
+		b = 250
+	}
+	return b
+}
+
+// Index is a Solution-2 two-level structure over a pager.Store.
+type Index struct {
+	st     *pager.Store
+	cfg    Config
+	cCfg   intervaltree.Config
+	root   pager.PageID
+	length int
+	// UseBridges selects Theorem 2 (true, default) or the Lemma 4
+	// configuration without fractional cascading, for the ablation.
+	UseBridges bool
+}
+
+// Len returns the number of stored segments.
+func (ix *Index) Len() int { return ix.length }
+
+// Root returns the first-level root page: together with Config and Len it
+// is the index's persistent identity (stored in a catalog page by the
+// public package).
+func (ix *Index) Root() pager.PageID { return ix.root }
+
+// Config returns the configuration the index was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Attach reconstructs an index handle persisted via Root/Config/Len. The
+// configuration must match the one the index was built with.
+func Attach(st *pager.Store, cfg Config, root pager.PageID, length int) (*Index, error) {
+	cfg, err := cfg.withDefaults(st.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		st: st, cfg: cfg, cCfg: intervaltree.DefaultConfig(cfg.B),
+		root: root, length: length, UseBridges: true,
+	}, nil
+}
+
+// --- node pages -----------------------------------------------------------
+
+// internal: type u8 | pad u8 | b u8 | pad u8 |
+//
+//	per child (b+1): weight u32, builtWeight u32 |
+//	bounds b×8 | children (b+1)×4 |
+//	per boundary: C handle (17) | L root,len,since (12) | R (12) |
+//	G directory (multislab.DirSize(b))
+//
+// leaf:     type u8 | pad u8 | count u16 | next u32 | segs ...
+//
+//	(leaves are short chains of pages: splitting a set smaller
+//	than a few blocks into b slabs would scatter it across
+//	near-empty pages and lists)
+const (
+	typeInternal = 1
+	typeLeaf     = 2
+	leafHeader   = 8
+)
+
+// nodePageSize returns the bytes an internal node needs for b boundaries.
+func nodePageSize(b int) int {
+	return 4 + (b+1)*8 + b*8 + (b+1)*4 + b*(intervaltree.HandleSize+24) + multislab.DirSize(b)
+}
+
+type inode struct {
+	bounds   []float64
+	children []pager.PageID
+	weight   []int // per child slab
+	built    []int // child weight at its last (re)build
+	c        []*intervaltree.Tree
+	l, r     []*bpst.Tree
+	g        *multislab.G
+}
+
+func (ix *Index) leafCap() int {
+	cap := (ix.st.PageSize() - leafHeader) / segrec.Size
+	if cap > ix.cfg.B {
+		cap = ix.cfg.B
+	}
+	return cap
+}
+
+// leafCutoff is the largest set stored as a leaf chain rather than an
+// internal node: a chain of up to 4 blocks costs no more to scan than one
+// more level of slab routing would.
+func (ix *Index) leafCutoff() int { return 4 * ix.leafCap() }
+
+func (ix *Index) writeInternal(id pager.PageID, n *inode) error {
+	page := make([]byte, ix.st.PageSize())
+	c := pager.NewBuf(page)
+	b := len(n.bounds)
+	c.PutU8(typeInternal)
+	c.PutU8(0)
+	c.PutU8(uint8(b))
+	c.PutU8(0)
+	for k := 0; k <= b; k++ {
+		c.PutU32(uint32(n.weight[k]))
+		c.PutU32(uint32(n.built[k]))
+	}
+	for _, s := range n.bounds {
+		c.PutF64(s)
+	}
+	for _, ch := range n.children {
+		c.PutPage(ch)
+	}
+	for i := 0; i < b; i++ {
+		n.c[i].PutHandle(c)
+		putBPST(c, n.l[i])
+		putBPST(c, n.r[i])
+	}
+	n.g.EncodeTo(c)
+	return ix.st.Write(id, page)
+}
+
+func putBPST(c *pager.Buf, t *bpst.Tree) {
+	root, length, since := t.Handle()
+	c.PutPage(root)
+	c.PutU32(uint32(length))
+	c.PutU32(uint32(since))
+}
+
+func (ix *Index) getBPST(c *pager.Buf, baseX float64, side geom.Side) *bpst.Tree {
+	root := c.Page()
+	length := int(c.U32())
+	since := int(c.U32())
+	return bpst.Attach(ix.st, baseX, side, root, length, since)
+}
+
+// writeLeafChain stores segs as a chain of leaf pages, reusing the pages
+// in reuse (freeing leftovers) and returning the head.
+func (ix *Index) writeLeafChain(segs []geom.Segment, reuse []pager.PageID) (pager.PageID, error) {
+	cap := ix.leafCap()
+	var pages []pager.PageID
+	for need := (len(segs) + cap - 1) / cap; len(pages) < need || len(pages) == 0; {
+		if len(reuse) > 0 {
+			pages = append(pages, reuse[0])
+			reuse = reuse[1:]
+		} else {
+			pages = append(pages, ix.st.Alloc())
+		}
+		if len(segs) == 0 {
+			break
+		}
+	}
+	for _, id := range reuse {
+		ix.st.Free(id)
+	}
+	for i, id := range pages {
+		start := i * cap
+		end := start + cap
+		if end > len(segs) {
+			end = len(segs)
+		}
+		next := pager.InvalidPage
+		if i+1 < len(pages) {
+			next = pages[i+1]
+		}
+		page := make([]byte, ix.st.PageSize())
+		c := pager.NewBuf(page)
+		c.PutU8(typeLeaf)
+		c.PutU8(0)
+		c.PutU16(uint16(end - start))
+		c.PutPage(next)
+		for _, s := range segs[start:end] {
+			segrec.Put(c, s)
+		}
+		if err := ix.st.Write(id, page); err != nil {
+			return pager.InvalidPage, err
+		}
+	}
+	return pages[0], nil
+}
+
+// readNode decodes either page kind; exactly one result is non-nil.
+func (ix *Index) readNode(id pager.PageID) (*inode, []geom.Segment, error) {
+	page, err := ix.st.Read(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := pager.NewBuf(page)
+	switch typ := c.U8(); typ {
+	case typeLeaf:
+		c.Skip(1)
+		count := int(c.U16())
+		next := c.Page()
+		segs := make([]geom.Segment, count)
+		for i := range segs {
+			segs[i] = segrec.Get(c)
+		}
+		// Follow the chain; leaves are at most leafCutoff segments, a
+		// handful of pages.
+		for next != pager.InvalidPage {
+			npage, err := ix.st.Read(next)
+			if err != nil {
+				return nil, nil, err
+			}
+			nc := pager.NewBuf(npage)
+			if nc.U8() != typeLeaf {
+				return nil, nil, fmt.Errorf("sol2: leaf chain page %d has wrong type", next)
+			}
+			nc.Skip(1)
+			cnt := int(nc.U16())
+			next = nc.Page()
+			for i := 0; i < cnt; i++ {
+				segs = append(segs, segrec.Get(nc))
+			}
+		}
+		return nil, segs, nil
+	case typeInternal:
+		c.Skip(1)
+		b := int(c.U8())
+		c.Skip(1)
+		n := &inode{
+			bounds:   make([]float64, b),
+			children: make([]pager.PageID, b+1),
+			weight:   make([]int, b+1),
+			built:    make([]int, b+1),
+			c:        make([]*intervaltree.Tree, b),
+			l:        make([]*bpst.Tree, b),
+			r:        make([]*bpst.Tree, b),
+		}
+		for k := 0; k <= b; k++ {
+			n.weight[k] = int(c.U32())
+			n.built[k] = int(c.U32())
+		}
+		for i := range n.bounds {
+			n.bounds[i] = c.F64()
+		}
+		for i := range n.children {
+			n.children[i] = c.Page()
+		}
+		for i := 0; i < b; i++ {
+			if n.c[i], err = intervaltree.AttachHandle(ix.st, ix.cCfg, c); err != nil {
+				return nil, nil, err
+			}
+			n.l[i] = ix.getBPST(c, n.bounds[i], geom.SideLeft)
+			n.r[i] = ix.getBPST(c, n.bounds[i], geom.SideRight)
+		}
+		if n.g, err = multislab.DecodeG(ix.st, n.bounds, c); err != nil {
+			return nil, nil, err
+		}
+		return n, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("sol2: page %d has unknown type %d", id, typ)
+	}
+}
+
+// cItem converts an on-boundary vertical segment to its C_i interval.
+func cItem(s geom.Segment) intervaltree.Item {
+	return intervaltree.Item{Lo: s.MinY(), Hi: s.MaxY(), Seg: s}
+}

@@ -1,0 +1,379 @@
+package sol2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/pager"
+	"segdb/internal/workload"
+)
+
+const testPageSize = 64 + 48*32 // B up to 32, b = 8
+
+func newStore() *pager.Store { return pager.MustOpenMem(testPageSize, 64) }
+
+func sameSet(t *testing.T, got, want []geom.Segment, label string) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	wantIDs := map[uint64]geom.Segment{}
+	for _, s := range want {
+		wantIDs[s.ID] = s
+	}
+	for _, s := range got {
+		if seen[s.ID] {
+			t.Fatalf("%s: duplicate id %d", label, s.ID)
+		}
+		seen[s.ID] = true
+		w, ok := wantIDs[s.ID]
+		if !ok {
+			t.Fatalf("%s: spurious id %d (%v)", label, s.ID, s)
+		}
+		if s != w {
+			t.Fatalf("%s: id %d geometry %v, want %v", label, s.ID, s, w)
+		}
+	}
+	if len(seen) != len(wantIDs) {
+		t.Fatalf("%s: got %d, want %d", label, len(seen), len(wantIDs))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Build(newStore(), Config{B: 2}, nil); err == nil {
+		t.Error("B=2 accepted")
+	}
+	if _, err := Build(newStore(), Config{B: 100000}, nil); err == nil {
+		t.Error("oversized B accepted")
+	}
+	if _, err := Build(newStore(), Config{D: 1}, nil); err == nil {
+		t.Error("D=1 accepted")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix, err := Build(newStore(), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.CollectQuery(geom.VSeg(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty index returned results")
+	}
+}
+
+func TestQueryMatchesNaiveAllWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sets := map[string][]geom.Segment{
+		"layers": workload.Layers(rng, 10, 60, 400),
+		"grid":   workload.Grid(rng, 18, 18, 0.85, 0.2),
+		"levels": workload.Levels(rng, 600, 300, 1.1), // heavy tail: long fragments
+		"stacks": workload.Stacks(8, 30, 25),
+	}
+	for wname, segs := range sets {
+		ix, err := Build(newStore(), Config{B: 32}, segs)
+		if err != nil {
+			t.Fatalf("%s: %v", wname, err)
+		}
+		box := workload.BBox(segs)
+		queries := workload.RandomVS(rng, 150, box, (box.MaxY-box.MinY)/4)
+		queries = append(queries, workload.RandomStabs(rng, 30, box)...)
+		for _, useBridges := range []bool{true, false} {
+			ix.UseBridges = useBridges
+			for _, q := range queries {
+				got, err := ix.CollectQuery(q)
+				if err != nil {
+					t.Fatalf("%s %v: %v", wname, q, err)
+				}
+				sameSet(t, got, q.FilterHits(segs), wname)
+			}
+		}
+	}
+}
+
+func TestQueryOnBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := workload.Levels(rng, 500, 200, 1.1)
+	// Vertical on-boundary candidates: add verticals at segment endpoints'
+	// x, in their own y band above everything.
+	id := uint64(10000)
+	for i := 0; i < 40; i++ {
+		x := segs[i*7].A.X
+		id++
+		segs = append(segs, geom.Seg(id, x, 1000+float64(i)*20, x, 1010+float64(i)*20))
+	}
+	if err := geom.ValidateNCT(segs); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(newStore(), Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query exactly at endpoint x values: many coincide with first-level
+	// boundaries (endpoint quantiles).
+	for i := 0; i < len(segs); i += 5 {
+		x := segs[i].A.X
+		for _, q := range []geom.VQuery{
+			geom.VSeg(x, segs[i].A.Y-5, segs[i].A.Y+5),
+			geom.VLine(x),
+		} {
+			got, err := ix.CollectQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, got, q.FilterHits(segs), "boundary query")
+		}
+	}
+}
+
+func TestCollectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Levels(rng, 400, 250, 1.2)
+	ix, err := Build(newStore(), Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, segs, "collect")
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := workload.Levels(rng, 500, 300, 1.15)
+	ix, err := Build(newStore(), Config{B: 32}, segs[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs[100:] {
+		if err := ix.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(segs) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(segs))
+	}
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 200, box, 30) {
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), "grown")
+	}
+}
+
+func TestInsertFromEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	ix, err := Build(newStore(), Config{B: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := ix.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	box := workload.BBox(segs)
+	for _, q := range workload.RandomVS(rng, 150, box, 3) {
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(segs), "from empty")
+	}
+}
+
+// TestInsertOnBoundary inserts vertical segments landing exactly on
+// first-level boundaries: the lazily-created C_i path.
+func TestInsertOnBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	segs := workload.Levels(rng, 400, 200, 1.3) // y levels 0..399
+	ix, err := Build(newStore(), Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoint x values are boundary candidates (endpoint quantiles).
+	var verts []geom.Segment
+	id := uint64(5000)
+	for i := 0; i < 50; i++ {
+		x := segs[i*7].A.X
+		y := 500 + float64(i)*10 // above all levels: NCT by construction
+		id++
+		v := geom.Seg(id, x, y, x, y+4)
+		verts = append(verts, v)
+		if err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := append(append([]geom.Segment{}, segs...), verts...)
+	if err := geom.ValidateNCT(all); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verts {
+		q := geom.VSeg(v.A.X, v.MinY()-1, v.MaxY()+1)
+		got, err := ix.CollectQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, q.FilterHits(all), "on-boundary insert")
+	}
+	// Collect must see the vertical segments too.
+	col, err := ix.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, col, all, "collect with C_i")
+}
+
+func TestDescribe(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	segs := workload.WideLevels(rng, 2000, 500)
+	ix, err := Build(newStore(), Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ix.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Segments != 2000 {
+		t.Fatalf("Segments = %d", d.Segments)
+	}
+	if d.Height < 1 || d.FirstLevelNodes < 1 {
+		t.Fatalf("degenerate description: %+v", d)
+	}
+	// Accounting: every segment is in a leaf, on a boundary, or split
+	// into short/long fragments (short counted once per side tree, long
+	// once per allocation node) — the total must cover all segments.
+	if d.SegsInLeaves+d.SegsInC+d.SegsInShort+d.GFragments < d.Segments {
+		t.Fatalf("description misses segments: %+v", d)
+	}
+	if d.GListEntries < d.GFragments {
+		t.Fatalf("list entries %d below fragment count %d", d.GListEntries, d.GFragments)
+	}
+	if s := d.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDeleteUnsupported(t *testing.T) {
+	ix, err := Build(newStore(), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Delete(geom.Seg(1, 0, 0, 1, 1)); err != ErrUnsupported {
+		t.Fatalf("Delete err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	st := newStore()
+	base := st.PagesInUse()
+	ix, err := Build(st, Config{B: 32}, workload.Levels(rng, 400, 200, 1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PagesInUse(); got != base {
+		t.Fatalf("PagesInUse = %d, want %d", got, base)
+	}
+}
+
+// TestSpaceNLogB validates Theorem 2(i): blocks grow like n·log2(B), i.e.
+// pages per segment stay bounded as n grows.
+func TestSpaceNLogB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var prev float64
+	for _, n := range []int{1000, 4000} {
+		st := pager.MustOpenMem(testPageSize, 0)
+		segs := workload.Levels(rng, n, float64(n), 1.1)
+		if _, err := Build(st, Config{B: 32}, segs); err != nil {
+			t.Fatal(err)
+		}
+		perSeg := float64(st.PagesInUse()) / float64(n)
+		if prev > 0 && perSeg > prev*1.6 {
+			t.Fatalf("pages per segment grew %g → %g", prev, perSeg)
+		}
+		prev = perSeg
+	}
+}
+
+// TestBridgesReduceWork is the E6-vs-E7 ablation in miniature.
+func TestBridgesReduceWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	st := pager.MustOpenMem(testPageSize, 0)
+	segs := workload.WideLevels(rng, 8000, 500) // long fragments dominate
+	ix, err := Build(st, Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 150, box, 40)
+	run := func(useBridges bool) (int64, int) {
+		ix.UseBridges = useBridges
+		st.ResetStats()
+		jumps := 0
+		for _, q := range queries {
+			stats, err := ix.Query(q, func(geom.Segment) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jumps += stats.G.BridgeJumps
+		}
+		return st.Stats().Reads, jumps
+	}
+	without, j0 := run(false)
+	with, j1 := run(true)
+	if j0 != 0 {
+		t.Fatalf("bridge jumps without bridges: %d", j0)
+	}
+	if j1 == 0 {
+		t.Fatal("no bridge jumps with bridges enabled")
+	}
+	if with >= without {
+		t.Fatalf("cascading did not reduce I/O: %d with vs %d without", with, without)
+	}
+}
+
+// TestQueryCostShape validates the Theorem 2(ii) shape: far below a scan
+// and consistent with polylog·log_B growth.
+func TestQueryCostShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := pager.MustOpenMem(testPageSize, 0)
+	segs := workload.Layers(rng, 100, 100, 2000)
+	ix, err := Build(st, Config{B: 32}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 200, box, 5)
+	st.ResetStats()
+	totalT := 0
+	for _, q := range queries {
+		stats, err := ix.Query(q, func(geom.Segment) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalT += stats.Reported
+	}
+	reads := float64(st.Stats().Reads) / float64(len(queries))
+	n := float64(len(segs)) / 32
+	if reads > n/4 {
+		t.Fatalf("avg %.1f reads/query is within 4× of a scan (%g pages)", reads, n)
+	}
+	logB := math.Log(n) / math.Log(8)
+	bound := logB*(logB+math.Log2(32)+4)*4 + float64(totalT)/float64(len(queries))/32*4 + 8
+	if reads > bound {
+		t.Fatalf("avg %.1f reads/query, want ≤ %.1f", reads, bound)
+	}
+}

@@ -1,0 +1,136 @@
+package sol2
+
+import (
+	"fmt"
+
+	"segdb/internal/geom"
+	"segdb/internal/intervaltree"
+	"segdb/internal/multislab"
+	"segdb/internal/pager"
+)
+
+// Insert adds a segment (the structure is semi-dynamic, Section 4.3:
+// insertions only). The segment must keep the database NCT; that
+// precondition is the caller's contract. The first level rebalances by
+// weight: a child subtree whose weight has doubled since it was last
+// built is rebuilt, the substitution for the paper's weight-balanced
+// B-tree recorded in DESIGN.md §5.
+func (ix *Index) Insert(s geom.Segment) error {
+	if s.ID == 0 || s.IsPoint() {
+		return fmt.Errorf("sol2: invalid segment %v", s)
+	}
+	newRoot, err := ix.insertRec(ix.root, s)
+	if err != nil {
+		return err
+	}
+	ix.root = newRoot
+	ix.length++
+	return nil
+}
+
+// ErrUnsupported reports an operation outside the paper's semi-dynamic
+// model.
+var ErrUnsupported = fmt.Errorf("sol2: deletion is unsupported (the paper's structure is semi-dynamic)")
+
+// Delete always fails: Solution 2 supports insertions only, as in the
+// paper. Use Solution 1 for fully dynamic workloads.
+func (ix *Index) Delete(geom.Segment) (bool, error) { return false, ErrUnsupported }
+
+func (ix *Index) insertRec(id pager.PageID, s geom.Segment) (pager.PageID, error) {
+	if id == pager.InvalidPage {
+		return ix.writeLeafChain([]geom.Segment{s}, nil)
+	}
+	n, leaf, err := ix.readNode(id)
+	if err != nil {
+		return id, err
+	}
+	if leaf != nil {
+		// Collect the chain's pages for reuse, then rewrite or rebuild.
+		pages, err := ix.leafChainPages(id)
+		if err != nil {
+			return id, err
+		}
+		leaf = append(leaf, s)
+		if len(leaf) <= ix.leafCutoff() {
+			return ix.writeLeafChain(leaf, pages)
+		}
+		for _, p := range pages {
+			ix.st.Free(p)
+		}
+		return ix.buildRec(leaf)
+	}
+
+	if bi := onBoundary(n.bounds, s); bi > 0 {
+		if n.c[bi-1] == nil {
+			if n.c[bi-1], err = intervaltree.New(ix.st, ix.cCfg); err != nil {
+				return id, err
+			}
+		}
+		if err := n.c[bi-1].Insert(cItem(s)); err != nil {
+			return id, err
+		}
+		return id, ix.writeInternal(id, n)
+	}
+	i, j, ok := crossRange(n.bounds, s.MinX(), s.MaxX())
+	if ok {
+		if s.MinX() < n.bounds[i-1] {
+			if err := n.l[i-1].Insert(s); err != nil {
+				return id, err
+			}
+		}
+		if s.MaxX() > n.bounds[j-1] {
+			if err := n.r[j-1].Insert(s); err != nil {
+				return id, err
+			}
+		}
+		if j > i {
+			if err := n.g.Insert(multislab.Frag{Seg: s, I: i, J: j}); err != nil {
+				return id, err
+			}
+		}
+		return id, ix.writeInternal(id, n)
+	}
+
+	k := slabOf(n.bounds, s.MinX())
+	if n.children[k], err = ix.insertRec(n.children[k], s); err != nil {
+		return id, err
+	}
+	n.weight[k]++
+	if n.weight[k] > 2*n.built[k]+ix.leafCap() {
+		// Rebuild the overweight child subtree balanced.
+		segs, err := ix.collectChild(n.children[k])
+		if err != nil {
+			return id, err
+		}
+		if err := ix.dropRec(n.children[k]); err != nil {
+			return id, err
+		}
+		if n.children[k], err = ix.buildRec(segs); err != nil {
+			return id, err
+		}
+		n.built[k] = n.weight[k]
+	}
+	return id, ix.writeInternal(id, n)
+}
+
+// leafChainPages lists the page IDs of a leaf chain starting at head.
+func (ix *Index) leafChainPages(head pager.PageID) ([]pager.PageID, error) {
+	var pages []pager.PageID
+	for head != pager.InvalidPage {
+		pages = append(pages, head)
+		page, err := ix.st.Read(head)
+		if err != nil {
+			return nil, err
+		}
+		head = pager.NewBuf(page).Seek(4).Page()
+	}
+	return pages, nil
+}
+
+// collectChild gathers every segment of a subtree.
+func (ix *Index) collectChild(id pager.PageID) ([]geom.Segment, error) {
+	seen := map[uint64]bool{}
+	var out []geom.Segment
+	err := ix.collectRec(id, seen, &out)
+	return out, err
+}

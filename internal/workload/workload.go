@@ -1,0 +1,215 @@
+// Package workload generates synthetic NCT segment databases and query
+// loads for the experiments in EXPERIMENTS.md. The paper (EDBT 1998)
+// motivates segment databases with GIS map layers, temporal databases and
+// constraint databases but evaluates nothing empirically and names no
+// dataset, so every family here is synthetic and NCT *by construction*;
+// tests independently re-validate each family with geom.ValidateNCT.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"segdb/internal/geom"
+)
+
+// Rect is an axis-aligned bounding box.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// BBox returns the bounding box of a segment set. The zero Rect is
+// returned for an empty set.
+func BBox(segs []geom.Segment) Rect {
+	if len(segs) == 0 {
+		return Rect{}
+	}
+	r := Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+	for _, s := range segs {
+		r.MinX = math.Min(r.MinX, s.MinX())
+		r.MaxX = math.Max(r.MaxX, s.MaxX())
+		r.MinY = math.Min(r.MinY, s.MinY())
+		r.MaxY = math.Max(r.MaxY, s.MaxY())
+	}
+	return r
+}
+
+// Layers generates a GIS-like database: layers of x-monotone polylines
+// ("roads", "rivers", "contour lines"), each polyline confined to its own
+// horizontal band so that distinct polylines never meet, while consecutive
+// edges of one polyline touch at shared vertices — exactly the NCT model.
+// It returns layers*segsPerLayer segments spanning x ∈ [0, width].
+func Layers(rng *rand.Rand, layers, segsPerLayer int, width float64) []geom.Segment {
+	segs := make([]geom.Segment, 0, layers*segsPerLayer)
+	var id uint64
+	bandH := 10.0
+	for l := 0; l < layers; l++ {
+		y0 := float64(l) * bandH
+		// Random x-monotone walk through the band [y0+1, y0+bandH-1].
+		xs := make([]float64, segsPerLayer+1)
+		for i := range xs {
+			xs[i] = width * float64(i) / float64(segsPerLayer)
+		}
+		// Jitter interior vertices, keeping strict monotonicity.
+		step := width / float64(segsPerLayer)
+		for i := 1; i < segsPerLayer; i++ {
+			xs[i] += (rng.Float64() - 0.5) * step * 0.8
+		}
+		prev := geom.Point{X: xs[0], Y: y0 + 1 + rng.Float64()*(bandH-2)}
+		for i := 1; i <= segsPerLayer; i++ {
+			next := geom.Point{X: xs[i], Y: y0 + 1 + rng.Float64()*(bandH-2)}
+			id++
+			segs = append(segs, geom.Segment{ID: id, A: prev, B: next})
+			prev = next
+		}
+	}
+	return segs
+}
+
+// FanVertical generates n non-crossing line-based segments on the vertical
+// base line x = baseX, extending on the given side. Base y positions and
+// slants are independently sorted, which makes any two segments diverge
+// (or at most touch) as they leave the base line; reaches are free. This
+// family exercises the Section-2 priority search trees directly.
+func FanVertical(rng *rand.Rand, n int, baseX float64, side geom.Side, maxReach, ySpan float64) []geom.Segment {
+	baseYs := make([]float64, n)
+	slants := make([]float64, n)
+	for i := range baseYs {
+		baseYs[i] = rng.Float64() * ySpan
+		slants[i] = (rng.Float64() - 0.5) * 2
+	}
+	sortFloats(baseYs)
+	sortFloats(slants)
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		r := rng.Float64()*maxReach + 1e-3
+		far := geom.Point{
+			X: baseX + float64(side)*r,
+			Y: baseYs[i] + r*slants[i],
+		}
+		segs[i] = geom.Segment{
+			ID: uint64(i + 1),
+			A:  geom.Point{X: baseX, Y: baseYs[i]},
+			B:  far,
+		}
+	}
+	return segs
+}
+
+// Levels generates n horizontal segments, each on its own y level, with
+// Pareto-distributed lengths (shape alpha; smaller alpha = heavier tail =
+// more long segments). Long segments span many slabs of the Solution-2
+// first level and stress the multislab machinery; short ones stay in the
+// per-boundary priority search trees.
+func Levels(rng *rand.Rand, n int, width, alpha float64) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		ln := math.Min(width, 1/math.Pow(rng.Float64()+1e-12, 1/alpha))
+		x0 := rng.Float64() * (width - ln)
+		y := float64(i)
+		segs[i] = geom.Seg(uint64(i+1), x0, y, x0+ln, y)
+	}
+	return segs
+}
+
+// WideLevels generates n horizontal segments on distinct y levels whose
+// lengths are uniform in [width/3, width]: nearly every segment crosses
+// several first-level boundaries, concentrating long fragments in the
+// Solution-2 multislab structure — the regime where fractional cascading
+// pays (experiments E6/E7/E14).
+func WideLevels(rng *rand.Rand, n int, width float64) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		ln := width/3 + rng.Float64()*width*2/3
+		x0 := rng.Float64() * (width - ln)
+		y := float64(i)
+		segs[i] = geom.Seg(uint64(i+1), x0, y, x0+ln, y)
+	}
+	return segs
+}
+
+// Grid generates a perturbed road grid: the edges of a cols×rows lattice,
+// each kept with probability keep, drawn between lattice vertices jittered
+// by up to jitter (must be < 0.25 to preserve planarity of the straight-
+// line embedding, hence the NCT property). Edges meeting at a junction
+// touch at the shared perturbed vertex.
+func Grid(rng *rand.Rand, cols, rows int, keep, jitter float64) []geom.Segment {
+	if jitter >= 0.25 {
+		panic("workload: Grid jitter must be < 0.25")
+	}
+	vertex := make([][]geom.Point, rows+1)
+	for j := range vertex {
+		vertex[j] = make([]geom.Point, cols+1)
+		for i := range vertex[j] {
+			vertex[j][i] = geom.Point{
+				X: float64(i) + (rng.Float64()*2-1)*jitter,
+				Y: float64(j) + (rng.Float64()*2-1)*jitter,
+			}
+		}
+	}
+	var segs []geom.Segment
+	var id uint64
+	emit := func(a, b geom.Point) {
+		if rng.Float64() <= keep {
+			id++
+			segs = append(segs, geom.Segment{ID: id, A: a, B: b})
+		}
+	}
+	for j := 0; j <= rows; j++ {
+		for i := 0; i <= cols; i++ {
+			if i < cols {
+				emit(vertex[j][i], vertex[j][i+1])
+			}
+			if j < rows {
+				emit(vertex[j][i], vertex[j+1][i])
+			}
+		}
+	}
+	return segs
+}
+
+// Stacks generates cols columns of perCol stacked horizontal segments, all
+// levels of a column sharing the same x extent. A short vertical query
+// inside a column then has output T much smaller than the stabbing output
+// T_line of the whole column — the regime where VS-query structures beat
+// the stab-and-filter baseline (experiment E12).
+func Stacks(cols, perCol int, colWidth float64) []geom.Segment {
+	segs := make([]geom.Segment, 0, cols*perCol)
+	var id uint64
+	for c := 0; c < cols; c++ {
+		x0 := float64(c) * (colWidth + 1)
+		for l := 0; l < perCol; l++ {
+			id++
+			segs = append(segs, geom.Seg(id, x0, float64(l), x0+colWidth, float64(l)))
+		}
+	}
+	return segs
+}
+
+// RandomVS generates m vertical segment queries uniform over the bounding
+// box, with heights uniform in (0, maxHeight].
+func RandomVS(rng *rand.Rand, m int, box Rect, maxHeight float64) []geom.VQuery {
+	qs := make([]geom.VQuery, m)
+	for i := range qs {
+		x := box.MinX + rng.Float64()*(box.MaxX-box.MinX)
+		y := box.MinY + rng.Float64()*(box.MaxY-box.MinY)
+		h := rng.Float64() * maxHeight
+		qs[i] = geom.VSeg(x, y, y+h)
+	}
+	return qs
+}
+
+// RandomStabs generates m vertical line queries uniform over the box.
+func RandomStabs(rng *rand.Rand, m int, box Rect) []geom.VQuery {
+	qs := make([]geom.VQuery, m)
+	for i := range qs {
+		qs[i] = geom.VLine(box.MinX + rng.Float64()*(box.MaxX-box.MinX))
+	}
+	return qs
+}
+
+func sortFloats(x []float64) { sort.Float64s(x) }

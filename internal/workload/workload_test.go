@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+)
+
+// Every generator family must produce valid NCT sets with unique IDs — the
+// precondition of all index structures in this module.
+func TestFamiliesAreNCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	families := []struct {
+		name string
+		segs []geom.Segment
+	}{
+		{"Layers", Layers(rng, 20, 50, 1000)},
+		{"FanLeft", FanVertical(rng, 500, 100, geom.SideLeft, 50, 200)},
+		{"FanRight", FanVertical(rng, 500, 100, geom.SideRight, 50, 200)},
+		{"Levels", Levels(rng, 800, 500, 1.1)},
+		{"WideLevels", WideLevels(rng, 500, 300)},
+		{"Grid", Grid(rng, 30, 30, 0.8, 0.2)},
+		{"Stacks", Stacks(10, 40, 20)},
+	}
+	for _, f := range families {
+		if len(f.segs) == 0 {
+			t.Errorf("%s: generated no segments", f.name)
+			continue
+		}
+		if err := geom.ValidateNCT(f.segs); err != nil {
+			t.Errorf("%s: %v", f.name, err)
+		}
+		seen := map[uint64]bool{}
+		for _, s := range f.segs {
+			if s.ID == 0 {
+				t.Errorf("%s: zero segment ID", f.name)
+				break
+			}
+			if seen[s.ID] {
+				t.Errorf("%s: duplicate ID %d", f.name, s.ID)
+				break
+			}
+			seen[s.ID] = true
+			if s.IsPoint() {
+				t.Errorf("%s: degenerate segment %v", f.name, s)
+				break
+			}
+		}
+	}
+}
+
+func TestLayersShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := Layers(rng, 5, 10, 100)
+	if len(segs) != 50 {
+		t.Fatalf("Layers produced %d segments, want 50", len(segs))
+	}
+	// Consecutive segments of one polyline must share a vertex (touch).
+	for i := 1; i < 10; i++ {
+		if segs[i].A != segs[i-1].B {
+			t.Fatalf("polyline edges %d and %d do not chain", i-1, i)
+		}
+	}
+	// Different layers live in disjoint bands.
+	for _, s := range segs[:10] {
+		if s.MaxY() >= 10 {
+			t.Fatalf("layer 0 segment %v leaves its band", s)
+		}
+	}
+}
+
+func TestFanVerticalIsLineBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, side := range []geom.Side{geom.SideLeft, geom.SideRight} {
+		segs := FanVertical(rng, 200, 42, side, 30, 100)
+		for _, s := range segs {
+			if !geom.IsLineBased(s, 42, side) {
+				t.Fatalf("side %v: %v is not line-based on x=42", side, s)
+			}
+		}
+	}
+}
+
+func TestLevelsLengthsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := Levels(rng, 300, 100, 1.2)
+	long := 0
+	for _, s := range segs {
+		l := s.MaxX() - s.MinX()
+		if l <= 0 || l > 100 {
+			t.Fatalf("segment length %g out of (0, 100]", l)
+		}
+		if l > 10 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Error("Pareto tail produced no long segments; multislab stress would be vacuous")
+	}
+}
+
+func TestGridRejectsLargeJitter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid accepted jitter >= 0.25")
+		}
+	}()
+	Grid(rand.New(rand.NewSource(5)), 2, 2, 1, 0.3)
+}
+
+func TestStacksGeometry(t *testing.T) {
+	segs := Stacks(3, 4, 10)
+	if len(segs) != 12 {
+		t.Fatalf("Stacks produced %d segments, want 12", len(segs))
+	}
+	// A short query in column 0 must hit few, a line query hits the stack.
+	q := geom.VSeg(5, -0.5, 0.5)
+	if got := len(q.FilterHits(segs)); got != 1 {
+		t.Errorf("short query hits %d, want 1", got)
+	}
+	line := geom.VLine(5)
+	if got := len(line.FilterHits(segs)); got != 4 {
+		t.Errorf("line query hits %d, want 4 (whole column)", got)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	segs := []geom.Segment{
+		geom.Seg(1, -3, 2, 5, -1),
+		geom.Seg(2, 0, 7, 1, 7),
+	}
+	got := BBox(segs)
+	want := Rect{MinX: -3, MinY: -1, MaxX: 5, MaxY: 7}
+	if got != want {
+		t.Fatalf("BBox = %+v, want %+v", got, want)
+	}
+	if (BBox(nil) != Rect{}) {
+		t.Error("BBox(nil) is not the zero Rect")
+	}
+}
+
+func TestQueriesInsideBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	box := Rect{MinX: 10, MinY: 20, MaxX: 30, MaxY: 40}
+	for _, q := range RandomVS(rng, 100, box, 5) {
+		if q.X < box.MinX || q.X > box.MaxX {
+			t.Fatalf("query x %g outside box", q.X)
+		}
+		if q.YHi-q.YLo > 5 {
+			t.Fatalf("query height %g exceeds max", q.YHi-q.YLo)
+		}
+	}
+	for _, q := range RandomStabs(rng, 50, box) {
+		if q.X < box.MinX || q.X > box.MaxX {
+			t.Fatalf("stab x %g outside box", q.X)
+		}
+	}
+}

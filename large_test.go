@@ -1,0 +1,82 @@
+package segdb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+// TestLargeScale drives both solutions at a quarter-million segments:
+// build, space sanity, several hundred verified queries, and an insert
+// tail. Skipped under -short.
+func TestLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(1998))
+	const n = 250000
+	segs := workload.Layers(rng, n/100, 100, float64(n))
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 300, box, 8)
+
+	for name, build := range map[string]func(*segdb.Store) (segdb.Index, error){
+		"solution1": func(st *segdb.Store) (segdb.Index, error) {
+			return segdb.BuildSolution1(st, segdb.Options{B: 64}, segs)
+		},
+		"solution2": func(st *segdb.Store) (segdb.Index, error) {
+			return segdb.BuildSolution2(st, segdb.Options{B: 64}, segs)
+		},
+	} {
+		st := segdb.NewMemStore(64, 0)
+		ix, err := build(st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Len() != len(segs) {
+			t.Fatalf("%s: Len = %d", name, ix.Len())
+		}
+		// Space sanity: within 16 pages per block of data.
+		if pages, lim := st.PagesInUse(), 16*len(segs)/64; pages > lim {
+			t.Fatalf("%s: %d pages for %d segments (limit %d)", name, pages, len(segs), lim)
+		}
+		st.DropCache()
+		st.ResetStats()
+		totalT := 0
+		for _, q := range queries {
+			stats, err := ix.Query(q, func(segdb.Segment) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalT += stats.Reported
+		}
+		reads := float64(st.Stats().Reads) / float64(len(queries))
+		// Far below a scan (n ≈ 3900 pages).
+		if reads > 200 {
+			t.Fatalf("%s: %.1f reads/query at N=%d", name, reads, n)
+		}
+		// Spot-verify a handful of queries exactly.
+		for _, q := range queries[:10] {
+			got, err := segdb.CollectQuery(ix, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := segdb.FilterHits(q, segs); len(got) != len(want) {
+				t.Fatalf("%s: query %v got %d want %d", name, q, len(got), len(want))
+			}
+		}
+		// Insert tail stays correct.
+		extra := segdb.NewSegment(uint64(n+1), box.MaxX+10, 0, box.MaxX+20, 0)
+		if err := ix.Insert(extra); err != nil {
+			t.Fatal(err)
+		}
+		hit, err := segdb.CollectQuery(ix, segdb.VLine(box.MaxX+15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hit) != 1 || hit[0].ID != extra.ID {
+			t.Fatalf("%s: inserted segment not found", name)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package segdb
+
+import "sync"
+
+// SyncIndex wraps an Index for concurrent use: queries take a shared lock
+// and run in parallel; updates take an exclusive lock. The underlying
+// Store is already safe for concurrent use, so reader parallelism is
+// real — the paper's structures never mutate pages during queries.
+type SyncIndex struct {
+	mu sync.RWMutex
+	ix Index
+}
+
+// Synchronized wraps an index for concurrent use. The caller must stop
+// using the unwrapped index directly.
+func Synchronized(ix Index) *SyncIndex { return &SyncIndex{ix: ix} }
+
+// Query implements the Index contract under a shared lock.
+func (s *SyncIndex) Query(q Query, emit func(Segment)) (QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Query(q, emit)
+}
+
+// Insert implements the Index contract under an exclusive lock.
+func (s *SyncIndex) Insert(seg Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Insert(seg)
+}
+
+// Delete implements the Index contract under an exclusive lock.
+func (s *SyncIndex) Delete(seg Segment) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Delete(seg)
+}
+
+// Len implements the Index contract under a shared lock.
+func (s *SyncIndex) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Len()
+}
+
+// Collect implements the Index contract under a shared lock.
+func (s *SyncIndex) Collect() ([]Segment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ix.Collect()
+}
+
+// Drop implements the Index contract under an exclusive lock.
+func (s *SyncIndex) Drop() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Drop()
+}
+
+var _ Index = (*SyncIndex)(nil)

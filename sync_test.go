@@ -1,0 +1,133 @@
+package segdb_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+// TestSynchronizedConcurrentReaders runs parallel queries against a
+// shared index (run with -race to exercise the store's locking).
+func TestSynchronizedConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	segs := workload.Grid(rng, 14, 14, 0.9, 0.2)
+	st := segdb.NewMemStore(16, 64)
+	raw, err := segdb.BuildSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.Synchronized(raw)
+
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 64, box, 3)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = len(segdb.FilterHits(q, segs))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				i := (g*31 + round) % len(queries)
+				got := 0
+				_, err := ix.Query(queries[i], func(segdb.Segment) { got++ })
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[i] {
+					errs <- errMismatch{got, want[i]}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch [2]int
+
+func (e errMismatch) Error() string { return "concurrent query mismatch" }
+
+// TestSynchronizedReadersAndWriter interleaves a writer with readers;
+// readers must always see a consistent snapshot (answers ⊆ full pool and
+// ⊇ the segments inserted before the reader started).
+func TestSynchronizedReadersAndWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := workload.Levels(rng, 600, 300, 1.3)
+	st := segdb.NewMemStore(16, 64)
+	raw, err := segdb.BuildSolution1(st, segdb.Options{B: 16}, pool[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.Synchronized(raw)
+
+	poolIDs := map[uint64]bool{}
+	for _, s := range pool {
+		poolIDs[s.ID] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for _, s := range pool[100:] {
+			if err := ix.Insert(s); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			localRng := rand.New(rand.NewSource(int64(g)))
+			for round := 0; round < 50; round++ {
+				x := localRng.Float64() * 300
+				q := segdb.VLine(x)
+				baseline := 0 // segments from the initial 100 that q hits
+				for _, s := range pool[:100] {
+					if q.Hits(s) {
+						baseline++
+					}
+				}
+				got := 0
+				_, err := ix.Query(q, func(s segdb.Segment) {
+					if !poolIDs[s.ID] {
+						errs <- errMismatch{int(s.ID), 0}
+					}
+					got++
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got < baseline {
+					errs <- errMismatch{got, baseline}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(pool) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(pool))
+	}
+}
