@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector gate: every concurrency-sensitive test (pager races,
+# singleflight, QueryBatch, SyncIndex stress) must pass under -race.
+race:
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch' ./internal/pager ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+ci: vet build test race

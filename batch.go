@@ -1,0 +1,60 @@
+package segdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult is the outcome of one query of a QueryBatch: the answers in
+// emit order, the per-query work attribution, and the query's own error,
+// so one failing query does not discard its siblings' results.
+type BatchResult struct {
+	Hits  []Segment
+	Stats QueryStats
+	Err   error
+}
+
+// QueryBatch answers queries[i] into result[i] using up to parallelism
+// concurrent workers. With parallelism ≤ 1 the queries run sequentially
+// on the calling goroutine.
+//
+// For parallelism > 1 the index must be safe for concurrent queries:
+// wrap it with Synchronized, whose shared-lock queries run truly in
+// parallel on the sharded store. Workers pull queries from a shared
+// cursor, so a few expensive queries do not stall the rest of the batch
+// behind a static partition.
+func QueryBatch(ix Index, queries []Query, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism <= 1 {
+		for i, q := range queries {
+			out[i] = runBatchQuery(ix, q)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = runBatchQuery(ix, queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func runBatchQuery(ix Index, q Query) BatchResult {
+	var r BatchResult
+	r.Stats, r.Err = ix.Query(q, func(s Segment) { r.Hits = append(r.Hits, s) })
+	return r
+}

@@ -1,0 +1,82 @@
+package segdb_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+func sortedIDs(segs []segdb.Segment) []uint64 {
+	ids := make([]uint64, len(segs))
+	for i, s := range segs {
+		ids[i] = s.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryBatchConcurrent answers a batch at several parallelism levels
+// and checks every query's answers against FilterHits ground truth and
+// its per-query stats attribution. Run with -race.
+func TestQueryBatchConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	st := segdb.NewMemStore(16, 256)
+	raw, err := segdb.BuildSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.Synchronized(raw)
+
+	box := workload.BBox(segs)
+	queries := workload.RandomVS(rng, 96, box, 3)
+	want := make([][]uint64, len(queries))
+	for i, q := range queries {
+		want[i] = sortedIDs(segdb.FilterHits(q, segs))
+	}
+
+	for _, par := range []int{0, 1, 4, 8, 200} {
+		results := segdb.QueryBatch(ix, queries, par)
+		if len(results) != len(queries) {
+			t.Fatalf("parallelism %d: %d results for %d queries", par, len(results), len(queries))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("parallelism %d, query %d: %v", par, i, r.Err)
+			}
+			if got := sortedIDs(r.Hits); !sameIDs(got, want[i]) {
+				t.Fatalf("parallelism %d, query %d: got %d hits, want %d", par, i, len(got), len(want[i]))
+			}
+			if r.Stats.Reported != len(r.Hits) {
+				t.Fatalf("parallelism %d, query %d: Stats.Reported = %d, len(Hits) = %d",
+					par, i, r.Stats.Reported, len(r.Hits))
+			}
+		}
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	st := segdb.NewMemStore(16, 8)
+	ix, err := segdb.BuildSolution2(st, segdb.Options{B: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := segdb.QueryBatch(segdb.Synchronized(ix), nil, 8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
+	"segdb"
 	"segdb/internal/geom"
 	"segdb/internal/pager"
 	"segdb/internal/sol1"
@@ -167,5 +169,51 @@ func init() {
 			}
 			return ix.Insert
 		}, segs2)
+	})
+
+	register("E19", "concurrent serving: QueryBatch scaling and shard balance (cache-resident)", func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 32000
+		segs := workload.Layers(rng, n/100, 100, float64(n))
+		st := pager.MustOpenMem(pageSize(benchB), 1<<14)
+		raw, err := segdb.BuildSolution2(st, segdb.Options{B: benchB}, segs)
+		if err != nil {
+			panic(err)
+		}
+		ix := segdb.Synchronized(raw)
+		box := workload.BBox(segs)
+		queries := workload.RandomVS(rng, 2048, box, 5)
+		segdb.QueryBatch(ix, queries, 1) // warm: steady-state serving is pool-resident
+
+		var base float64
+		fmt.Println("| parallelism | queries/sec | speedup | pool hit ratio |")
+		fmt.Println("|-------------|-------------|---------|-----------------|")
+		for _, par := range []int{1, 2, 4, 8} {
+			st.ResetStats()
+			start := time.Now()
+			for _, r := range segdb.QueryBatch(ix, queries, par) {
+				if r.Err != nil {
+					panic(r.Err)
+				}
+			}
+			qps := float64(len(queries)) / time.Since(start).Seconds()
+			if par == 1 {
+				base = qps
+			}
+			fmt.Printf("| %d | %.0f | %.2fx | %.3f |\n", par, qps, qps/base, st.Stats().HitRatio())
+		}
+
+		shards := st.StatsByShard()
+		minA, maxA := int64(-1), int64(0)
+		for _, s := range shards {
+			if a := s.Reads + s.CacheHits; minA < 0 || a < minA {
+				minA = a
+			}
+			if a := s.Reads + s.CacheHits; a > maxA {
+				maxA = a
+			}
+		}
+		fmt.Printf("\nshard balance over %d shards (last run): min %d / max %d page accesses\n",
+			len(shards), minA, maxA)
 	})
 }

@@ -138,7 +138,12 @@ func TestZeroPoolCountsEveryRead(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
+	// A 2-page pool splits into two shards of one page each: odd page IDs
+	// share one shard, even IDs the other, and eviction is per shard.
 	s := MustOpenMem(64, 2)
+	if got := s.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d for a 2-page pool, want 2", got)
+	}
 	ids := make([]PageID, 3)
 	for i := range ids {
 		ids[i] = s.Alloc()
@@ -146,7 +151,8 @@ func TestLRUEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Pool capacity 2: writing page 2 evicted page 0.
+	// ids are 1,2,3: writing page 3 evicted page 1 from the odd shard;
+	// page 2 sits alone in the even shard.
 	s.ResetStats()
 	if _, err := s.Read(ids[0]); err != nil {
 		t.Fatal(err)
@@ -154,13 +160,77 @@ func TestLRUEviction(t *testing.T) {
 	if st := s.Stats(); st.Reads != 1 {
 		t.Fatalf("read of evicted page: stats = %+v, want 1 physical read", st)
 	}
-	// Pages 2 and 0 are now cached; 1 was evicted by reading 0.
+	// The even shard was undisturbed by the odd shard's traffic.
 	s.ResetStats()
-	if _, err := s.Read(ids[2]); err != nil {
+	if _, err := s.Read(ids[1]); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.CacheHits != 1 {
 		t.Fatalf("read of cached page: stats = %+v, want 1 hit", st)
+	}
+	// Re-reading page 1 above refilled the odd shard, evicting page 3.
+	s.ResetStats()
+	if _, err := s.Read(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Reads != 1 {
+		t.Fatalf("read of shard-evicted page: stats = %+v, want 1 physical read", st)
+	}
+}
+
+func TestStatsByShardSumsToTotals(t *testing.T) {
+	s := MustOpenMem(64, 32)
+	var ids []PageID
+	for i := 0; i < 40; i++ {
+		id := s.Alloc()
+		ids = append(ids, id)
+		if err := s.Write(id, fill(64, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		if _, err := s.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.DropCache()
+	for _, id := range ids[:10] {
+		if _, err := s.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Free(ids[0])
+
+	var sum Stats
+	for _, st := range s.StatsByShard() {
+		sum = sum.Add(st)
+	}
+	if total := s.Stats(); sum != total {
+		t.Fatalf("StatsByShard sums to %+v, Stats() = %+v", sum, total)
+	}
+	if got := len(s.StatsByShard()); got != s.Shards() {
+		t.Fatalf("len(StatsByShard) = %d, want %d", got, s.Shards())
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if got := (Stats{}).HitRatio(); got != 0 {
+		t.Fatalf("empty HitRatio = %v, want 0", got)
+	}
+	if got := (Stats{Reads: 1, CacheHits: 3}).HitRatio(); got != 0.75 {
+		t.Fatalf("HitRatio = %v, want 0.75", got)
+	}
+}
+
+func TestShardCountFor(t *testing.T) {
+	cases := []struct{ pool, want int }{
+		{0, maxShards}, {1, 1}, {2, 2}, {3, 2}, {4, 4}, {8, 8},
+		{15, 8}, {16, 16}, {100, 16},
+	}
+	for _, c := range cases {
+		if got := shardCountFor(c.pool); got != c.want {
+			t.Errorf("shardCountFor(%d) = %d, want %d", c.pool, got, c.want)
+		}
 	}
 }
 

@@ -3,7 +3,13 @@ package pager
 import "container/list"
 
 // lruPool is a least-recently-used page cache modelling the bounded
-// internal memory of the I/O model. It stores page copies keyed by PageID.
+// internal memory of the I/O model. One pool serves one shard of a Store.
+//
+// Buffers handed to put are owned by the pool and treated as immutable
+// from then on; get returns them by reference. Replacement swaps the
+// buffer pointer rather than copying into it, so a slice obtained under
+// the shard lock stays valid and unchanging after the lock is released —
+// readers copy it out off-lock.
 type lruPool struct {
 	capacity int
 	order    *list.List // front = most recently used; values are *poolEntry
@@ -12,7 +18,7 @@ type lruPool struct {
 
 type poolEntry struct {
 	id   PageID
-	data []byte
+	data []byte // immutable
 }
 
 func newLRUPool(capacity int) *lruPool {
@@ -24,7 +30,8 @@ func newLRUPool(capacity int) *lruPool {
 }
 
 // get returns the cached contents of id, promoting it to most recently
-// used. The returned slice is the pool's copy; callers must not retain it.
+// used. The returned slice is an immutable pool buffer; callers must not
+// write to it.
 func (p *lruPool) get(id PageID) ([]byte, bool) {
 	el, ok := p.byID[id]
 	if !ok {
@@ -35,17 +42,14 @@ func (p *lruPool) get(id PageID) ([]byte, bool) {
 }
 
 // put caches data as the contents of id, evicting the least recently used
-// page if the pool is full.
+// page if the pool is full. The pool takes ownership of data: the caller
+// must not retain or mutate it afterwards.
 func (p *lruPool) put(id PageID, data []byte) {
 	if p.capacity == 0 {
 		return
 	}
 	if el, ok := p.byID[id]; ok {
-		e := el.Value.(*poolEntry)
-		if len(e.data) != len(data) {
-			e.data = make([]byte, len(data))
-		}
-		copy(e.data, data)
+		el.Value.(*poolEntry).data = data
 		p.order.MoveToFront(el)
 		return
 	}
@@ -54,9 +58,7 @@ func (p *lruPool) put(id PageID, data []byte) {
 		p.order.Remove(back)
 		delete(p.byID, back.Value.(*poolEntry).id)
 	}
-	e := &poolEntry{id: id, data: make([]byte, len(data))}
-	copy(e.data, data)
-	p.byID[id] = p.order.PushFront(e)
+	p.byID[id] = p.order.PushFront(&poolEntry{id: id, data: data})
 }
 
 // drop removes id from the pool, if present.

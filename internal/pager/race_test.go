@@ -1,0 +1,308 @@
+package pager
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// encV / decV stamp a monotonically increasing version into a page image so
+// readers can tell how fresh the bytes they got are.
+func encV(size int, v uint64) []byte {
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func decV(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// slowDevice widens the off-lock device-read window so the race between a
+// reader's pool fill and a concurrent Write is easy to hit.
+type slowDevice struct{ Device }
+
+func (d slowDevice) ReadPage(idx uint32, p []byte) error {
+	err := d.Device.ReadPage(idx, p)
+	// Yield after sampling the bytes: the caller now holds a snapshot that
+	// goes stale while concurrent writes land.
+	for i := 0; i < 50; i++ {
+		runtime.Gosched()
+	}
+	return err
+}
+
+// TestConcurrentReadStaleFillRace is the regression test for the stale-fill
+// race: a reader that misses the pool performs its device read off-lock, and
+// its pool fill must NOT overwrite a fresher entry installed by a Write that
+// completed in the meantime. The writer cycles two pages through a
+// capacity-1 pool so readers constantly miss, read the device off-lock
+// (slowly), and then race their fills against the writer. Every reader
+// asserts it never observes a version older than the last Write that
+// completed before its Read began; reading each page twice in a row makes
+// the would-be stale filler sample its own poisoned pool entry.
+func TestConcurrentReadStaleFillRace(t *testing.T) {
+	const (
+		pageSize = 64
+		rounds   = 400 // per reader
+		readers  = 8
+	)
+	s, err := Open(slowDevice{NewMemDevice(pageSize)}, pageSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Alloc(), s.Alloc()
+	if err := s.Write(a, encV(pageSize, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(b, encV(pageSize, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastA, lastB atomic.Uint64
+	lastA.Store(1)
+	lastB.Store(1)
+	var stop atomic.Bool
+	var failed atomic.Bool
+	var firstErr atomic.Value
+
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() { // writer: alternating writes keep evicting the other page
+		defer wwg.Done()
+		for v := uint64(2); !stop.Load() && !failed.Load(); v++ {
+			if err := s.Write(a, encV(pageSize, v)); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				failed.Store(true)
+				return
+			}
+			lastA.Store(v)
+			if err := s.Write(b, encV(pageSize, v)); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				failed.Store(true)
+				return
+			}
+			lastB.Store(v)
+			// Pace the writer against the slowed device reads so writes
+			// keep landing inside readers' off-lock windows for the whole
+			// test rather than racing ahead and finishing early.
+			for i := 0; i < 5; i++ {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds && !failed.Load(); i++ {
+				id, last := a, &lastA
+				if (i+g)%2 == 1 {
+					id, last = b, &lastB
+				}
+				// Read twice: the first read may miss and race its fill
+				// against the writer; the second then samples the pool
+				// entry the first one installed.
+				for rep := 0; rep < 2; rep++ {
+					floor := last.Load()
+					data, err := s.Read(id)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						failed.Store(true)
+						return
+					}
+					if got := decV(data); got < floor {
+						t.Errorf("reader %d: page %d returned version %d, but version %d was fully written before the read began",
+							g, id, got, floor)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	wwg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gateDevice wraps a Device and counts physical page reads; Reads can be
+// held at a gate so a test can pile up concurrent readers behind one
+// in-flight device read.
+type gateDevice struct {
+	Device
+	reads atomic.Int64
+	gate  chan struct{} // if non-nil, ReadPage blocks until it is closed
+}
+
+func (d *gateDevice) ReadPage(idx uint32, p []byte) error {
+	d.reads.Add(1)
+	if d.gate != nil {
+		<-d.gate
+	}
+	return d.Device.ReadPage(idx, p)
+}
+
+// TestSingleflightColdRead asserts that K concurrent first-readers of a
+// page cost exactly one physical read: the followers wait for the leader's
+// device read instead of issuing their own, and Stats.Reads counts one.
+func TestSingleflightColdRead(t *testing.T) {
+	const (
+		pageSize = 64
+		readers  = 16
+	)
+	dev := &gateDevice{Device: NewMemDevice(pageSize), gate: make(chan struct{})}
+	s, err := Open(dev, pageSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.Alloc()
+	if err := s.Write(id, fill(pageSize, 42)); err != nil {
+		t.Fatal(err)
+	}
+	s.DropCache()
+	s.ResetStats()
+	dev.reads.Store(0)
+
+	var started, wg sync.WaitGroup
+	results := make([][]byte, readers)
+	errs := make([]error, readers)
+	started.Add(readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			started.Done()
+			results[g], errs[g] = s.Read(id)
+		}(g)
+	}
+	started.Wait() // every goroutine is running; the leader is parked at the gate
+	close(dev.gate)
+	wg.Wait()
+
+	want := fill(pageSize, 42)
+	for g := 0; g < readers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("reader %d: %v", g, errs[g])
+		}
+		if string(results[g]) != string(want) {
+			t.Fatalf("reader %d got wrong bytes", g)
+		}
+	}
+	if got := dev.reads.Load(); got != 1 {
+		t.Errorf("device saw %d physical reads for %d concurrent first-readers, want 1", got, readers)
+	}
+	st := s.Stats()
+	if st.Reads != 1 {
+		t.Errorf("Stats.Reads = %d for %d concurrent first-readers, want 1", st.Reads, readers)
+	}
+	if st.Reads+st.CacheHits < 1 {
+		t.Errorf("stats lost accesses: %+v", st)
+	}
+}
+
+// TestStoreConcurrentMixedStress hammers one Store with parallel reads,
+// writes, allocation churn and cache drops. Each shared page has a single
+// designated writer, so its version sequence is monotonic and readers can
+// assert they never travel back in time. Run with -race.
+func TestStoreConcurrentMixedStress(t *testing.T) {
+	const (
+		pageSize = 64
+		shared   = 24
+		workers  = 8
+		iters    = 1500
+	)
+	s := MustOpenMem(pageSize, 8)
+	ids := make([]PageID, shared)
+	last := make([]atomic.Uint64, shared)
+	for i := range ids {
+		ids[i] = s.Alloc()
+		if err := s.Write(ids[i], encV(pageSize, 1)); err != nil {
+			t.Fatal(err)
+		}
+		last[i].Store(1)
+	}
+
+	var failed atomic.Bool
+	var firstErr atomic.Value
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err)
+		failed.Store(true)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := uint64(2)
+			for i := 0; i < iters && !failed.Load(); i++ {
+				p := (i*7 + w*13) % shared
+				switch i % 5 {
+				case 0: // write a page this worker owns
+					own := (w + workers*(i%3)) % shared
+					if err := s.Write(ids[own], encV(pageSize, v)); err != nil {
+						fail(err)
+						return
+					}
+					// Ordering: only the owner stores, so Store after Write
+					// keeps last[own] a completed-write floor.
+					if own%workers == w%workers {
+						last[own].Store(v)
+					}
+					v++
+				case 1: // private page lifecycle: alloc, write, read, free
+					id := s.Alloc()
+					if err := s.Write(id, encV(pageSize, v)); err != nil {
+						fail(err)
+						return
+					}
+					got, err := s.Read(id)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if decV(got) != v {
+						t.Errorf("worker %d: private page read back %d, want %d", w, decV(got), v)
+						failed.Store(true)
+						return
+					}
+					s.Free(id)
+					v++
+				case 2:
+					if w == 0 && i%97 == 0 {
+						s.DropCache()
+					}
+					fallthrough
+				default: // read a shared page, assert monotonic versions
+					floor := last[p].Load()
+					got, err := s.Read(ids[p])
+					if err != nil {
+						fail(err)
+						return
+					}
+					if gv := decV(got); gv != 0 && gv < floor {
+						t.Errorf("worker %d: page %d went back in time: %d < floor %d", w, ids[p], gv, floor)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesced: totals must balance and per-shard stats must sum up.
+	var sum Stats
+	for _, st := range s.StatsByShard() {
+		sum = sum.Add(st)
+	}
+	if total := s.Stats(); sum != total {
+		t.Fatalf("per-shard stats sum %+v != totals %+v", sum, total)
+	}
+}

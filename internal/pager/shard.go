@@ -1,0 +1,91 @@
+package pager
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxShards is the number of buffer-pool shards in a Store with a large
+// (or zero) pool. Sharding is by PageID, so two goroutines touching
+// different shards never contend on a lock or a counter cache line.
+const maxShards = 16
+
+// shardCountFor picks the number of shards for a pool of poolPages pages:
+// the largest power of two ≤ maxShards that still leaves every shard at
+// least one pool page, so small pools keep their full capacity usable. A
+// zero pool (the strict I/O model) has nothing to cache and uses maxShards
+// purely to spread lock and counter traffic.
+func shardCountFor(poolPages int) int {
+	n := maxShards
+	for n > 1 && poolPages != 0 && n > poolPages {
+		n >>= 1
+	}
+	return n
+}
+
+// shardCounters are one shard's I/O-model counters. They are atomics so
+// that cache hits (and every other counted event) from different
+// goroutines never serialize on a lock just to bump a number.
+type shardCounters struct {
+	reads     atomic.Int64
+	writes    atomic.Int64
+	cacheHits atomic.Int64
+	allocs    atomic.Int64
+	frees     atomic.Int64
+}
+
+func (c *shardCounters) snapshot() Stats {
+	return Stats{
+		Reads:     c.reads.Load(),
+		Writes:    c.writes.Load(),
+		CacheHits: c.cacheHits.Load(),
+		Allocs:    c.allocs.Load(),
+		Frees:     c.frees.Load(),
+	}
+}
+
+func (c *shardCounters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.cacheHits.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+}
+
+// shard is one slice of the buffer pool plus the concurrency-control state
+// for the pages that hash to it.
+//
+// Lock order and roles:
+//
+//   - mu guards pool, epochs, inflight and gen. It is held only for map
+//     and list operations — never across device I/O — so even a shard
+//     under heavy traffic admits readers at memory speed.
+//   - wmu serializes Write device I/O within the shard, so the device
+//     write, epoch bump and pool refresh of competing writers to the same
+//     page are totally ordered and the pool can never end up holding an
+//     older image than the device.
+//
+// epochs[id] is the page's write version. A cold read records it before
+// going off-lock to the device; the fill is installed only if the epoch is
+// unchanged, so a fill carrying bytes sampled before a concurrent Write
+// can never resurrect stale data in the pool (the stale-fill race the
+// seed implementation had). gen plays the same role for DropCache: fills
+// from before the drop are discarded wholesale.
+type shard struct {
+	mu       sync.Mutex
+	pool     *lruPool
+	epochs   map[PageID]uint64
+	inflight map[PageID]*flight
+	gen      uint64
+
+	wmu sync.Mutex
+
+	stats shardCounters
+
+	_ [48]byte // pad to a 128-byte multiple: no false sharing between shards
+}
+
+// shard returns the shard owning page id.
+func (s *Store) shard(id PageID) *shard {
+	return &s.shards[uint32(id)&s.shardMask]
+}

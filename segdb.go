@@ -209,21 +209,19 @@ func BuildMultiDirection(st *Store, opt Options, dirs []Point, segs []Segment) (
 	return multidir.Build(st, sol2.Config{B: opt.B, D: opt.D}, dirs, segs)
 }
 
+// compacter is the optional interface of indexes that can rebuild
+// themselves balanced and tightly packed. *SyncIndex implements it by
+// delegating under its exclusive lock.
+type compacter interface{ Compact() error }
+
 // Compact rebuilds an index balanced and tightly packed, reclaiming the
 // slack deletions leave behind. Only Solution 1 supports it (Solution 2
 // never deletes, so it never accumulates slack); other indexes return
-// ErrUnsupported.
+// ErrUnsupported. A *SyncIndex — even a nested one — compacts its wrapped
+// index under the exclusive lock, releasing it on every path.
 func Compact(ix Index) error {
-	type compacter interface{ Compact() error }
 	if c, ok := ix.(compacter); ok {
 		return c.Compact()
-	}
-	if s, ok := ix.(*SyncIndex); ok {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if c, ok := s.ix.(compacter); ok {
-			return c.Compact()
-		}
 	}
 	return ErrUnsupported
 }

@@ -3,9 +3,14 @@ package segdb
 import "sync"
 
 // SyncIndex wraps an Index for concurrent use: queries take a shared lock
-// and run in parallel; updates take an exclusive lock. The underlying
-// Store is already safe for concurrent use, so reader parallelism is
-// real — the paper's structures never mutate pages during queries.
+// and run in parallel; updates take an exclusive lock. Reader parallelism
+// is real: the paper's structures never mutate pages during queries, and
+// the Store underneath is a sharded concurrent buffer manager — cache
+// hits on pages of different shards share no lock and no counter cache
+// line, concurrent cold misses of one page collapse into a single
+// physical read, and pool fills are write-epoch-stamped so a slow reader
+// can never resurrect stale bytes over a concurrent writer's fresh page
+// (see internal/pager). QueryBatch exploits this with a worker pool.
 type SyncIndex struct {
 	mu sync.RWMutex
 	ix Index
@@ -55,6 +60,20 @@ func (s *SyncIndex) Drop() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ix.Drop()
+}
+
+// Compact rebuilds the wrapped index under an exclusive lock, so
+// Compact(Synchronized(ix)) is safe against concurrent queries and
+// updates. If the wrapped index does not support compaction the exclusive
+// lock is still released and ErrUnsupported is returned — error paths
+// never leave the index locked.
+func (s *SyncIndex) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.ix.(compacter); ok {
+		return c.Compact()
+	}
+	return ErrUnsupported
 }
 
 var _ Index = (*SyncIndex)(nil)

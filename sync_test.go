@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"segdb"
 	"segdb/internal/workload"
@@ -129,5 +130,219 @@ func TestSynchronizedReadersAndWriter(t *testing.T) {
 	}
 	if ix.Len() != len(pool) {
 		t.Fatalf("Len = %d, want %d", ix.Len(), len(pool))
+	}
+}
+
+// TestSyncCompact covers Compact through the Synchronized wrapper for both
+// solutions: Solution 1 compacts under the exclusive lock; Solution 2
+// reports ErrUnsupported. Either way the wrapper must release its lock —
+// the follow-up operations would deadlock forever if an error path leaked
+// the exclusive lock, so they run under a watchdog.
+func TestSyncCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs := workload.Levels(rng, 400, 200, 1.3)
+
+	st1 := segdb.NewMemStore(16, 32)
+	raw1, err := segdb.BuildSolution1(st1, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync1 := segdb.Synchronized(raw1)
+	for _, s := range segs[:300] {
+		if _, err := sync1.Delete(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st1.PagesInUse()
+	if err := segdb.Compact(sync1); err != nil {
+		t.Fatalf("Compact(Synchronized(sol1)) = %v", err)
+	}
+	if st1.PagesInUse() >= before {
+		t.Fatalf("synchronized Compact reclaimed nothing: %d -> %d", before, st1.PagesInUse())
+	}
+
+	st2 := segdb.NewMemStore(16, 32)
+	raw2, err := segdb.BuildSolution2(st2, segdb.Options{B: 16}, segs[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync2 := segdb.Synchronized(raw2)
+	if err := segdb.Compact(sync2); err != segdb.ErrUnsupported {
+		t.Fatalf("Compact(Synchronized(sol2)) = %v, want ErrUnsupported", err)
+	}
+
+	// A doubly wrapped index still routes to the inner implementation.
+	if err := segdb.Compact(segdb.Synchronized(sync1)); err != nil {
+		t.Fatalf("Compact(Synchronized(Synchronized(sol1))) = %v", err)
+	}
+
+	// Both wrappers must be fully usable after Compact, including after the
+	// ErrUnsupported path: a leaked lock would hang these operations.
+	done := make(chan error, 1)
+	go func() {
+		for _, ix := range []*segdb.SyncIndex{sync1, sync2} {
+			if err := ix.Insert(segdb.NewSegment(1e6, 0, -5, 10, -5)); err != nil {
+				done <- err
+				return
+			}
+			if _, err := ix.Query(segdb.VLine(5), func(segdb.Segment) {}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("index unusable after Compact: a lock was not released on an error path")
+	}
+}
+
+// TestSyncMixedWorkloadStress runs parallel Query, Insert and Delete
+// traffic against Synchronized(Solution1) over a pooled store (run with
+// -race). A static base set is never touched, so every query's answers
+// must contain FilterHits(base) exactly, and every extra answer must be a
+// churn segment that genuinely intersects the query. After the churn
+// writers finish (every churn segment inserted, half deleted), the final
+// contents must match ground truth exactly.
+func TestSyncMixedWorkloadStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	all := workload.Levels(rng, 900, 300, 1.3)
+	base, churn := all[:300], all[300:]
+	st := segdb.NewMemStore(16, 64)
+	raw, err := segdb.BuildSolution1(st, segdb.Options{B: 16}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.Synchronized(raw)
+
+	baseIDs := map[uint64]bool{}
+	for _, s := range base {
+		baseIDs[s.ID] = true
+	}
+	churnIDs := map[uint64]bool{}
+	for _, s := range churn {
+		churnIDs[s.ID] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	inserted := make(chan segdb.Segment, len(churn))
+
+	wg.Add(1)
+	go func() { // inserter
+		defer wg.Done()
+		defer close(inserted)
+		for _, s := range churn {
+			if err := ix.Insert(s); err != nil {
+				fail(err)
+				return
+			}
+			inserted <- s
+		}
+	}()
+	wg.Add(1)
+	go func() { // deleter: removes every other inserted churn segment
+		defer wg.Done()
+		odd := false
+		for s := range inserted {
+			odd = !odd
+			if !odd {
+				continue
+			}
+			ok, err := ix.Delete(s)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !ok {
+				fail(errMismatch{int(s.ID), -1})
+				return
+			}
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			localRng := rand.New(rand.NewSource(int64(100 + g)))
+			for round := 0; round < 60; round++ {
+				x := localRng.Float64() * 300
+				lo := localRng.Float64() * 250
+				q := segdb.VSeg(x, lo, lo+20)
+				wantBase := map[uint64]bool{}
+				for _, s := range base {
+					if q.Hits(s) {
+						wantBase[s.ID] = true
+					}
+				}
+				got := map[uint64]bool{}
+				_, err := ix.Query(q, func(s segdb.Segment) {
+					if got[s.ID] {
+						fail(errMismatch{int(s.ID), -2}) // duplicate report
+						return
+					}
+					got[s.ID] = true
+					if baseIDs[s.ID] {
+						return
+					}
+					// Anything beyond the base set must be a churn segment
+					// that really intersects q.
+					if !churnIDs[s.ID] || !q.Hits(s) {
+						fail(errMismatch{int(s.ID), -3})
+					}
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+				for id := range wantBase {
+					if !got[id] {
+						fail(errMismatch{int(id), -4}) // lost a base answer
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: exact ground truth over the final contents.
+	final := append([]segdb.Segment{}, base...)
+	for i, s := range churn {
+		if i%2 == 1 { // the deleter removed odd-indexed arrivals
+			final = append(final, s)
+		}
+	}
+	if ix.Len() != len(final) {
+		t.Fatalf("final Len = %d, want %d", ix.Len(), len(final))
+	}
+	qRng := rand.New(rand.NewSource(42))
+	for round := 0; round < 40; round++ {
+		x := qRng.Float64() * 300
+		lo := qRng.Float64() * 250
+		q := segdb.VSeg(x, lo, lo+25)
+		want := segdb.FilterHits(q, final)
+		got, err := segdb.CollectQuery(ix, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d hits, want %d", round, len(got), len(want))
+		}
 	}
 }
