@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench serve-smoke ci
 
 all: ci
 
@@ -14,11 +14,16 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate: every concurrency-sensitive test (pager races,
-# singleflight, QueryBatch, SyncIndex stress) must pass under -race.
+# singleflight, QueryBatch, SyncIndex stress, server admission/drain)
+# must pass under -race.
 race:
-	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch' ./internal/pager ./...
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve' ./internal/pager ./internal/server ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-ci: vet build test race
+# End-to-end serving gate: gen → build → segdbd → segload → /statsz.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: vet build test race serve-smoke

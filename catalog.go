@@ -1,7 +1,9 @@
 package segdb
 
 import (
+	"encoding/binary"
 	"fmt"
+	"os"
 
 	"segdb/internal/core"
 	"segdb/internal/pager"
@@ -16,12 +18,16 @@ import (
 // Open reattaches without rebuilding.
 
 const (
-	catalogPage    = pager.PageID(1)
-	catalogMagic   = 0x42444753 // "SGDB"
-	catalogVersion = 1
+	catalogPage  = pager.PageID(1)
+	catalogMagic = 0x42444753 // "SGDB"
+	// Version 2 appends the store page size (offset 36), so reopening
+	// with a mismatched -b is a clear error instead of silent misreads.
+	catalogVersion = 2
 
 	kindSolution1 = 1
 	kindSolution2 = 2
+
+	catalogPageSizeOff = 36 // byte offset of the page-size field
 )
 
 // CreateSolution1 builds a Solution-1 index on a fresh store and writes
@@ -99,6 +105,7 @@ func Save(st *Store, ix Index) error {
 		return fmt.Errorf("segdb: cannot save index of type %T (baselines have no catalog)", ix)
 	}
 	c.PutPage(st.NextPage())
+	c.PutU32(uint32(st.PageSize()))
 	return st.Write(catalogPage, page)
 }
 
@@ -120,6 +127,16 @@ func Open(st *Store) (Index, error) {
 	kind := c.U8()
 	c.Skip(2)
 	b := int(c.U32())
+	// The store's page size is chosen by the caller (the -b flag of the
+	// tools); if it disagrees with the size the catalog was written under,
+	// every node read would silently slice the wrong byte ranges. The
+	// magic still matches in that case (it sits at offset 0 of the file),
+	// so this is the only place the mismatch is detectable.
+	if ps := int(pager.NewBuf(page).Seek(catalogPageSizeOff).U32()); ps != st.PageSize() {
+		return nil, fmt.Errorf(
+			"segdb: catalog written with page size %d (block capacity B=%d) but the store was opened with page size %d; reopen with the build-time -b, or probe it with OpenIndexFile(path, 0, ...)",
+			ps, b, st.PageSize())
+	}
 	flag := c.U8()
 	c.Skip(3)
 	param := c.F64()
@@ -144,4 +161,66 @@ func Open(st *Store) (Index, error) {
 	default:
 		return nil, fmt.Errorf("segdb: catalog has unknown index kind %d", kind)
 	}
+}
+
+// ProbeFile inspects a store file's catalog header without opening a
+// Store and returns the block capacity and page size it was built with.
+// The catalog lives on page 1 at byte offset 0 with both values at fixed
+// offsets, so the probe needs no page-size guess — it is how tools
+// discover the right configuration for an existing file.
+func ProbeFile(path string) (b, pageSize int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("segdb: probe: %w", err)
+	}
+	defer f.Close()
+	var hdr [catalogPageSizeOff + 4]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, 0, fmt.Errorf("segdb: probe %s: catalog header unreadable: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != catalogMagic {
+		return 0, 0, fmt.Errorf("segdb: probe %s: not a segdb store (bad magic)", path)
+	}
+	if v := hdr[4]; v != catalogVersion {
+		return 0, 0, fmt.Errorf("segdb: probe %s: catalog version %d unsupported", path, v)
+	}
+	b = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	pageSize = int(binary.LittleEndian.Uint32(hdr[catalogPageSizeOff:]))
+	if b <= 0 || pageSize <= 0 {
+		return 0, 0, fmt.Errorf("segdb: probe %s: catalog records invalid geometry (B=%d, page size %d)", path, b, pageSize)
+	}
+	return b, pageSize, nil
+}
+
+// OpenIndexFile opens a file-backed store and reattaches the index its
+// catalog records, returning both so callers keep the store for stats,
+// Sync and Close. B = 0 probes the file for the build-time geometry —
+// the robust default, since it recovers the exact page size even for
+// indexes built with a derived block capacity. On any error after the
+// store opens, the store is closed.
+func OpenIndexFile(path string, B, cachePages int) (*Store, Index, error) {
+	var st *Store
+	var err error
+	if B == 0 {
+		_, pageSize, perr := ProbeFile(path)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		dev, derr := pager.OpenFileDevice(path, pageSize)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		st, err = pager.Open(dev, pageSize, cachePages)
+	} else {
+		st, err = OpenFileStore(path, B, cachePages)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := Open(st)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return st, ix, nil
 }

@@ -1,0 +1,138 @@
+package segdb_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+// buildIndexFile creates a small persisted Solution-2 index and returns
+// its path and segments.
+func buildIndexFile(t *testing.T, b int) (string, []segdb.Segment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+	path := filepath.Join(t.TempDir(), "ix.db")
+	st, err := segdb.OpenFileStore(path, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segdb.CreateSolution2(st, segdb.Options{B: b}, segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, segs
+}
+
+func TestOpenRejectsCorruptMagic(t *testing.T) {
+	path, _ := buildIndexFile(t, 16)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := segdb.OpenFileStore(path, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := segdb.Open(st); err == nil {
+		t.Fatal("Open accepted a corrupt catalog magic")
+	} else if !strings.Contains(err.Error(), "catalog") {
+		t.Fatalf("unhelpful error for corrupt magic: %v", err)
+	}
+	if _, _, err := segdb.ProbeFile(path); err == nil {
+		t.Fatal("ProbeFile accepted a corrupt catalog magic")
+	}
+}
+
+func TestOpenRejectsTruncatedCatalog(t *testing.T) {
+	path, _ := buildIndexFile(t, 16)
+	// Truncate mid-catalog: the magic survives but the page does not.
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := segdb.OpenFileStore(path, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := segdb.Open(st); err == nil {
+		t.Fatal("Open accepted a truncated catalog page")
+	}
+	// Truncating inside the 12-byte header must fail the probe too.
+	if err := os.Truncate(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := segdb.ProbeFile(path); err == nil {
+		t.Fatal("ProbeFile accepted a truncated header")
+	}
+}
+
+func TestOpenRejectsMismatchedBlockSize(t *testing.T) {
+	path, _ := buildIndexFile(t, 16)
+	for _, wrong := range []int{8, 32} {
+		st, err := segdb.OpenFileStore(path, wrong, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = segdb.Open(st)
+		st.Close()
+		if err == nil {
+			t.Fatalf("Open with B=%d accepted an index built with B=16", wrong)
+		}
+		if !strings.Contains(err.Error(), "block capacity") && !strings.Contains(err.Error(), "page size") {
+			t.Fatalf("unhelpful error for B=%d mismatch: %v", wrong, err)
+		}
+	}
+}
+
+func TestProbeAndOpenIndexFile(t *testing.T) {
+	path, segs := buildIndexFile(t, 16)
+	b, ps, err := segdb.ProbeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 16 || ps != segdb.PageSizeFor(16) {
+		t.Fatalf("ProbeFile = (B=%d, page %d), want (16, %d)", b, ps, segdb.PageSizeFor(16))
+	}
+	// B = 0 autodetects and the reopened index answers correctly.
+	st, ix, err := segdb.OpenIndexFile(path, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if ix.Len() != len(segs) {
+		t.Fatalf("reopened Len = %d, want %d", ix.Len(), len(segs))
+	}
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(8))
+	for _, q := range workload.RandomVS(rng, 20, box, 3) {
+		got, err := segdb.CollectQuery(ix, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := segdb.FilterHits(q, segs); len(got) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+	// A wrong explicit B surfaces the catalog check, and the store does
+	// not leak open.
+	if _, _, err := segdb.OpenIndexFile(path, 32, 32); err == nil {
+		t.Fatal("OpenIndexFile with wrong B succeeded")
+	}
+}

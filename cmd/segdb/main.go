@@ -6,7 +6,7 @@
 //
 //	segdb gen   -kind layers|grid|levels|stacks -n 10000 -out segs.csv
 //	segdb build -in segs.csv -db index.db -b 32 [-sol 1|2]
-//	segdb query -db index.db -b 32 -x 10 -ylo 0 -yhi 5 [-check segs.csv]
+//	segdb query -db index.db -x 10 -ylo 0 -yhi 5 [-check segs.csv]
 //
 // build persists the index with a catalog page; query reopens it from
 // disk without rebuilding and optionally cross-checks the answer against
@@ -53,18 +53,14 @@ func usage() {
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "index.db", "store file")
-	b := fs.Int("b", 32, "block capacity (must match build)")
+	b := fs.Int("b", 0, "block capacity (0 probes the file)")
 	fs.Parse(args)
 
-	st, err := segdb.OpenFileStore(*db, *b, 64)
+	st, ix, err := segdb.OpenIndexFile(*db, *b, 64)
 	if err != nil {
 		fatal(err)
 	}
 	defer st.Close()
-	ix, err := segdb.Open(st)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("%s: %d pages in use (%d bytes/page)\n", *db, st.PagesInUse(), st.PageSize())
 	type describer interface{ DescribeString() (string, error) }
 	if d, ok := ix.(describer); ok {
@@ -192,6 +188,11 @@ func cmdBuild(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	// The catalog is persisted; fsync before Close so a crash here cannot
+	// lose the index.
+	if err := st.Sync(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("built solution %d over %d segments: %d pages (%s)\n",
 		*sol, ix.Len(), st.PagesInUse(), *db)
 }
@@ -199,7 +200,7 @@ func cmdBuild(args []string) {
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	db := fs.String("db", "index.db", "store file")
-	b := fs.Int("b", 32, "block capacity (must match build)")
+	b := fs.Int("b", 0, "block capacity (0 probes the file)")
 	x := fs.Float64("x", 0, "query line x")
 	ylo := fs.Float64("ylo", math.Inf(-1), "lower y bound (omit for a ray/line)")
 	yhi := fs.Float64("yhi", math.Inf(1), "upper y bound (omit for a ray/line)")
@@ -207,15 +208,11 @@ func cmdQuery(args []string) {
 	verbose := fs.Bool("v", false, "print every hit")
 	fs.Parse(args)
 
-	st, err := segdb.OpenFileStore(*db, *b, 64)
+	st, ix, err := segdb.OpenIndexFile(*db, *b, 64)
 	if err != nil {
 		fatal(err)
 	}
 	defer st.Close()
-	ix, err := segdb.Open(st)
-	if err != nil {
-		fatal(err)
-	}
 
 	q := segdb.Query{X: *x, YLo: *ylo, YHi: *yhi}
 	st.DropCache()

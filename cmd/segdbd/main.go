@@ -1,0 +1,114 @@
+// Command segdbd serves a persisted segdb index over HTTP: the network
+// front of the library. It opens the store's catalog (either Solution),
+// wraps the index in segdb.Synchronized so queries run concurrently on
+// the sharded buffer pool, and serves them behind explicit admission
+// control — load beyond -max-inflight is shed with 429 + Retry-After
+// instead of queueing unboundedly.
+//
+// Usage:
+//
+//	segdb gen   -kind layers -n 50000 -out segs.csv
+//	segdb build -in segs.csv -db index.db -b 32
+//	segdbd -db index.db -addr :8080
+//
+// -b defaults to probing the file for the build-time block capacity.
+//
+// Endpoints:
+//
+//	POST /v1/query   {"x":10,"ylo":0,"yhi":5}            segment query
+//	                 {"x":10,"ylo":0}                     upward ray
+//	                 {"x":10}                             stabbing line
+//	                 {"queries":[...],"parallelism":4}    batch (QueryBatch)
+//	GET  /statsz     request counts, latency histograms, admission and
+//	                 per-shard store stats (JSON)
+//	GET  /healthz    liveness; 503 once draining
+//
+// SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
+// queries, fsync and close the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"segdb"
+	"segdb/internal/server"
+)
+
+func main() {
+	db := flag.String("db", "index.db", "store file built by segdb build")
+	b := flag.Int("b", 0, "block capacity; 0 probes the file")
+	cache := flag.Int("cache", 256, "buffer-pool pages")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInflight := flag.Int("max-inflight", 64, "admission limit; excess load is shed with 429")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	maxBatch := flag.Int("max-batch", 1024, "max queries per batch request")
+	batchWorkers := flag.Int("batch-workers", 4, "QueryBatch workers per batch request")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget")
+	flag.Parse()
+
+	st, ix, err := segdb.OpenIndexFile(*db, *b, *cache)
+	if err != nil {
+		log.Fatalf("segdbd: %v", err)
+	}
+	log.Printf("segdbd: %s: %d segments, %d pages of %d bytes, %d pool shards",
+		*db, ix.Len(), st.PagesInUse(), st.PageSize(), st.Shards())
+
+	srv := server.New(segdb.Synchronized(ix), st, server.Config{
+		MaxInflight:      *maxInflight,
+		DefaultTimeout:   *timeout,
+		RetryAfter:       *retryAfter,
+		MaxBatch:         *maxBatch,
+		BatchParallelism: *batchWorkers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("segdbd: serving on %s (max-inflight %d, timeout %v)",
+			*addr, *maxInflight, *timeout)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("segdbd: %v: draining (inflight %d)", sig, srv.Gate().Inflight())
+	case err := <-errc:
+		log.Fatalf("segdbd: serve: %v", err)
+	}
+
+	// Graceful shutdown: stop admitting queries, finish the in-flight
+	// ones, stop accepting connections, then make the store durable.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("segdbd: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("segdbd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("segdbd: serve: %v", err)
+	}
+	if err := st.Sync(); err != nil {
+		log.Printf("segdbd: sync: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("segdbd: close: %v", err)
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("segdbd: served %d queries, %d batches, shed %d; store hit ratio %.3f\n",
+		snap.Endpoints["query"].Requests, snap.Endpoints["batch"].Requests,
+		snap.Admission.Shed, snap.Store.HitRatio)
+}

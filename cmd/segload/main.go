@@ -1,0 +1,334 @@
+// Command segload is a closed-loop load generator for segdbd: -c workers
+// each keep exactly one query in flight, so measured latency is service
+// latency, not coordinated-omission artifacts from an open-loop arrival
+// process. On 429 a worker honours Retry-After before retrying — the
+// cooperative half of the server's admission control.
+//
+// Usage:
+//
+//	segload -addr http://127.0.0.1:8080 -c 4 -duration 10s -span 50000
+//	segload -csv segs.csv -c 16 -json
+//
+// -csv derives the query coordinate range from a workload CSV (the one
+// the index was built from); otherwise -span bounds x and y. The report
+// combines client-side latency (merged per-worker histograms) with the
+// server's /statsz snapshot: throughput, p50/p90/p99, shed counts and
+// the store's pool hit ratio. -json emits the same report machine-
+// readably, e.g. for BENCH_server.json.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb/internal/server"
+)
+
+type counters struct {
+	requests atomic.Int64
+	ok       atomic.Int64
+	shed     atomic.Int64
+	errors   atomic.Int64
+	answers  atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "segdbd base URL")
+	c := flag.Int("c", 4, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	seed := flag.Int64("seed", 1, "random seed")
+	span := flag.Float64("span", 1000, "query coordinate span (x and y)")
+	csvPath := flag.String("csv", "", "derive the span from this workload CSV instead")
+	height := flag.Float64("height", 0, "query segment height; 0 selects span/50")
+	lineFrac := flag.Float64("line-frac", 0.1, "fraction of stabbing-line queries")
+	rayFrac := flag.Float64("ray-frac", 0.2, "fraction of ray queries")
+	batch := flag.Int("batch", 0, "queries per request (0 = single form)")
+	withHits := flag.Bool("hits", false, "transfer full hit payloads instead of counts")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	xLo, xHi, yLo, yHi := 0.0, *span, 0.0, *span
+	if *csvPath != "" {
+		var err error
+		xLo, xHi, yLo, yHi, err = csvBounds(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	h := *height
+	if h <= 0 {
+		h = (yHi - yLo) / 50
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *c * 2,
+		MaxIdleConnsPerHost: *c * 2,
+	}}
+
+	var (
+		cnt   counters
+		hists = make([]*server.Histogram, *c)
+		wg    sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *c; w++ {
+		hists[w] = &server.Histogram{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(client, *addr, rand.New(rand.NewSource(*seed+int64(w))), workerConfig{
+				deadline: deadline,
+				xLo:      xLo, xHi: xHi, yLo: yLo, yHi: yHi, height: h,
+				lineFrac: *lineFrac, rayFrac: *rayFrac,
+				batch: *batch, omitHits: !*withHits,
+			}, &cnt, hists[w])
+		}(w)
+	}
+	wg.Wait()
+	wall := *duration
+
+	lat := &server.Histogram{}
+	for _, hw := range hists {
+		lat.Merge(hw)
+	}
+	snap, snapErr := fetchStatsz(client, *addr)
+
+	report := buildReport(&cnt, lat.Snapshot(), wall, *c, *batch, snap, snapErr)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(report, snapErr)
+}
+
+type workerConfig struct {
+	deadline           time.Time
+	xLo, xHi, yLo, yHi float64
+	height             float64
+	lineFrac, rayFrac  float64
+	batch              int
+	omitHits           bool
+}
+
+func randQuery(rng *rand.Rand, cfg workerConfig) server.QuerySpec {
+	q := server.QuerySpec{X: cfg.xLo + rng.Float64()*(cfg.xHi-cfg.xLo)}
+	r := rng.Float64()
+	switch {
+	case r < cfg.lineFrac:
+		// open both sides: stabbing line
+	case r < cfg.lineFrac+cfg.rayFrac:
+		y := cfg.yLo + rng.Float64()*(cfg.yHi-cfg.yLo)
+		if rng.Intn(2) == 0 {
+			q.YLo = &y
+		} else {
+			q.YHi = &y
+		}
+	default:
+		lo := cfg.yLo + rng.Float64()*(cfg.yHi-cfg.yLo-cfg.height)
+		hi := lo + cfg.height
+		q.YLo, q.YHi = &lo, &hi
+	}
+	return q
+}
+
+func runWorker(client *http.Client, addr string, rng *rand.Rand, cfg workerConfig, cnt *counters, hist *server.Histogram) {
+	url := addr + "/v1/query"
+	for time.Now().Before(cfg.deadline) {
+		var req server.QueryRequest
+		req.OmitHits = cfg.omitHits
+		if cfg.batch > 0 {
+			req.Queries = make([]server.QuerySpec, cfg.batch)
+			for i := range req.Queries {
+				req.Queries[i] = randQuery(rng, cfg)
+			}
+		} else {
+			req.QuerySpec = randQuery(rng, cfg)
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			fatal(err)
+		}
+		cnt.requests.Add(1)
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			cnt.errors.Add(1)
+			continue
+		}
+		var qr server.QueryResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		switch {
+		case resp.StatusCode == http.StatusOK && decErr == nil:
+			cnt.ok.Add(1)
+			hist.Observe(elapsed)
+			n := int64(qr.Count)
+			for _, r := range qr.Results {
+				n += int64(r.Count)
+			}
+			cnt.answers.Add(n)
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			cnt.shed.Add(1)
+			time.Sleep(retryAfter(resp, 50*time.Millisecond))
+		default:
+			cnt.errors.Add(1)
+		}
+	}
+}
+
+// retryAfter parses the Retry-After hint, falling back (and capping) so a
+// misbehaving server cannot stall the run.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			return d
+		}
+	}
+	return fallback
+}
+
+func fetchStatsz(client *http.Client, addr string) (server.Snapshot, error) {
+	var snap server.Snapshot
+	resp, err := client.Get(addr + "/statsz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("statsz: HTTP %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// Report is the run summary; -json emits it verbatim.
+type Report struct {
+	Clients     int                      `json:"clients"`
+	Batch       int                      `json:"batch,omitempty"`
+	WallSeconds float64                  `json:"wall_seconds"`
+	Requests    int64                    `json:"requests"`
+	OK          int64                    `json:"ok"`
+	Shed        int64                    `json:"shed"`
+	Errors      int64                    `json:"errors"`
+	Answers     int64                    `json:"answers"`
+	Throughput  float64                  `json:"throughput_qps"`
+	Latency     server.HistogramSnapshot `json:"latency"`
+	ServerStats *server.Snapshot         `json:"server,omitempty"`
+	HitRatio    float64                  `json:"store_hit_ratio"`
+}
+
+func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration, clients, batch int, snap server.Snapshot, snapErr error) Report {
+	r := Report{
+		Clients:     clients,
+		Batch:       batch,
+		WallSeconds: wall.Seconds(),
+		Requests:    cnt.requests.Load(),
+		OK:          cnt.ok.Load(),
+		Shed:        cnt.shed.Load(),
+		Errors:      cnt.errors.Load(),
+		Answers:     cnt.answers.Load(),
+		Latency:     lat,
+	}
+	if wall > 0 {
+		r.Throughput = float64(r.OK) / wall.Seconds()
+	}
+	if snapErr == nil {
+		r.ServerStats = &snap
+		r.HitRatio = snap.Store.HitRatio
+	}
+	return r
+}
+
+func printReport(r Report, snapErr error) {
+	fmt.Printf("segload: %d clients, %.1fs wall\n", r.Clients, r.WallSeconds)
+	fmt.Printf("  requests %d  ok %d  shed %d  errors %d  answers %d\n",
+		r.Requests, r.OK, r.Shed, r.Errors, r.Answers)
+	fmt.Printf("  throughput %.1f q/s\n", r.Throughput)
+	fmt.Printf("  latency ms: mean %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
+		r.Latency.MeanMS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
+	if snapErr != nil {
+		fmt.Printf("  statsz unavailable: %v\n", snapErr)
+		return
+	}
+	s := r.ServerStats
+	fmt.Printf("  server: store hit ratio %.3f (%d reads, %d hits), inflight max %d, shed %d\n",
+		s.Store.HitRatio, s.Store.Total.Reads, s.Store.Total.CacheHits,
+		s.Admission.MaxInflight, s.Admission.Shed)
+	if q, ok := s.Endpoints["query"]; ok && q.Latency.Count > 0 {
+		fmt.Printf("  server query latency ms: p50 %.3f  p99 %.3f (%d served)\n",
+			q.Latency.P50MS, q.Latency.P99MS, q.Latency.Count)
+	}
+	if b, ok := s.Endpoints["batch"]; ok && b.Latency.Count > 0 {
+		fmt.Printf("  server batch latency ms: p50 %.3f  p99 %.3f (%d served)\n",
+			b.Latency.P50MS, b.Latency.P99MS, b.Latency.Count)
+	}
+}
+
+// csvBounds scans a workload CSV (id,x1,y1,x2,y2) for its bounding box.
+func csvBounds(path string) (xLo, xHi, yLo, yHi float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer f.Close()
+	first := true
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		parts := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(parts) != 5 {
+			continue
+		}
+		var c [4]float64
+		bad := false
+		for i := 0; i < 4; i++ {
+			if c[i], err = strconv.ParseFloat(parts[i+1], 64); err != nil {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		for _, p := range [][2]float64{{c[0], c[1]}, {c[2], c[3]}} {
+			if first {
+				xLo, xHi, yLo, yHi = p[0], p[0], p[1], p[1]
+				first = false
+				continue
+			}
+			xLo, xHi = min(xLo, p[0]), max(xHi, p[0])
+			yLo, yHi = min(yLo, p[1]), max(yHi, p[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if first {
+		return 0, 0, 0, 0, fmt.Errorf("segload: %s holds no segments", path)
+	}
+	return xLo, xHi, yLo, yHi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segload:", err)
+	os.Exit(1)
+}

@@ -38,6 +38,13 @@ func (d *faultDevice) WritePage(idx uint32, p []byte) error {
 	return d.inner.WritePage(idx, p)
 }
 
+func (d *faultDevice) Sync() error {
+	if d.budget <= 0 {
+		return errInjected
+	}
+	return d.inner.Sync()
+}
+
 func (d *faultDevice) Close() error { return d.inner.Close() }
 
 func faultyStore(t *testing.T, pageSize, budget int) (*pager.Store, *faultDevice) {

@@ -14,6 +14,9 @@ type Device interface {
 	// WritePage stores p as the contents of the page at index idx,
 	// growing the device if needed.
 	WritePage(idx uint32, p []byte) error
+	// Sync forces written pages to durable storage. Callers that persist
+	// a catalog must Sync before Close, or a crash can lose the index.
+	Sync() error
 	// Close releases any resources held by the device.
 	Close() error
 }
@@ -58,6 +61,10 @@ func (d *MemDevice) WritePage(idx uint32, p []byte) error {
 	return nil
 }
 
+// Sync implements Device. RAM is as durable as a MemDevice gets, so it is
+// a no-op.
+func (d *MemDevice) Sync() error { return nil }
+
 // Close implements Device. It drops the page storage.
 func (d *MemDevice) Close() error {
 	d.mu.Lock()
@@ -97,6 +104,16 @@ func (d *FileDevice) WritePage(idx uint32, p []byte) error {
 	_, err := d.f.WriteAt(p, int64(idx)*int64(d.pageSize))
 	if err != nil {
 		return fmt.Errorf("filedevice: write page %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Sync implements Device: fsync. WritePage goes through the OS page
+// cache, so a crash between the last write and Sync can lose pages; the
+// build path syncs after persisting the catalog.
+func (d *FileDevice) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("filedevice: sync: %w", err)
 	}
 	return nil
 }

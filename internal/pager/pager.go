@@ -344,5 +344,10 @@ func (s *Store) DropCache() {
 	}
 }
 
+// Sync flushes written pages to durable storage (fsync for a file-backed
+// device, a no-op in memory). Call it after persisting a catalog and
+// before Close, so a crash cannot lose a freshly built index.
+func (s *Store) Sync() error { return s.dev.Sync() }
+
 // Close releases the underlying device.
 func (s *Store) Close() error { return s.dev.Close() }

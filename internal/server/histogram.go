@@ -1,0 +1,151 @@
+// Package server is segdb's network query-serving subsystem: an HTTP
+// handler over a Synchronized index with explicit admission control,
+// graceful drain, and lock-free request metrics. Command segdbd wraps it
+// in a daemon; command segload drives it closed-loop.
+//
+// The request path is deliberately short: decode → admit (non-blocking
+// semaphore; saturation sheds with 429 rather than queueing) → query
+// under the index's shared lock → encode. Observability is on-path but
+// lock-free — per-endpoint counters and fixed-bucket latency histograms
+// are single atomic adds, so /statsz never perturbs the traffic it
+// measures.
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets. Bucket i counts
+// observations in (bound(i-1), bound(i)] with bound(i) = 1µs·2^i:
+// 1µs, 2µs, ... up to ~67s, with a final overflow bucket.
+const histBuckets = 27
+
+// histBase is the upper bound of bucket 0.
+const histBase = time.Microsecond
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// bounds. Observe is a single atomic add per field — no locks, safe on
+// the request hot path.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds, monotone
+}
+
+// bucketOf returns the bucket index for duration d.
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	b := 0
+	for bound := histBase; d > bound && b < histBuckets-1; bound <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, in a form
+// that serializes cleanly to JSON and supports quantile estimation.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	MeanMS  float64 `json:"mean_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	Buckets []int64 `json:"buckets,omitempty"` // non-empty prefix of bucket counts
+}
+
+// Snapshot copies the histogram and pre-computes the summary quantiles.
+// Under concurrent traffic the copy is consistent per bucket, not across
+// buckets — the usual monitoring contract.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var counts [histBuckets]int64
+	last := -1
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	s.Count = h.count.Load()
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sum.Load()) / float64(s.Count) / 1e6
+	}
+	s.MaxMS = float64(h.max.Load()) / 1e6
+	s.Buckets = counts[:last+1]
+	s.P50MS = quantile(counts[:], s.Count, 0.50)
+	s.P90MS = quantile(counts[:], s.Count, 0.90)
+	s.P99MS = quantile(counts[:], s.Count, 0.99)
+	return s
+}
+
+// quantile estimates the p-quantile in milliseconds from bucket counts,
+// taking the upper bound of the bucket the rank falls in (conservative:
+// never under-reports a tail).
+func quantile(counts []int64, total int64, p float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			return bucketBoundMS(i)
+		}
+	}
+	return bucketBoundMS(len(counts) - 1)
+}
+
+// bucketBoundMS returns the upper bound of bucket i in milliseconds.
+func bucketBoundMS(i int) float64 {
+	return float64(int64(histBase)<<uint(i)) / 1e6
+}
+
+// BucketBoundsMS lists every bucket's upper bound in milliseconds; index
+// i corresponds to Buckets[i] of a snapshot. The last bucket is an
+// overflow bucket and its bound is nominal.
+func BucketBoundsMS() []float64 {
+	out := make([]float64, histBuckets)
+	for i := range out {
+		out[i] = bucketBoundMS(i)
+	}
+	return out
+}
+
+// Merge adds o's counts into h. It is meant for combining per-worker
+// client-side histograms after a run, not for concurrent use with
+// Observe on o.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		cur, om := h.max.Load(), o.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket bounds are 1µs·2^i; place one observation just under a few
+	// bounds and check the snapshot accounts for all of them.
+	durations := []time.Duration{
+		500 * time.Nanosecond, // bucket 0 (≤ 1µs)
+		time.Microsecond,      // bucket 0 (bound is inclusive)
+		3 * time.Microsecond,  // bucket 2 (2µs < d ≤ 4µs)
+		time.Millisecond,      // 1ms = 2^10 µs → bucket 10
+		time.Second,           // 2^20 µs ≈ 1.05s > 1s → bucket 20
+		2 * time.Hour,         // overflow → last bucket
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(durations)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(durations))
+	}
+	var sum int64
+	for _, c := range s.Buckets {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[2] != 1 || s.Buckets[10] != 1 || s.Buckets[20] != 1 {
+		t.Fatalf("buckets misplace observations: %v", s.Buckets)
+	}
+	if s.Buckets[len(s.Buckets)-1] != 1 || len(s.Buckets) != histBuckets {
+		t.Fatalf("overflow bucket missing: %v", s.Buckets)
+	}
+	if want := float64(2*time.Hour) / 1e6; s.MaxMS != want {
+		t.Fatalf("max = %g ms, want %g", s.MaxMS, want)
+	}
+	if s.MeanMS <= 0 {
+		t.Fatalf("mean = %g", s.MeanMS)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast (≤1µs) + 10 slow (~1ms): p50 must sit at the fast bound,
+	// p99 at the slow bucket's bound.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond / 2)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.P50MS != bucketBoundMS(0) {
+		t.Fatalf("p50 = %g, want %g", s.P50MS, bucketBoundMS(0))
+	}
+	if s.P99MS != bucketBoundMS(bucketOf(900*time.Microsecond)) {
+		t.Fatalf("p99 = %g", s.P99MS)
+	}
+	if s.P50MS > s.P90MS || s.P90MS > s.P99MS {
+		t.Fatalf("quantiles not monotone: %g %g %g", s.P50MS, s.P90MS, s.P99MS)
+	}
+	if q := quantile(nil, 0, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("merged count = %d", s.Count)
+	}
+	if want := float64(time.Second) / 1e6; s.MaxMS != want {
+		t.Fatalf("merged max = %g, want %g", s.MaxMS, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	bounds := BucketBoundsMS()
+	if len(bounds) != histBuckets {
+		t.Fatalf("%d bounds", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds not geometric at %d: %g vs %g", i, bounds[i], bounds[i-1])
+		}
+	}
+	if bounds[0] != 0.001 {
+		t.Fatalf("first bound = %g ms, want 0.001", bounds[0])
+	}
+}

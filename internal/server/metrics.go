@@ -1,0 +1,124 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"segdb"
+)
+
+// Endpoint identifies a served endpoint for metric attribution.
+type Endpoint int
+
+// The instrumented endpoints.
+const (
+	EPQuery  Endpoint = iota // POST /v1/query, single form
+	EPBatch                  // POST /v1/query, batch form
+	EPStatsz                 // GET /statsz
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"query", "batch", "statsz"}
+
+// endpointCounters is one endpoint's lock-free counter block.
+type endpointCounters struct {
+	requests atomic.Int64 // requests that reached the handler
+	errors   atomic.Int64 // 4xx responses other than sheds
+	failures atomic.Int64 // 5xx responses
+	shed     atomic.Int64 // 429/503 shed by admission
+	answers  atomic.Int64 // segments reported
+	latency  Histogram    // of admitted, completed requests
+}
+
+// Metrics is the server's lock-free metric registry. Every mutation on
+// the request path is a handful of atomic adds.
+type Metrics struct {
+	start     time.Time
+	endpoints [numEndpoints]endpointCounters
+}
+
+// NewMetrics returns an empty registry anchored at now.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// OnRequest counts a request reaching ep's handler.
+func (m *Metrics) OnRequest(ep Endpoint) { m.endpoints[ep].requests.Add(1) }
+
+// OnShed counts a request shed by admission control.
+func (m *Metrics) OnShed(ep Endpoint) { m.endpoints[ep].shed.Add(1) }
+
+// OnError counts a client (4xx) error response.
+func (m *Metrics) OnError(ep Endpoint) { m.endpoints[ep].errors.Add(1) }
+
+// OnFailure counts a server (5xx) error response.
+func (m *Metrics) OnFailure(ep Endpoint) { m.endpoints[ep].failures.Add(1) }
+
+// OnDone records a completed admitted request: its latency and how many
+// answer segments it reported.
+func (m *Metrics) OnDone(ep Endpoint, d time.Duration, answers int) {
+	c := &m.endpoints[ep]
+	c.latency.Observe(d)
+	c.answers.Add(int64(answers))
+}
+
+// EndpointSnapshot is one endpoint's counters at a point in time.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors,omitempty"`
+	Failures int64             `json:"failures,omitempty"`
+	Shed     int64             `json:"shed,omitempty"`
+	Answers  int64             `json:"answers,omitempty"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// StoreSnapshot is the store-level view: totals, the pool hit ratio, and
+// the per-shard breakdown exposing load balance across pool shards.
+type StoreSnapshot struct {
+	PagesInUse int             `json:"pages_in_use"`
+	PageSize   int             `json:"page_size"`
+	HitRatio   float64         `json:"hit_ratio"`
+	Total      segdb.IOStats   `json:"total"`
+	Shards     []segdb.IOStats `json:"shards,omitempty"`
+}
+
+// Snapshot is the full /statsz document. segload decodes it to fold
+// server-side stats into its report, so every field round-trips JSON.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Segments      int                         `json:"segments"`
+	Admission     GateStats                   `json:"admission"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Store         StoreSnapshot               `json:"store"`
+}
+
+// SnapshotFrom assembles the full document from the metric registry, the
+// gate and the served store/index.
+func SnapshotFrom(m *Metrics, g *Gate, st *segdb.Store, segments int) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Segments:      segments,
+		Admission:     g.Stats(),
+		Endpoints:     make(map[string]EndpointSnapshot, numEndpoints),
+	}
+	for ep := Endpoint(0); ep < numEndpoints; ep++ {
+		c := &m.endpoints[ep]
+		s.Endpoints[endpointNames[ep]] = EndpointSnapshot{
+			Requests: c.requests.Load(),
+			Errors:   c.errors.Load(),
+			Failures: c.failures.Load(),
+			Shed:     c.shed.Load(),
+			Answers:  c.answers.Load(),
+			Latency:  c.latency.Snapshot(),
+		}
+	}
+	if st != nil {
+		total := st.Stats()
+		s.Store = StoreSnapshot{
+			PagesInUse: st.PagesInUse(),
+			PageSize:   st.PageSize(),
+			HitRatio:   total.HitRatio(),
+			Total:      total,
+			Shards:     st.StatsByShard(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"segdb"
+)
+
+// Config tunes a Server. The zero value selects sane defaults.
+type Config struct {
+	// MaxInflight bounds concurrently admitted queries; excess load is
+	// shed with 429. 0 selects 64.
+	MaxInflight int
+	// DefaultTimeout is the per-request deadline when the client sets
+	// none; a request's timeout_ms can only lower it. 0 selects 5s.
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint sent with shed responses. 0
+	// selects 1s.
+	RetryAfter time.Duration
+	// MaxBatch bounds the queries of one batch request. 0 selects 1024.
+	MaxBatch int
+	// BatchParallelism bounds QueryBatch workers per batch request. 0
+	// selects 4. A batch occupies one admission slot regardless.
+	BatchParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = 4
+	}
+	return c
+}
+
+// Server serves VS queries over an index. The index is wrapped in
+// segdb.SyncIndex, so queries run concurrently under its shared lock on
+// the sharded store; admission bounds that concurrency explicitly.
+type Server struct {
+	ix      *segdb.SyncIndex
+	st      *segdb.Store
+	cfg     Config
+	gate    *Gate
+	metrics *Metrics
+}
+
+// New assembles a server over a synchronized index. st may be nil (no
+// store-level stats in /statsz); passing the store the index lives on
+// adds shard stats and the pool hit ratio.
+func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		ix:      ix,
+		st:      st,
+		cfg:     cfg,
+		gate:    NewGate(cfg.MaxInflight),
+		metrics: NewMetrics(),
+	}
+}
+
+// Metrics exposes the registry, e.g. for tests.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Gate exposes the admission gate, e.g. for tests.
+func (s *Server) Gate() *Gate { return s.gate }
+
+// Snapshot returns the same document /statsz serves, programmatically.
+func (s *Server) Snapshot() Snapshot {
+	return SnapshotFrom(s.metrics, s.gate, s.st, s.ix.Len())
+}
+
+// BeginDrain stops admitting queries; in-flight ones keep their slots.
+func (s *Server) BeginDrain() { s.gate.StartDrain() }
+
+// Drain stops admitting queries and waits until the in-flight ones have
+// finished, or ctx expires. It is the programmatic half of graceful
+// shutdown; pair it with http.Server.Shutdown, which drains connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gate.StartDrain()
+	select {
+	case <-s.gate.Drained():
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %d queries still in flight: %w",
+			s.gate.Inflight(), ctx.Err())
+	}
+}
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/query  single or batch VS query (JSON)
+//	GET  /statsz    metrics snapshot (JSON)
+//	GET  /healthz   liveness; 503 once draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// QuerySpec is one query on the wire. Omitted bounds are open: no ylo
+// and no yhi is a vertical-line (stabbing) query, one open side is a
+// ray. JSON has no ±Inf, so open bounds are spelled by omission.
+type QuerySpec struct {
+	X   float64  `json:"x"`
+	YLo *float64 `json:"ylo,omitempty"`
+	YHi *float64 `json:"yhi,omitempty"`
+}
+
+// Query converts the wire form to the geometric query.
+func (q QuerySpec) Query() segdb.Query {
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if q.YLo != nil {
+		lo = *q.YLo
+	}
+	if q.YHi != nil {
+		hi = *q.YHi
+	}
+	return segdb.VSeg(q.X, lo, hi)
+}
+
+// QueryRequest is the /v1/query body: either the single-query fields
+// inline, or Queries for the batch form (routed through segdb.QueryBatch
+// under one admission slot).
+type QueryRequest struct {
+	QuerySpec
+	Queries     []QuerySpec `json:"queries,omitempty"`
+	Parallelism int         `json:"parallelism,omitempty"`
+	TimeoutMS   int         `json:"timeout_ms,omitempty"`
+	// OmitHits returns only counts — the load-generator mode that keeps
+	// response encoding off the measured path.
+	OmitHits bool `json:"omit_hits,omitempty"`
+}
+
+// WireSegment is one reported segment on the wire.
+type WireSegment struct {
+	ID uint64  `json:"id"`
+	AX float64 `json:"ax"`
+	AY float64 `json:"ay"`
+	BX float64 `json:"bx"`
+	BY float64 `json:"by"`
+}
+
+func toWire(segs []segdb.Segment) []WireSegment {
+	out := make([]WireSegment, len(segs))
+	for i, sg := range segs {
+		out[i] = WireSegment{ID: sg.ID, AX: sg.A.X, AY: sg.A.Y, BX: sg.B.X, BY: sg.B.Y}
+	}
+	return out
+}
+
+// QueryResult is one query's answer.
+type QueryResult struct {
+	Count int           `json:"count"`
+	Hits  []WireSegment `json:"hits,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// QueryResponse is the /v1/query response: Result for the single form,
+// Results (index-aligned with the request's queries) for the batch form.
+type QueryResponse struct {
+	QueryResult
+	Results   []QueryResult `json:"results,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.OnError(EPQuery)
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ep := EPQuery
+	if req.Queries != nil {
+		ep = EPBatch
+	}
+	s.metrics.OnRequest(ep)
+	if ep == EPBatch && len(req.Queries) > s.cfg.MaxBatch {
+		s.metrics.OnError(ep)
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+
+	// Admission: shed, never queue. 429 asks the client to back off and
+	// retry; 503 says the server is going away.
+	if err := s.gate.Admit(); err != nil {
+		s.metrics.OnShed(ep)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		if errors.Is(err, ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		}
+		return
+	}
+	defer s.gate.Release()
+
+	// Per-request deadline: the server's default, lowered (never raised)
+	// by the client's timeout_ms; cancels with the connection either way.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	var resp QueryResponse
+	var answers int
+	if ep == EPBatch {
+		par := req.Parallelism
+		if par <= 0 || par > s.cfg.BatchParallelism {
+			par = s.cfg.BatchParallelism
+		}
+		queries := make([]segdb.Query, len(req.Queries))
+		for i, qs := range req.Queries {
+			queries[i] = qs.Query()
+		}
+		results := segdb.QueryBatch(s.ix, queries, par)
+		resp.Results = make([]QueryResult, len(results))
+		for i, br := range results {
+			qr := QueryResult{Count: len(br.Hits)}
+			if !req.OmitHits {
+				qr.Hits = toWire(br.Hits)
+			}
+			if br.Err != nil {
+				qr.Error = br.Err.Error()
+			}
+			answers += len(br.Hits)
+			resp.Results[i] = qr
+		}
+		if err := ctx.Err(); err != nil {
+			s.metrics.OnFailure(ep)
+			httpError(w, http.StatusServiceUnavailable, "batch exceeded deadline: "+err.Error())
+			return
+		}
+	} else {
+		var hits []segdb.Segment
+		_, err := s.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
+			hits = append(hits, sg)
+		})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				s.metrics.OnFailure(ep)
+				httpError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())
+			} else {
+				s.metrics.OnFailure(ep)
+				httpError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		resp.Count = len(hits)
+		if !req.OmitHits {
+			resp.Hits = toWire(hits)
+		}
+		answers = len(hits)
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed) / 1e6
+	s.metrics.OnDone(ep, elapsed, answers)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.OnRequest(EPStatsz)
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.gate.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,537 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"segdb"
+	"segdb/internal/server"
+	"segdb/internal/workload"
+)
+
+// testServer builds a small Solution-2 index in memory and serves it.
+func testServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.Server, []segdb.Segment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	st := segdb.NewMemStore(16, 64)
+	ix, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(segdb.Synchronized(ix), st, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, srv, segs
+}
+
+func postQuery(t *testing.T, url string, req server.QueryRequest) (*http.Response, server.QueryResponse) {
+	t.Helper()
+	body, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, qr
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// TestServeCorrectness cross-checks HTTP answers — segment, ray, line and
+// batch — against CollectQuery ground truth, IDs included.
+func TestServeCorrectness(t *testing.T) {
+	hs, _, segs := testServer(t, server.Config{})
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(4))
+
+	specOf := func(q segdb.Query) server.QuerySpec {
+		s := server.QuerySpec{X: q.X}
+		// Reconstruct open bounds by omission.
+		if q.YLo > -1e300 {
+			s.YLo = ptr(q.YLo)
+		}
+		if q.YHi < 1e300 {
+			s.YHi = ptr(q.YHi)
+		}
+		return s
+	}
+
+	queries := workload.RandomVS(rng, 30, box, 4)
+	queries = append(queries,
+		segdb.VLine(box.MinX+(box.MaxX-box.MinX)/2),
+		segdb.VRayUp(box.MinX+(box.MaxX-box.MinX)/3, 1),
+		segdb.VRayDown(box.MinX+(box.MaxX-box.MinX)/3, 1),
+	)
+	for _, q := range queries {
+		want := segdb.FilterHits(q, segs)
+		resp, qr := postQuery(t, hs.URL, server.QueryRequest{QuerySpec: specOf(q)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %v: HTTP %d", q, resp.StatusCode)
+		}
+		if qr.Count != len(want) || len(qr.Hits) != len(want) {
+			t.Fatalf("query %v: got %d hits, want %d", q, qr.Count, len(want))
+		}
+		wantIDs := make(map[uint64]bool, len(want))
+		for _, s := range want {
+			wantIDs[s.ID] = true
+		}
+		for _, h := range qr.Hits {
+			if !wantIDs[h.ID] {
+				t.Fatalf("query %v: unexpected hit id %d", q, h.ID)
+			}
+		}
+	}
+
+	// Batch form: one request, index-aligned results.
+	var batch server.QueryRequest
+	for _, q := range queries {
+		batch.Queries = append(batch.Queries, specOf(q))
+	}
+	batch.Parallelism = 4
+	resp, qr := postQuery(t, hs.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+	if len(qr.Results) != len(queries) {
+		t.Fatalf("batch: %d results, want %d", len(qr.Results), len(queries))
+	}
+	for i, q := range queries {
+		if want := len(segdb.FilterHits(q, segs)); qr.Results[i].Count != want {
+			t.Fatalf("batch[%d] %v: got %d, want %d", i, q, qr.Results[i].Count, want)
+		}
+	}
+
+	// omit_hits returns counts without payloads.
+	resp, qr = postQuery(t, hs.URL, server.QueryRequest{
+		QuerySpec: server.QuerySpec{X: queries[0].X}, OmitHits: true,
+	})
+	if resp.StatusCode != http.StatusOK || qr.Hits != nil {
+		t.Fatalf("omit_hits: HTTP %d, hits %v", resp.StatusCode, qr.Hits)
+	}
+}
+
+// blockingIndex parks every query until release is closed, making
+// admission states reproducible.
+type blockingIndex struct {
+	entered chan struct{}
+	release chan struct{}
+	hits    []segdb.Segment
+}
+
+func (b *blockingIndex) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	for _, s := range b.hits {
+		emit(s)
+	}
+	return segdb.QueryStats{Reported: len(b.hits)}, nil
+}
+
+func (b *blockingIndex) Insert(segdb.Segment) error         { return segdb.ErrUnsupported }
+func (b *blockingIndex) Delete(segdb.Segment) (bool, error) { return false, segdb.ErrUnsupported }
+func (b *blockingIndex) Len() int                           { return len(b.hits) }
+func (b *blockingIndex) Collect() ([]segdb.Segment, error)  { return b.hits, nil }
+func (b *blockingIndex) Drop() error                        { return nil }
+
+// TestAdmissionShedsWith429 saturates the gate and asserts excess
+// requests shed immediately with 429 + Retry-After while the admitted
+// ones complete with their answers.
+func TestAdmissionShedsWith429(t *testing.T) {
+	bix := &blockingIndex{
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+		hits:    []segdb.Segment{segdb.NewSegment(7, 0, 0, 1, 1)},
+	}
+	srv := server.New(segdb.Synchronized(bix), nil, server.Config{
+		MaxInflight: 2, RetryAfter: 3 * time.Second, DefaultTimeout: time.Minute,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	req := func() (*http.Response, error) {
+		return http.Post(hs.URL+"/v1/query", "application/json",
+			bytes.NewReader([]byte(`{"x":0.5}`)))
+	}
+
+	// Fill both slots; wait until the queries are inside the index.
+	type result struct {
+		code  int
+		count int
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := req()
+			if err != nil {
+				results <- result{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var qr server.QueryResponse
+			json.NewDecoder(resp.Body).Decode(&qr)
+			results <- result{code: resp.StatusCode, count: qr.Count}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-bix.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("queries never reached the index")
+		}
+	}
+
+	// The gate is full: the next request must shed, not queue.
+	resp, err := req()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	resp.Body.Close()
+	if got := srv.Gate().Stats().Shed; got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Releasing the index completes the admitted requests with answers.
+	close(bix.release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != http.StatusOK || r.count != 1 {
+			t.Fatalf("admitted request: code %d count %d", r.code, r.count)
+		}
+	}
+	if got := srv.Gate().Inflight(); got != 0 {
+		t.Fatalf("inflight after completion = %d", got)
+	}
+}
+
+// spinningIndex emits forever, so only context cancellation can end a
+// query — the worst case for slot reclamation.
+type spinningIndex struct{ blockingIndex }
+
+func (s *spinningIndex) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	seg := segdb.NewSegment(1, 0, 0, 1, 1)
+	for {
+		emit(seg)
+	}
+}
+
+// TestCancelledContextReleasesSlot asserts a query aborted by its
+// deadline gives its admission slot back.
+func TestCancelledContextReleasesSlot(t *testing.T) {
+	srv := server.New(segdb.Synchronized(&spinningIndex{}), nil, server.Config{
+		MaxInflight: 1, DefaultTimeout: time.Minute,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{"x":0.5,"omit_hits":true,"timeout_ms":50}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-exceeded query: HTTP %d, want 503", resp.StatusCode)
+	}
+	if got := srv.Gate().Inflight(); got != 0 {
+		t.Fatalf("slot leaked: inflight = %d", got)
+	}
+
+	// The freed slot admits the next request (it will also time out, but
+	// it must be admitted rather than shed with 429).
+	resp, err = http.Post(hs.URL+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{"x":0.5,"omit_hits":true,"timeout_ms":50}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("slot was not released: follow-up request shed with 429")
+	}
+}
+
+// TestDrainCompletesInflight starts a drain while a query is in flight:
+// the query's answers must still be delivered, new work must be rejected
+// with 503, and Drain must return once the query finishes.
+func TestDrainCompletesInflight(t *testing.T) {
+	bix := &blockingIndex{
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+		hits:    []segdb.Segment{segdb.NewSegment(1, 0, 0, 1, 1), segdb.NewSegment(2, 0, 1, 1, 2)},
+	}
+	srv := server.New(segdb.Synchronized(bix), nil, server.Config{
+		MaxInflight: 4, DefaultTimeout: time.Minute,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var inflightCode, inflightCount int
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+			bytes.NewReader([]byte(`{"x":0.5}`)))
+		if err != nil {
+			inflightCode = -1
+			return
+		}
+		defer resp.Body.Close()
+		var qr server.QueryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		inflightCode, inflightCount = resp.StatusCode, qr.Count
+	}()
+	<-bix.entered
+
+	srv.BeginDrain()
+
+	// New queries are rejected while the old one is still running.
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{"x":0.5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain rejection carries no Retry-After")
+	}
+
+	// healthz flips to draining.
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: HTTP %d, want 503", hresp.StatusCode)
+	}
+
+	// Drain blocks until the in-flight query finishes...
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a query still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// ...and the query's answers are not dropped.
+	close(bix.release)
+	wg.Wait()
+	if inflightCode != http.StatusOK || inflightCount != 2 {
+		t.Fatalf("in-flight query during drain: code %d count %d, want 200/2", inflightCode, inflightCount)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestStatszShape exercises /statsz over real traffic: request counts,
+// latency histograms and per-shard store stats must be present and
+// internally consistent, and the document must round-trip JSON into
+// server.Snapshot (the contract segload relies on).
+func TestStatszShape(t *testing.T) {
+	hs, srv, segs := testServer(t, server.Config{MaxInflight: 8})
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(5))
+	queries := workload.RandomVS(rng, 40, box, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := i; j < len(queries); j += 4 {
+				q := queries[j]
+				postQuery(t, hs.URL, server.QueryRequest{
+					QuerySpec: server.QuerySpec{X: q.X, YLo: ptr(q.YLo), YHi: ptr(q.YHi)},
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	q := snap.Endpoints["query"]
+	if q.Requests != int64(len(queries)) {
+		t.Fatalf("query requests = %d, want %d", q.Requests, len(queries))
+	}
+	if q.Latency.Count != int64(len(queries)) {
+		t.Fatalf("latency count = %d, want %d", q.Latency.Count, len(queries))
+	}
+	var inBuckets int64
+	for _, c := range q.Latency.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != q.Latency.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, q.Latency.Count)
+	}
+	if snap.Segments != len(segs) {
+		t.Fatalf("segments = %d, want %d", snap.Segments, len(segs))
+	}
+	if len(snap.Store.Shards) == 0 || snap.Store.PagesInUse == 0 {
+		t.Fatalf("store stats missing: %+v", snap.Store)
+	}
+	var reads, hits int64
+	for _, sh := range snap.Store.Shards {
+		reads += sh.Reads
+		hits += sh.CacheHits
+	}
+	if reads != snap.Store.Total.Reads || hits != snap.Store.Total.CacheHits {
+		t.Fatalf("shard stats do not sum to totals: %d/%d vs %+v", reads, hits, snap.Store.Total)
+	}
+	if snap.Admission.MaxInflight != 8 || snap.Admission.Admitted != int64(len(queries)) {
+		t.Fatalf("admission stats: %+v", snap.Admission)
+	}
+	// Programmatic and HTTP snapshots agree on the counters.
+	if ps := srv.Snapshot(); ps.Endpoints["query"].Requests != q.Requests {
+		t.Fatalf("programmatic snapshot disagrees: %d vs %d",
+			ps.Endpoints["query"].Requests, q.Requests)
+	}
+}
+
+// TestBadRequests covers the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	hs, _, _ := testServer(t, server.Config{MaxBatch: 4})
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+		bytes.NewReader([]byte(`{bad json`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	over := server.QueryRequest{Queries: make([]server.QuerySpec, 5)}
+	body, _ := json.Marshal(&over)
+	resp, err = http.Post(hs.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(hs.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET query: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestGate unit-tests the semaphore directly.
+func TestGate(t *testing.T) {
+	g := server.NewGate(2)
+	if err := g.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit(); err != server.ErrSaturated {
+		t.Fatalf("third Admit = %v, want ErrSaturated", err)
+	}
+	g.Release()
+	if err := g.Admit(); err != nil {
+		t.Fatalf("Admit after Release = %v", err)
+	}
+	g.StartDrain()
+	if err := g.Admit(); err != server.ErrDraining {
+		t.Fatalf("Admit while draining = %v, want ErrDraining", err)
+	}
+	select {
+	case <-g.Drained():
+		t.Fatal("Drained closed with requests in flight")
+	default:
+	}
+	g.Release()
+	g.Release()
+	select {
+	case <-g.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("Drained never closed")
+	}
+	st := g.Stats()
+	if st.Shed != 1 || st.Rejected != 1 || st.Admitted != 3 || st.Inflight != 0 || !st.Draining {
+		t.Fatalf("gate stats: %+v", st)
+	}
+}
+
+// TestGateConcurrent hammers the gate from many goroutines under -race:
+// inflight must never exceed capacity and every admit must be released.
+func TestGateConcurrent(t *testing.T) {
+	const cap = 8
+	g := server.NewGate(cap)
+	var over, admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g.Admit() != nil {
+					continue
+				}
+				mu.Lock()
+				admitted++
+				if g.Inflight() > cap {
+					over++
+				}
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if over != 0 {
+		t.Fatalf("inflight exceeded capacity %d times", over)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all releases", g.Inflight())
+	}
+	if st := g.Stats(); st.Admitted != admitted {
+		t.Fatalf("admitted counter %d != observed %d", st.Admitted, admitted)
+	}
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the serving path. Builds a small
+# file-backed index, starts segdbd, drives it with segload, asserts
+# /statsz returns sane JSON, and shuts the daemon down gracefully.
+set -euo pipefail
+
+addr=127.0.0.1:18070
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir" ./cmd/segdb ./cmd/segdbd ./cmd/segload
+
+"$dir/segdb" gen -kind layers -n 5000 -out "$dir/segs.csv" >/dev/null
+"$dir/segdb" build -in "$dir/segs.csv" -db "$dir/index.db" -b 32 >/dev/null
+# A query through the CLI cross-checks the persisted index against the CSV.
+"$dir/segdb" query -db "$dir/index.db" -b 32 -x 2500 -ylo 0 -yhi 200 -check "$dir/segs.csv" >/dev/null
+
+"$dir/segdbd" -db "$dir/index.db" -addr "$addr" -max-inflight 16 >"$dir/segdbd.log" 2>&1 &
+pid=$!
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    kill -0 "$pid" 2>/dev/null || { echo "segdbd died:"; cat "$dir/segdbd.log"; exit 1; }
+    sleep 0.1
+done
+
+"$dir/segload" -addr "http://$addr" -csv "$dir/segs.csv" -c 4 -duration 2s
+
+# /statsz must be valid JSON recording the traffic segload just sent.
+stats=$(curl -fsS "http://$addr/statsz")
+echo "$stats" | jq -e '
+    .endpoints.query.requests > 0
+    and .endpoints.query.answers > 0
+    and .endpoints.query.latency.count > 0
+    and (.store.shards | length) > 0
+    and .store.total.Reads > 0
+    and .admission.max_inflight == 16
+    and .admission.inflight == 0
+    and .segments > 0' >/dev/null \
+    || { echo "serve-smoke: statsz failed sanity check:"; echo "$stats" | jq . || echo "$stats"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "serve-smoke: OK"

@@ -34,6 +34,14 @@
 // Queries of any other fixed direction are supported by rotating the data
 // once with RotationAligning and rotating each query with
 // Rotation.ApplyQuery (paper, footnote 1).
+//
+// # Serving
+//
+// A persisted index (CreateSolution1/2 + Save, or the segdb build tool)
+// reopens with Open or OpenIndexFile; wrap it in Synchronized for
+// concurrent queries (QueryContext adds per-query cancellation) and
+// serve it with internal/server via the segdbd daemon, which fronts the
+// index with admission control and live metrics.
 package segdb
 
 import (

@@ -1,6 +1,9 @@
 package segdb
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // SyncIndex wraps an Index for concurrent use: queries take a shared lock
 // and run in parallel; updates take an exclusive lock. Reader parallelism
@@ -25,6 +28,50 @@ func (s *SyncIndex) Query(q Query, emit func(Segment)) (QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ix.Query(q, emit)
+}
+
+// queryAborted unwinds a query whose context was cancelled mid-emission.
+type queryAborted struct{}
+
+// QueryContext runs Query under the shared lock, honouring ctx: a context
+// already done returns immediately, and cancellation or deadline expiry
+// during the query aborts result emission within a bounded number of
+// further answers. The Index contract has no cancellation channel, so the
+// abort unwinds through the emit callback; a query that touches many
+// pages between answers is only interrupted at its next answer. On
+// cancellation the segments already passed to emit remain delivered and
+// the returned error is ctx.Err().
+func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment)) (QueryStats, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryStats{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		st  QueryStats
+		err error
+		n   int
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(queryAborted); !ok {
+					panic(r)
+				}
+			}
+		}()
+		st, err = s.ix.Query(q, func(sg Segment) {
+			emit(sg)
+			// ctx.Err is a mutex acquisition; amortize it across answers.
+			if n++; n&0x3f == 0 && ctx.Err() != nil {
+				panic(queryAborted{})
+			}
+		})
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return st, cerr
+	}
+	return st, err
 }
 
 // Insert implements the Index contract under an exclusive lock.
