@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke ci
+.PHONY: all build vet test race bench fuzz-smoke serve-smoke ci
 
 all: ci
 
@@ -14,13 +14,20 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate: every concurrency-sensitive test (pager races,
-# singleflight, QueryBatch, SyncIndex stress, server admission/drain)
-# must pass under -race.
+# singleflight, QueryBatch, SyncIndex stress, server admission/drain,
+# crash matrix) must pass under -race.
 race:
-	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve' ./internal/pager ./internal/server ./...
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash' ./internal/pager ./internal/server ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Short coverage-guided runs of every fuzz target (go test -fuzz takes
+# one target per invocation).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzBuildQuery -fuzztime 20s -run '^$$' .
+	$(GO) test -fuzz FuzzRelateSymmetry -fuzztime 20s -run '^$$' ./internal/geom
+	$(GO) test -fuzz FuzzPlanarize -fuzztime 20s -run '^$$' ./internal/geom
 
 # End-to-end serving gate: gen → build → segdbd → segload → /statsz.
 serve-smoke:

@@ -2,7 +2,9 @@ package segdb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 
 	"segdb/internal/core"
@@ -22,12 +24,36 @@ const (
 	catalogMagic = 0x42444753 // "SGDB"
 	// Version 2 appends the store page size (offset 36), so reopening
 	// with a mismatched -b is a clear error instead of silent misreads.
-	catalogVersion = 2
+	// Version 3 keeps the identical catalog layout but marks a
+	// checksummed file: every page (this one included) carries a CRC32C
+	// trailer verified on read (see pager.ChecksumDevice), so the
+	// physical page size is the logical size plus the trailer. Save
+	// stamps the version matching the store's device, and Open refuses a
+	// store whose device disagrees with the file's version.
+	catalogVersionPlain    = 2
+	catalogVersionChecksum = 3
 
 	kindSolution1 = 1
 	kindSolution2 = 2
 
 	catalogPageSizeOff = 36 // byte offset of the page-size field
+)
+
+// Sentinel errors of the file-probing and verification paths. They are
+// wrapped with context (path, page, sizes); test with errors.Is.
+var (
+	// ErrNotIndex reports a file whose catalog magic is wrong: not a
+	// segdb index at all.
+	ErrNotIndex = errors.New("segdb: not a segdb index file")
+	// ErrTruncated reports a file too short for what its header (or the
+	// absence of one) promises: zero-length, sub-header, or cut mid-page.
+	ErrTruncated = errors.New("segdb: index file truncated")
+	// ErrVersion reports a catalog version this build does not support.
+	ErrVersion = errors.New("segdb: unsupported catalog version")
+	// ErrCorrupt reports a page whose checksum does not match its
+	// contents (catalog v3). It is pager.ErrCorrupt, re-exported so
+	// callers need only this package.
+	ErrCorrupt = pager.ErrCorrupt
 )
 
 // CreateSolution1 builds a Solution-1 index on a fresh store and writes
@@ -75,7 +101,11 @@ func Save(st *Store, ix Index) error {
 	page := make([]byte, st.PageSize())
 	c := pager.NewBuf(page)
 	c.PutU32(catalogMagic)
-	c.PutU8(catalogVersion)
+	version := uint8(catalogVersionPlain)
+	if st.Checksummed() {
+		version = catalogVersionChecksum
+	}
+	c.PutU8(version)
 	switch v := ix.(type) {
 	case core.Solution1:
 		cfg := v.Index.Config()
@@ -121,8 +151,15 @@ func Open(st *Store) (Index, error) {
 	if c.U32() != catalogMagic {
 		return nil, fmt.Errorf("segdb: page 1 is not a segdb catalog")
 	}
-	if v := c.U8(); v != catalogVersion {
-		return nil, fmt.Errorf("segdb: catalog version %d unsupported", v)
+	switch v := c.U8(); {
+	case v != catalogVersionPlain && v != catalogVersionChecksum:
+		return nil, fmt.Errorf("segdb: catalog version %d: %w", v, ErrVersion)
+	case v == catalogVersionChecksum && !st.Checksummed():
+		// A v3 file read through a plain device would misplace every page
+		// (the physical pages are trailer-widened) — refuse early.
+		return nil, fmt.Errorf("segdb: catalog is v%d (checksummed) but the store's device does not verify checksums; open the file with OpenIndexFile", v)
+	case v == catalogVersionPlain && st.Checksummed():
+		return nil, fmt.Errorf("segdb: catalog is v%d (plain) but the store's device expects checksummed pages; open the file with OpenIndexFile", v)
 	}
 	kind := c.U8()
 	c.Skip(2)
@@ -163,57 +200,127 @@ func Open(st *Store) (Index, error) {
 	}
 }
 
-// ProbeFile inspects a store file's catalog header without opening a
-// Store and returns the block capacity and page size it was built with.
-// The catalog lives on page 1 at byte offset 0 with both values at fixed
-// offsets, so the probe needs no page-size guess — it is how tools
-// discover the right configuration for an existing file.
-func ProbeFile(path string) (b, pageSize int, err error) {
+// probeFile reads the catalog header straight off the file, classifying
+// every failure with a typed sentinel: ErrTruncated for zero-length or
+// sub-header files, ErrNotIndex for a wrong magic, ErrVersion for an
+// unknown version, and ErrCorrupt when a v3 catalog page fails its
+// checksum.
+func probeFile(path string) (b, pageSize, version int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("segdb: probe: %w", err)
+		return 0, 0, 0, fmt.Errorf("segdb: probe: %w", err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: %w", path, err)
+	}
+	if fi.Size() == 0 {
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: zero-length file: %w", path, ErrTruncated)
+	}
 	var hdr [catalogPageSizeOff + 4]byte
+	if fi.Size() < int64(len(hdr)) {
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: %d bytes is shorter than the %d-byte catalog header: %w",
+			path, fi.Size(), len(hdr), ErrTruncated)
+	}
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return 0, 0, fmt.Errorf("segdb: probe %s: catalog header unreadable: %w", path, err)
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: catalog header unreadable: %w", path, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != catalogMagic {
-		return 0, 0, fmt.Errorf("segdb: probe %s: not a segdb store (bad magic)", path)
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: bad catalog magic: %w", path, ErrNotIndex)
 	}
-	if v := hdr[4]; v != catalogVersion {
-		return 0, 0, fmt.Errorf("segdb: probe %s: catalog version %d unsupported", path, v)
+	version = int(hdr[4])
+	if version != catalogVersionPlain && version != catalogVersionChecksum {
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: catalog version %d: %w", path, version, ErrVersion)
 	}
 	b = int(binary.LittleEndian.Uint32(hdr[8:12]))
 	pageSize = int(binary.LittleEndian.Uint32(hdr[catalogPageSizeOff:]))
 	if b <= 0 || pageSize <= 0 {
-		return 0, 0, fmt.Errorf("segdb: probe %s: catalog records invalid geometry (B=%d, page size %d)", path, b, pageSize)
+		return 0, 0, 0, fmt.Errorf("segdb: probe %s: catalog records invalid geometry (B=%d, page size %d): %w",
+			path, b, pageSize, ErrCorrupt)
 	}
-	return b, pageSize, nil
+	if version == catalogVersionPlain {
+		// A plain store is always a whole number of pages; a ragged size
+		// means a truncated write — or a checksummed file whose version
+		// byte rotted to 2, since v3's 8-byte trailers break alignment.
+		if fi.Size()%int64(pageSize) != 0 {
+			return 0, 0, 0, fmt.Errorf("segdb: probe %s: size %d is not a multiple of the %d-byte page: %w",
+				path, fi.Size(), pageSize, ErrTruncated)
+		}
+	}
+	if version == catalogVersionChecksum {
+		// The whole catalog page carries a checksum trailer: verify it so
+		// a torn or bit-rotten catalog is a typed ErrCorrupt here instead
+		// of a decoding failure later.
+		phys := make([]byte, pager.PhysicalPageSize(pageSize))
+		if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(len(phys))), phys); err != nil {
+			return 0, 0, 0, fmt.Errorf("segdb: probe %s: file shorter than one %d-byte page: %w",
+				path, len(phys), ErrTruncated)
+		}
+		if err := pager.VerifyPage(phys); err != nil {
+			return 0, 0, 0, fmt.Errorf("segdb: probe %s: catalog page: %w", path, err)
+		}
+	}
+	return b, pageSize, version, nil
+}
+
+// ProbeFile inspects a store file's catalog header without opening a
+// Store and returns the block capacity and page size it was built with.
+// The catalog lives on page 1 at byte offset 0 with both values at fixed
+// offsets, so the probe needs no page-size guess — it is how tools
+// discover the right configuration for an existing file. Failures wrap
+// the sentinels ErrTruncated, ErrNotIndex, ErrVersion and ErrCorrupt.
+func ProbeFile(path string) (b, pageSize int, err error) {
+	b, pageSize, _, err = probeFile(path)
+	return b, pageSize, err
+}
+
+// ProbeFileVersion is ProbeFile plus the catalog format version
+// (2 = plain pages, 3 = checksummed pages). Tools use it to decide
+// whether a file still needs the v2 -> v3 upgrade via CompactIndexFile.
+func ProbeFileVersion(path string) (b, pageSize, version int, err error) {
+	return probeFile(path)
+}
+
+// openProbedStore opens the store for a probed file with the device
+// stack its catalog version requires: a plain file device for v2, a
+// checksum-verifying one for v3.
+func openProbedStore(path string, pageSize, version, cachePages int) (*Store, error) {
+	if version == catalogVersionChecksum {
+		dev, err := pager.OpenFileDevice(path, pager.PhysicalPageSize(pageSize))
+		if err != nil {
+			return nil, err
+		}
+		return pager.Open(pager.NewChecksumDevice(dev, pageSize), pageSize, cachePages)
+	}
+	dev, err := pager.OpenFileDevice(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return pager.Open(dev, pageSize, cachePages)
 }
 
 // OpenIndexFile opens a file-backed store and reattaches the index its
 // catalog records, returning both so callers keep the store for stats,
 // Sync and Close. B = 0 probes the file for the build-time geometry —
 // the robust default, since it recovers the exact page size even for
-// indexes built with a derived block capacity. On any error after the
-// store opens, the store is closed.
+// indexes built with a derived block capacity; a non-zero B must match
+// the build-time capacity. The file's catalog version selects the device
+// stack: v3 files read through checksum verification, v2 files (built
+// before page checksums) open as-is. As a recovery pass, an orphaned
+// <path>.tmp left by a build or compact that crashed before its commit
+// rename is removed. On any error after the store opens, the store is
+// closed.
 func OpenIndexFile(path string, B, cachePages int) (*Store, Index, error) {
-	var st *Store
-	var err error
-	if B == 0 {
-		_, pageSize, perr := ProbeFile(path)
-		if perr != nil {
-			return nil, nil, perr
-		}
-		dev, derr := pager.OpenFileDevice(path, pageSize)
-		if derr != nil {
-			return nil, nil, derr
-		}
-		st, err = pager.Open(dev, pageSize, cachePages)
-	} else {
-		st, err = OpenFileStore(path, B, cachePages)
+	RecoverIndexFile(path)
+	b, pageSize, version, err := probeFile(path)
+	if err != nil {
+		return nil, nil, err
 	}
+	if B != 0 && B != b {
+		return nil, nil, fmt.Errorf("segdb: %s was built with block capacity B=%d but was opened with B=%d; pass B=0 to probe the file", path, b, B)
+	}
+	st, err := openProbedStore(path, pageSize, version, cachePages)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -223,4 +330,17 @@ func OpenIndexFile(path string, B, cachePages int) (*Store, Index, error) {
 		return nil, nil, err
 	}
 	return st, ix, nil
+}
+
+// RecoverIndexFile applies the crash-recovery rule of the shadow-file
+// commit protocol: a surviving <path>.tmp means a Build/Compact crashed
+// before its rename, so the temporary is incomplete by definition and is
+// deleted. The committed file at path, if any, is never touched. It
+// reports whether an orphan was removed.
+func RecoverIndexFile(path string) bool {
+	tmp := shadowPath(path)
+	if _, err := os.Stat(tmp); err != nil {
+		return false
+	}
+	return os.Remove(tmp) == nil
 }

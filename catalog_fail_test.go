@@ -1,6 +1,7 @@
 package segdb_test
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -134,5 +135,159 @@ func TestProbeAndOpenIndexFile(t *testing.T) {
 	// not leak open.
 	if _, _, err := segdb.OpenIndexFile(path, 32, 32); err == nil {
 		t.Fatal("OpenIndexFile with wrong B succeeded")
+	}
+}
+
+// TestProbeTypedErrors: each distinct failure mode of ProbeFile and
+// OpenIndexFile must surface its own wrapped sentinel, so operators (and
+// the crash matrix) can tell "not ours" from "ours but damaged".
+func TestProbeTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	zero := filepath.Join(dir, "zero.db")
+	if err := os.WriteFile(zero, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := segdb.ProbeFile(zero); !errors.Is(err, segdb.ErrTruncated) {
+		t.Fatalf("zero-length file: %v, want ErrTruncated", err)
+	}
+
+	stub := filepath.Join(dir, "stub.db")
+	if err := os.WriteFile(stub, []byte("SGDB"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := segdb.ProbeFile(stub); !errors.Is(err, segdb.ErrTruncated) {
+		t.Fatalf("sub-header file: %v, want ErrTruncated", err)
+	}
+
+	notIndex := filepath.Join(dir, "not.db")
+	if err := os.WriteFile(notIndex, make([]byte, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := segdb.ProbeFile(notIndex); !errors.Is(err, segdb.ErrNotIndex) {
+		t.Fatalf("wrong magic: %v, want ErrNotIndex", err)
+	}
+
+	// Future version: real magic, version byte from the future.
+	path, _ := buildIndexFile(t, 16)
+	futz := func(off int64, b byte) {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{b}, off); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	futz(4, 99)
+	if _, _, err := segdb.ProbeFile(path); !errors.Is(err, segdb.ErrVersion) {
+		t.Fatalf("unknown version: %v, want ErrVersion", err)
+	}
+	if _, _, err := segdb.OpenIndexFile(path, 0, 8); !errors.Is(err, segdb.ErrVersion) {
+		t.Fatalf("OpenIndexFile on unknown version: %v, want ErrVersion", err)
+	}
+
+	// Checksummed build with a corrupted catalog payload: ErrCorrupt.
+	v3 := filepath.Join(dir, "v3.db")
+	rng := rand.New(rand.NewSource(9))
+	if err := segdb.BuildIndexFile(v3, segdb.Options{B: 16}, 2, workload.Grid(rng, 6, 6, 0.9, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(v3, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 20); err != nil { // inside the catalog payload
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := segdb.ProbeFile(v3); !errors.Is(err, segdb.ErrCorrupt) {
+		t.Fatalf("checksum mismatch: %v, want ErrCorrupt", err)
+	}
+	if _, _, err := segdb.OpenIndexFile(v3, 0, 8); !errors.Is(err, segdb.ErrCorrupt) {
+		t.Fatalf("OpenIndexFile on checksum mismatch: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVerifyDetectsEveryFlippedByte is the acceptance criterion for the
+// checksum format: flip any single byte of a committed v3 file and
+// VerifyIndexFile must report a typed error — catalog bytes, index
+// pages, trailers and allocator slack alike.
+func TestVerifyDetectsEveryFlippedByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	segs := workload.Grid(rng, 6, 6, 0.9, 0.2)
+	path := filepath.Join(t.TempDir(), "ix.db")
+	if err := segdb.BuildIndexFile(path, segdb.Options{B: 16}, 2, segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := segdb.VerifyIndexFile(path); err != nil {
+		t.Fatalf("pristine file failed verification: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	typed := func(err error) bool {
+		return errors.Is(err, segdb.ErrCorrupt) || errors.Is(err, segdb.ErrTruncated) ||
+			errors.Is(err, segdb.ErrNotIndex) || errors.Is(err, segdb.ErrVersion)
+	}
+	for off := 0; off < len(orig); off++ {
+		if _, err := f.WriteAt([]byte{orig[off] ^ 0x01}, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		if verr := segdb.VerifyIndexFile(path); verr == nil {
+			t.Fatalf("flipped byte %d of %d went undetected", off, len(orig))
+		} else if !typed(verr) {
+			t.Fatalf("flipped byte %d: untyped error: %v", off, verr)
+		}
+		if _, err := f.WriteAt([]byte{orig[off]}, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := segdb.VerifyIndexFile(path); err != nil {
+		t.Fatalf("restored file failed verification: %v", err)
+	}
+}
+
+// TestCatalogV2StillOpens: plain (v2) files written through OpenFileStore
+// keep opening and verifying after the v3 format landed; checksums are
+// v3-only.
+func TestCatalogV2StillOpens(t *testing.T) {
+	path, segs := buildIndexFile(t, 16) // helper writes a plain v2 file
+	st, ix, err := segdb.OpenIndexFile(path, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if ix.Len() != len(segs) {
+		t.Fatalf("v2 reopen Len = %d, want %d", ix.Len(), len(segs))
+	}
+	if err := segdb.VerifyIndexFile(path); err != nil {
+		t.Fatalf("v2 file failed verification: %v", err)
+	}
+	// CompactIndexFile is the documented v2 -> v3 upgrade path.
+	if err := segdb.CompactIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, _, version, err := segdb.ProbeFileVersion(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Fatalf("post-compact version = %d, want 3", version)
+	}
+	st2, ix2, err := segdb.OpenIndexFile(path, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if ix2.Len() != len(segs) {
+		t.Fatalf("upgraded Len = %d, want %d", ix2.Len(), len(segs))
 	}
 }

@@ -1,11 +1,14 @@
 package segdb_test
 
 import (
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
 	"segdb"
+	"segdb/internal/faultdev"
+	"segdb/internal/pager"
 	"segdb/internal/workload"
 )
 
@@ -145,5 +148,25 @@ func TestSaveRejectsBaselines(t *testing.T) {
 	}
 	if err := segdb.Save(st, ix); err == nil {
 		t.Fatal("Save accepted a baseline")
+	}
+}
+
+// TestCatalogSaveSurfacesFaults: a dying disk during the build-and-save
+// sequence comes back as the injected fault, never a panic or a silent
+// half-saved catalog.
+func TestCatalogSaveSurfacesFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+	pageSize := segdb.PageSizeFor(16)
+	for _, budget := range []int64{0, 1, 2, 4} {
+		dev := faultdev.New(pager.NewMemDevice(pageSize), budget+1)
+		dev.SetBudget(budget)
+		st, err := pager.Open(dev, pageSize, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs); !errors.Is(err, faultdev.ErrInjected) {
+			t.Fatalf("budget %d: %v, want ErrInjected", budget, err)
+		}
 	}
 }

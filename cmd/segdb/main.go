@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	segdb gen   -kind layers|grid|levels|stacks -n 10000 -out segs.csv
-//	segdb build -in segs.csv -db index.db -b 32 [-sol 1|2]
-//	segdb query -db index.db -x 10 -ylo 0 -yhi 5 [-check segs.csv]
+//	segdb gen     -kind layers|grid|levels|stacks -n 10000 -out segs.csv
+//	segdb build   -in segs.csv -db index.db -b 32 [-sol 1|2]
+//	segdb query   -db index.db -x 10 -ylo 0 -yhi 5 [-check segs.csv]
+//	segdb verify  -db index.db
+//	segdb compact -db index.db
 //
-// build persists the index with a catalog page; query reopens it from
-// disk without rebuilding and optionally cross-checks the answer against
-// a linear scan of the original CSV.
+// build persists the index with a catalog page, atomically: it writes
+// index.db.tmp with per-page checksums (catalog v3), fsyncs, renames and
+// fsyncs the directory, so a crash leaves either the old file or the new
+// one. query reopens it from disk without rebuilding and optionally
+// cross-checks the answer against a linear scan of the original CSV.
+// verify checks the whole file (catalog, every page checksum, full
+// structural walk); compact rewrites it balanced and tightly packed
+// through the same atomic commit, which also upgrades pre-checksum (v2)
+// files to v3.
 package main
 
 import (
@@ -40,14 +48,55 @@ func main() {
 		cmdQuery(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "compact":
+		cmdCompact(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: segdb gen|build|query|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: segdb gen|build|query|stats|verify|compact [flags]")
 	os.Exit(2)
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	db := fs.String("db", "index.db", "store file")
+	fs.Parse(args)
+
+	if err := segdb.VerifyIndexFile(*db); err != nil {
+		fatal(err)
+	}
+	b, ps, err := segdb.ProbeFile(*db)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: ok (B=%d, %d bytes/page, every page checksum and the full structural walk verified)\n",
+		*db, b, ps)
+}
+
+func cmdCompact(args []string) {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	db := fs.String("db", "index.db", "store file")
+	fs.Parse(args)
+
+	before := fileSize(*db)
+	if err := segdb.CompactIndexFile(*db); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: compacted, %d -> %d bytes (atomic shadow-file commit)\n",
+		*db, before, fileSize(*db))
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
 }
 
 func cmdStats(args []string) {
@@ -170,30 +219,18 @@ func cmdBuild(args []string) {
 	fs.Parse(args)
 
 	segs := loadSegs(*in)
-	os.Remove(*db)
-	st, err := segdb.OpenFileStore(*db, *b, 64)
+	// BuildIndexFile is the crash-safe path: the index is written to
+	// *db.tmp with page checksums, fsynced, renamed over *db, and the
+	// directory is fsynced — a crash mid-build leaves the old file.
+	if err := segdb.BuildIndexFile(*db, segdb.Options{B: *b}, *sol, segs); err != nil {
+		fatal(err)
+	}
+	st, ix, err := segdb.OpenIndexFile(*db, 0, 64)
 	if err != nil {
 		fatal(err)
 	}
 	defer st.Close()
-	var ix segdb.Index
-	switch *sol {
-	case 1:
-		ix, err = segdb.CreateSolution1(st, segdb.Options{B: *b}, segs)
-	case 2:
-		ix, err = segdb.CreateSolution2(st, segdb.Options{B: *b}, segs)
-	default:
-		err = fmt.Errorf("unknown solution %d", *sol)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	// The catalog is persisted; fsync before Close so a crash here cannot
-	// lose the index.
-	if err := st.Sync(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("built solution %d over %d segments: %d pages (%s)\n",
+	fmt.Printf("built solution %d over %d segments: %d pages (%s, checksummed v3)\n",
 		*sol, ix.Len(), st.PagesInUse(), *db)
 }
 

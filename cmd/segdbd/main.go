@@ -22,6 +22,12 @@
 //	GET  /statsz     request counts, latency histograms, admission and
 //	                 per-shard store stats (JSON)
 //	GET  /healthz    liveness; 503 once draining
+//	GET  /healthz?deep=1  additionally runs a stabbing query (at
+//	                 -probe-x) through the real store: corrupt pages or a
+//	                 dying disk answer 500, not ok
+//
+// -verify runs segdb.VerifyIndexFile before serving: every page checksum
+// plus a full structural walk, refusing to serve a damaged file.
 //
 // SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
 // queries, fsync and close the store.
@@ -54,8 +60,16 @@ func main() {
 	maxBatch := flag.Int("max-batch", 1024, "max queries per batch request")
 	batchWorkers := flag.Int("batch-workers", 4, "QueryBatch workers per batch request")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget")
+	verify := flag.Bool("verify", false, "verify the whole index file (checksums + structural walk) before serving")
+	probeX := flag.Float64("probe-x", 0, "x of the stabbing query run by /healthz?deep=1")
 	flag.Parse()
 
+	if *verify {
+		if err := segdb.VerifyIndexFile(*db); err != nil {
+			log.Fatalf("segdbd: refusing to serve: %v", err)
+		}
+		log.Printf("segdbd: %s verified (checksums + structural walk)", *db)
+	}
 	st, ix, err := segdb.OpenIndexFile(*db, *b, *cache)
 	if err != nil {
 		log.Fatalf("segdbd: %v", err)
@@ -69,6 +83,7 @@ func main() {
 		RetryAfter:       *retryAfter,
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *batchWorkers,
+		DeepProbeX:       *probeX,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

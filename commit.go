@@ -1,0 +1,171 @@
+package segdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"segdb/internal/core"
+	"segdb/internal/pager"
+)
+
+// Index files are mutated only through a shadow-file commit: the new
+// index is built at <path>.tmp, the file is fsynced, renamed over path,
+// and the directory is fsynced. A crash at any point leaves either the
+// old committed file or the new one — never a hybrid — and the orphaned
+// .tmp is swept by the recovery pass in OpenIndexFile. New files are
+// written in catalog v3: every page carries a CRC32C trailer verified on
+// read, so torn writes and bit-rot that a lying disk let through the
+// protocol are still detected as ErrCorrupt instead of decoded into
+// wrong answers.
+
+// buildCachePages is the buffer-pool size used while building an index
+// file; builds are write-heavy, so a modest pool suffices.
+const buildCachePages = 64
+
+// shadowPath returns the temporary path a build writes before its commit
+// rename.
+func shadowPath(path string) string { return path + ".tmp" }
+
+// deviceWrapper lets tests interpose a fault-injecting device between
+// the checksum layer and the shadow file; nil means none.
+type deviceWrapper func(pager.Device) pager.Device
+
+// CreateFileStore creates a fresh checksummed (catalog v3) file-backed
+// store sized for blocks of B segments. Unlike OpenFileStore it writes
+// pages with CRC32C trailers; use it for new files and OpenIndexFile to
+// reopen them. The caller owns durability: Sync before Close, or use
+// BuildIndexFile for the full atomic-commit protocol.
+func CreateFileStore(path string, B, cachePages int) (*Store, error) {
+	logical := PageSizeFor(B)
+	dev, err := pager.OpenFileDevice(path, pager.PhysicalPageSize(logical))
+	if err != nil {
+		return nil, err
+	}
+	return pager.Open(pager.NewChecksumDevice(dev, logical), logical, cachePages)
+}
+
+// BuildIndexFile builds a persisted index over segs atomically. The
+// index is constructed in <path>.tmp with page checksums (catalog v3),
+// fsynced, renamed over path, and the directory is fsynced — so a crash
+// at any point leaves path holding either its previous contents or the
+// complete new index. sol selects the paper's Solution 1 or 2;
+// opt.B = 0 selects 32.
+func BuildIndexFile(path string, opt Options, sol int, segs []Segment) error {
+	return buildIndexFile(path, opt, sol, segs, nil)
+}
+
+func buildIndexFile(path string, opt Options, sol int, segs []Segment, wrap deviceWrapper) (err error) {
+	if opt.B == 0 {
+		opt.B = 32
+	}
+	tmp := shadowPath(path)
+	// A surviving .tmp is a crashed earlier build: incomplete by
+	// definition, safe to discard.
+	os.Remove(tmp)
+
+	logical := PageSizeFor(opt.B)
+	fdev, err := pager.OpenFileDevice(tmp, pager.PhysicalPageSize(logical))
+	if err != nil {
+		return fmt.Errorf("segdb: build %s: %w", path, err)
+	}
+	var dev pager.Device = fdev
+	if wrap != nil {
+		dev = wrap(dev)
+	}
+	st, err := pager.Open(pager.NewChecksumDevice(dev, logical), logical, buildCachePages)
+	if err != nil {
+		dev.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segdb: build %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			st.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	switch sol {
+	case 1:
+		_, err = CreateSolution1(st, opt, segs)
+	case 2:
+		_, err = CreateSolution2(st, opt, segs)
+	default:
+		err = fmt.Errorf("segdb: build %s: unknown solution %d", path, sol)
+	}
+	if err != nil {
+		return err
+	}
+	// Commit point 1: everything (data pages + catalog) reaches the
+	// platter before the rename can expose the file under path.
+	if err = st.Sync(); err != nil {
+		return fmt.Errorf("segdb: build %s: sync: %w", path, err)
+	}
+	if err = st.Close(); err != nil {
+		return fmt.Errorf("segdb: build %s: close: %w", path, err)
+	}
+	// Commit point 2: the atomic rename, made durable by the directory
+	// fsync. Before the rename a crash leaves the old file; after it, the
+	// new one.
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segdb: build %s: commit rename: %w", path, err)
+	}
+	if err = syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("segdb: build %s: %w", path, err)
+	}
+	return nil
+}
+
+// CompactIndexFile rewrites the index file at path balanced and tightly
+// packed, through the same shadow-file commit as BuildIndexFile: a crash
+// leaves either the old file or the compacted one. The rebuild keeps the
+// index kind and configuration recorded in the catalog. Because the
+// replacement is a fresh v3 build, compacting is also the upgrade path
+// for pre-checksum (v2) files.
+func CompactIndexFile(path string) error {
+	return compactIndexFile(path, nil)
+}
+
+func compactIndexFile(path string, wrap deviceWrapper) error {
+	st, ix, err := OpenIndexFile(path, 0, buildCachePages)
+	if err != nil {
+		return fmt.Errorf("segdb: compact %s: %w", path, err)
+	}
+	segs, err := ix.Collect()
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("segdb: compact %s: %w", path, err)
+	}
+	var opt Options
+	var sol int
+	switch v := ix.(type) {
+	case core.Solution1:
+		cfg := v.Index.Config()
+		sol, opt = 1, Options{B: cfg.B, PlainPST: cfg.Plain, Alpha: cfg.Alpha}
+	case core.Solution2:
+		cfg := v.Index.Config()
+		sol, opt = 2, Options{B: cfg.B, D: cfg.D, NoCascade: !v.Index.UseBridges}
+	default:
+		st.Close()
+		return fmt.Errorf("segdb: compact %s: index type %T has no rebuild path", path, ix)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("segdb: compact %s: close: %w", path, err)
+	}
+	return buildIndexFile(path, opt, sol, segs, wrap)
+}
+
+// syncDir fsyncs a directory, making a just-committed rename durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package segdb_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdb"
+)
+
+// FuzzBuildQuery fuzzes the whole public pipeline: an arbitrary segment
+// soup is planarized into a valid NCT set, indexed by both solutions in
+// memory, and hit with an arbitrary segment/ray/line query whose answer
+// must match the linear-scan oracle exactly. It is the differential test
+// with fuzz-driven entropy: the fuzzer hunts for coordinate patterns
+// (shared endpoints, collinear stacks, queries grazing endpoints) that
+// random seeds rarely produce.
+func FuzzBuildQuery(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(0), 5.0, 2.0, 9.0)
+	f.Add(int64(2), uint8(20), uint8(1), 0.0, 0.0, 0.0)   // ray from the corner
+	f.Add(int64(3), uint8(33), uint8(3), 8.0, -1.0, -1.0) // line through the middle
+	f.Add(int64(4), uint8(12), uint8(2), 15.0, 3.0, 3.0)  // degenerate y-range
+	f.Add(int64(5), uint8(40), uint8(0), 7.0, 7.0, 7.0)   // point query on the grid
+	f.Fuzz(func(t *testing.T, seed int64, n, qsel uint8, qx, qlo, qhi float64) {
+		for _, v := range []float64{qx, qlo, qhi} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		if n == 0 || n > 48 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		soup := make([]segdb.Segment, n)
+		for i := range soup {
+			// A small integer grid maximizes shared endpoints, crossings
+			// and collinear overlaps — the planarizer's hard cases.
+			s := segdb.NewSegment(uint64(i+1),
+				float64(rng.Intn(16)), float64(rng.Intn(16)),
+				float64(rng.Intn(16)), float64(rng.Intn(16)))
+			if s.IsPoint() {
+				s.B.X++
+			}
+			soup[i] = s
+		}
+		pieces := segdb.Planarize(soup, 1000)
+		segs := make([]segdb.Segment, len(pieces))
+		for i, p := range pieces {
+			segs[i] = p.Seg
+		}
+		if err := segdb.ValidateNCT(segs); err != nil {
+			t.Fatalf("Planarize emitted an invalid set: %v (soup %v)", err, soup)
+		}
+
+		ix1, err := segdb.CreateSolution1(segdb.NewMemStore(8, 16), segdb.Options{B: 8}, segs)
+		if err != nil {
+			t.Fatalf("sol1 build: %v", err)
+		}
+		ix2, err := segdb.CreateSolution2(segdb.NewMemStore(8, 16), segdb.Options{B: 8}, segs)
+		if err != nil {
+			t.Fatalf("sol2 build: %v", err)
+		}
+
+		lo, hi := qlo, qhi
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var q segdb.Query
+		switch qsel % 4 {
+		case 0:
+			q = segdb.VSeg(qx, lo, hi)
+		case 1:
+			q = segdb.VRayUp(qx, lo)
+		case 2:
+			q = segdb.VRayDown(qx, hi)
+		default:
+			q = segdb.VLine(qx)
+		}
+
+		want := map[uint64]bool{}
+		for _, s := range segdb.FilterHits(q, segs) {
+			want[s.ID] = true
+		}
+		for name, ix := range map[string]segdb.Index{"sol1": ix1, "sol2": ix2} {
+			got, err := segdb.CollectQuery(ix, q)
+			if err != nil {
+				t.Fatalf("%s query %v: %v", name, q, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s query %v: %d hits, oracle says %d (soup %v)",
+					name, q, len(got), len(want), soup)
+			}
+			for _, s := range got {
+				if !want[s.ID] {
+					t.Fatalf("%s query %v: spurious hit %d (soup %v)", name, q, s.ID, soup)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"segdb/internal/faultdev"
 	"segdb/internal/geom"
 	"segdb/internal/pager"
 	"segdb/internal/sol1"
@@ -12,44 +13,14 @@ import (
 	"segdb/internal/workload"
 )
 
-// faultDevice wraps a device and starts failing every operation after a
-// budget of successful ones — a crude disk-death model that exercises the
-// error paths of every structure layered above.
-type faultDevice struct {
-	inner  pager.Device
-	budget int
-}
+// The dying-disk model lives in internal/faultdev now: one deterministic
+// fault device serves the core, catalog, sync and server suites, plus
+// the crash-matrix tests of the shadow-file commit protocol.
 
-var errInjected = errors.New("injected device fault")
-
-func (d *faultDevice) ReadPage(idx uint32, p []byte) error {
-	if d.budget <= 0 {
-		return errInjected
-	}
-	d.budget--
-	return d.inner.ReadPage(idx, p)
-}
-
-func (d *faultDevice) WritePage(idx uint32, p []byte) error {
-	if d.budget <= 0 {
-		return errInjected
-	}
-	d.budget--
-	return d.inner.WritePage(idx, p)
-}
-
-func (d *faultDevice) Sync() error {
-	if d.budget <= 0 {
-		return errInjected
-	}
-	return d.inner.Sync()
-}
-
-func (d *faultDevice) Close() error { return d.inner.Close() }
-
-func faultyStore(t *testing.T, pageSize, budget int) (*pager.Store, *faultDevice) {
+func faultyStore(t *testing.T, pageSize int, budget int64) (*pager.Store, *faultdev.Device) {
 	t.Helper()
-	dev := &faultDevice{inner: pager.NewMemDevice(pageSize), budget: budget}
+	dev := faultdev.New(pager.NewMemDevice(pageSize), 1)
+	dev.SetBudget(budget)
 	st, err := pager.Open(dev, pageSize, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -67,11 +38,11 @@ func TestBuildSurfacesDeviceErrors(t *testing.T) {
 	// A bulk build of ~190 segments needs at least ~⌈N/B⌉ page writes, so
 	// budgets below that must fail; larger budgets may legitimately
 	// succeed, but any failure must wrap the injected fault.
-	mustFail := len(segs)/16 - 1
-	for _, budget := range []int{0, 1, 3, mustFail, 30, 100, 300} {
+	mustFail := int64(len(segs)/16 - 1)
+	for _, budget := range []int64{0, 1, 3, mustFail, 30, 100, 300} {
 		st, _ := faultyStore(t, pageSize, budget)
 		if _, err := sol1.Build(st, sol1.Config{B: 16}, segs); err != nil {
-			if !errors.Is(err, errInjected) {
+			if !errors.Is(err, faultdev.ErrInjected) {
 				t.Fatalf("sol1 budget %d: error does not wrap the fault: %v", budget, err)
 			}
 		} else if budget <= mustFail {
@@ -80,7 +51,7 @@ func TestBuildSurfacesDeviceErrors(t *testing.T) {
 
 		st2, _ := faultyStore(t, pageSize, budget)
 		if _, err := sol2.Build(st2, sol2.Config{B: 16}, segs); err != nil {
-			if !errors.Is(err, errInjected) {
+			if !errors.Is(err, faultdev.ErrInjected) {
 				t.Fatalf("sol2 budget %d: error does not wrap the fault: %v", budget, err)
 			}
 		} else if budget <= mustFail {
@@ -96,23 +67,23 @@ func TestQuerySurfacesDeviceErrors(t *testing.T) {
 	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
 	pageSize := 64 + 48*16
 
-	st, dev := faultyStore(t, pageSize, 1<<30)
+	st, dev := faultyStore(t, pageSize, -1)
 	ix, err := sol2.Build(st, sol2.Config{B: 16}, segs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev.budget = 0 // disk dies; the zero-size pool forces real reads
-	if _, err := ix.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, errInjected) {
+	dev.SetBudget(0) // disk dies; the zero-size pool forces real reads
+	if _, err := ix.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, faultdev.ErrInjected) {
 		t.Fatalf("query on dead disk: %v", err)
 	}
 
-	st1, dev1 := faultyStore(t, pageSize, 1<<30)
+	st1, dev1 := faultyStore(t, pageSize, -1)
 	ix1, err := sol1.Build(st1, sol1.Config{B: 16}, segs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev1.budget = 0
-	if _, err := ix1.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, errInjected) {
+	dev1.SetBudget(0)
+	if _, err := ix1.Query(geom.VLine(5), func(geom.Segment) {}); !errors.Is(err, faultdev.ErrInjected) {
 		t.Fatalf("sol1 query on dead disk: %v", err)
 	}
 }
@@ -123,21 +94,39 @@ func TestInsertSurfacesDeviceErrors(t *testing.T) {
 	segs := workload.Levels(rng, 300, 200, 1.3)
 	pageSize := 64 + 48*16
 
-	st, dev := faultyStore(t, pageSize, 1<<30)
+	st, dev := faultyStore(t, pageSize, -1)
 	ix, err := sol1.Build(st, sol1.Config{B: 16}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range segs {
 		if i == 150 {
-			dev.budget = 5
+			dev.SetBudget(5)
 		}
 		if err := ix.Insert(s); err != nil {
-			if !errors.Is(err, errInjected) {
+			if !errors.Is(err, faultdev.ErrInjected) {
 				t.Fatalf("insert error does not wrap the fault: %v", err)
 			}
 			return // failed cleanly
 		}
 	}
 	t.Fatal("inserts kept succeeding on a dead disk")
+}
+
+// TestQuerySurfacesCrash: after a crash (as opposed to a dying disk),
+// in-flight structures see ErrCrashed, again cleanly.
+func TestQuerySurfacesCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+	pageSize := 64 + 48*16
+
+	st, dev := faultyStore(t, pageSize, -1)
+	ix, err := sol2.Build(st, sol2.Config{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	if _, err := ix.Query(geom.VLine(3), func(geom.Segment) {}); !errors.Is(err, faultdev.ErrCrashed) {
+		t.Fatalf("query on crashed device: %v, want ErrCrashed", err)
+	}
 }

@@ -1,0 +1,173 @@
+package faultdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"segdb/internal/pager"
+)
+
+func page(fill byte, n int) []byte { return bytes.Repeat([]byte{fill}, n) }
+
+func TestBudgetDyingDisk(t *testing.T) {
+	const ps = 32
+	d := New(pager.NewMemDevice(ps), 1)
+	d.SetBudget(2)
+	if err := d.WritePage(0, page(1, ps)); err != nil {
+		t.Fatalf("op within budget failed: %v", err)
+	}
+	buf := make([]byte, ps)
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatalf("op within budget failed: %v", err)
+	}
+	if err := d.WritePage(1, page(2, ps)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op past budget: %v, want ErrInjected", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync past budget: %v, want ErrInjected", err)
+	}
+}
+
+func TestSyncDoesNotConsumeBudget(t *testing.T) {
+	const ps = 16
+	d := New(pager.NewMemDevice(ps), 1)
+	d.SetBudget(1)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync within budget: %v", err)
+	}
+	// The sync above must not have spent the single budgeted op.
+	if err := d.WritePage(0, page(9, ps)); err != nil {
+		t.Fatalf("budgeted write after sync: %v", err)
+	}
+}
+
+func TestFailAtSingleOperation(t *testing.T) {
+	const ps = 16
+	d := New(pager.NewMemDevice(ps), 1)
+	d.FailAt(1)
+	if err := d.WritePage(0, page(1, ps)); err != nil {
+		t.Fatalf("op 0: %v", err)
+	}
+	if err := d.WritePage(1, page(2, ps)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 1: %v, want ErrInjected", err)
+	}
+	if err := d.WritePage(2, page(3, ps)); err != nil {
+		t.Fatalf("op 2 (after the one-shot fault): %v", err)
+	}
+}
+
+// TestCrashDiscardsUnsyncedWrites is the heart of the crash model: only
+// writes covered by a completed Sync survive into the durable image.
+func TestCrashDiscardsUnsyncedWrites(t *testing.T) {
+	const ps = 32
+	mem := pager.NewMemDevice(ps)
+	d := New(mem, 1)
+	if err := d.WritePage(0, page(0xAA, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(0, page(0xBB, ps)); err != nil { // unsynced overwrite
+		t.Fatal(err)
+	}
+	if err := d.WritePage(1, page(0xCC, ps)); err != nil { // unsynced new page
+		t.Fatal(err)
+	}
+	// Before the crash, reads see the page-cache view.
+	buf := make([]byte, ps)
+	if err := d.ReadPage(0, buf); err != nil || buf[0] != 0xBB {
+		t.Fatalf("pre-crash read = %x, %v; want BB", buf[0], err)
+	}
+	d.Crash()
+	if err := d.ReadPage(0, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: %v, want ErrCrashed", err)
+	}
+	// The durable image: page 0 holds the synced AA, page 1 nothing.
+	if err := mem.ReadPage(0, buf); err != nil || buf[0] != 0xAA {
+		t.Fatalf("durable page 0 = %x, %v; want AA", buf[0], err)
+	}
+	if err := mem.ReadPage(1, buf); err == nil {
+		t.Fatal("durable image has the unsynced page 1")
+	}
+}
+
+func TestCrashAtIsDeterministic(t *testing.T) {
+	run := func() (int64, error) {
+		d := New(pager.NewMemDevice(8), 7)
+		d.CrashAt(3)
+		var err error
+		for i := uint32(0); i < 10 && err == nil; i++ {
+			err = d.WritePage(i, page(byte(i), 8))
+		}
+		return d.Ops(), err
+	}
+	ops1, err1 := run()
+	ops2, err2 := run()
+	if ops1 != ops2 || !errors.Is(err1, ErrCrashed) || !errors.Is(err2, ErrCrashed) {
+		t.Fatalf("non-deterministic crash: (%d, %v) vs (%d, %v)", ops1, err1, ops2, err2)
+	}
+	if ops1 != 4 {
+		t.Fatalf("ops = %d, want 4 (3 ok + 1 crashed)", ops1)
+	}
+}
+
+// TestTornWrites: with tearing enabled, a crashed device may leave a
+// prefix of an unsynced page in the durable image — never the whole
+// page, and deterministically for a fixed seed.
+func TestTornWrites(t *testing.T) {
+	const ps = 64
+	image := func(seed int64) []byte {
+		mem := pager.NewMemDevice(ps)
+		d := New(mem, seed)
+		d.TornWrites(1)
+		if err := d.WritePage(0, page(0xFF, ps)); err != nil {
+			t.Fatal(err)
+		}
+		d.Crash()
+		buf := make([]byte, ps)
+		if err := mem.ReadPage(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	img := image(42)
+	if !bytes.Equal(img, image(42)) {
+		t.Fatal("torn image not deterministic for a fixed seed")
+	}
+	if bytes.Equal(img, page(0xFF, ps)) {
+		t.Fatal("torn write survived whole")
+	}
+	if bytes.Equal(img, page(0, ps)) {
+		t.Fatal("torn write left no prefix at all")
+	}
+	// The tear is a prefix: 0xFF bytes then zeroes, no interleaving.
+	cut := bytes.IndexByte(img, 0)
+	if cut <= 0 || !bytes.Equal(img[:cut], page(0xFF, cut)) || !bytes.Equal(img[cut:], page(0, ps-cut)) {
+		t.Fatalf("tear is not a clean prefix: %x", img)
+	}
+}
+
+// TestChecksumForwarding: a fault wrapper above a checksum stack must
+// not hide the format capability from the catalog layer.
+func TestChecksumForwarding(t *testing.T) {
+	const logical = 32
+	inner := pager.NewChecksumDevice(pager.NewMemDevice(pager.PhysicalPageSize(logical)), logical)
+	d := New(inner, 1)
+	st, err := pager.Open(d, logical, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Checksummed() {
+		t.Fatal("faultdev hid the inner device's checksum capability")
+	}
+	plain := New(pager.NewMemDevice(logical), 1)
+	st2, err := pager.Open(plain, logical, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Checksummed() {
+		t.Fatal("faultdev invented a checksum capability")
+	}
+}

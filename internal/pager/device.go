@@ -65,6 +65,16 @@ func (d *MemDevice) WritePage(idx uint32, p []byte) error {
 // a no-op.
 func (d *MemDevice) Sync() error { return nil }
 
+// NumPages returns the number of page slots the device has grown to —
+// written pages plus any holes below them. Crash tests use it to dump a
+// device's durable image to a file; never-written slots read as zeroes
+// there, like holes in a sparse file.
+func (d *MemDevice) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
 // Close implements Device. It drops the page storage.
 func (d *MemDevice) Close() error {
 	d.mu.Lock()

@@ -29,6 +29,13 @@ type Config struct {
 	// BatchParallelism bounds QueryBatch workers per batch request. 0
 	// selects 4. A batch occupies one admission slot regardless.
 	BatchParallelism int
+	// DeepProbeX is the x of the stabbing query /healthz?deep=1 runs as
+	// its deep check. The stab traverses the index's root spine and reads
+	// real (checksummed) pages, so page corruption or a dying disk turns
+	// the health endpoint red instead of only failing user queries.
+	DeepProbeX float64
+	// DeepTimeout bounds the deep check. 0 selects 2s.
+	DeepTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchParallelism <= 0 {
 		c.BatchParallelism = 4
+	}
+	if c.DeepTimeout <= 0 {
+		c.DeepTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -292,10 +302,24 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// handleHealthz is liveness by default; with ?deep=1 it also proves the
+// read path end to end by running a stabbing query against the real
+// store (root spine traversal, checksum-verified page reads). A deep
+// failure — a corrupt page, a dying disk, a wedged index lock — returns
+// 500 with the error, so orchestrators can stop routing to a replica
+// whose file has rotted underneath it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.gate.Draining() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
+	}
+	if r.URL.Query().Get("deep") != "" {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DeepTimeout)
+		defer cancel()
+		if _, err := s.ix.QueryContext(ctx, segdb.VLine(s.cfg.DeepProbeX), func(segdb.Segment) {}); err != nil {
+			httpError(w, http.StatusInternalServerError, "deep check failed: "+err.Error())
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"segdb"
+	"segdb/internal/faultdev"
+	"segdb/internal/pager"
 	"segdb/internal/server"
 	"segdb/internal/workload"
 )
@@ -533,5 +535,87 @@ func TestGateConcurrent(t *testing.T) {
 	}
 	if st := g.Stats(); st.Admitted != admitted {
 		t.Fatalf("admitted counter %d != observed %d", st.Admitted, admitted)
+	}
+}
+
+// faultServer serves an index whose store sits on a fault-injection
+// device with a zero-page cache, so injected disk faults reach every
+// query instead of being masked by the pool.
+func faultServer(t *testing.T, cfg server.Config) (*httptest.Server, *faultdev.Device) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	pageSize := segdb.PageSizeFor(16)
+	dev := faultdev.New(pager.NewMemDevice(pageSize), 1)
+	st, err := pager.Open(dev, pageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := workload.BBox(segs)
+	cfg.DeepProbeX = (box.MinX + box.MaxX) / 2
+	srv := server.New(segdb.Synchronized(ix), st, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, dev
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestHealthzDeepCheck: /healthz stays a cheap liveness probe, but
+// ?deep=1 drives a real stabbing query through the store — a dying disk
+// flips deep health to 500 while liveness still answers 200, which is
+// exactly the signal an orchestrator needs to stop routing reads to a
+// replica whose file has rotted underneath it.
+func TestHealthzDeepCheck(t *testing.T) {
+	hs, dev := faultServer(t, server.Config{})
+
+	if got := getStatus(t, hs.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d", got)
+	}
+	if got := getStatus(t, hs.URL+"/healthz?deep=1"); got != http.StatusOK {
+		t.Fatalf("healthy /healthz?deep=1 = %d", got)
+	}
+
+	dev.SetBudget(0) // the disk dies
+	if got := getStatus(t, hs.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("liveness must survive a dead disk, got %d", got)
+	}
+	if got := getStatus(t, hs.URL+"/healthz?deep=1"); got != http.StatusInternalServerError {
+		t.Fatalf("deep check on dead disk = %d, want 500", got)
+	}
+}
+
+// TestQueryOnFaultyStore: single queries surface injected device faults
+// as 500s; batch queries degrade per-query via the error field instead of
+// failing the whole request.
+func TestQueryOnFaultyStore(t *testing.T) {
+	hs, dev := faultServer(t, server.Config{})
+	dev.SetBudget(0)
+
+	resp, _ := postQuery(t, hs.URL, server.QueryRequest{QuerySpec: server.QuerySpec{X: 5}})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("single query on dead disk = %d, want 500", resp.StatusCode)
+	}
+
+	resp, qr := postQuery(t, hs.URL, server.QueryRequest{Queries: []server.QuerySpec{{X: 5}, {X: 6}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch on dead disk = %d, want 200 with per-query errors", resp.StatusCode)
+	}
+	for i, r := range qr.Results {
+		if r.Error == "" {
+			t.Fatalf("batch result %d reported no error on a dead disk", i)
+		}
 	}
 }

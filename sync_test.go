@@ -1,12 +1,15 @@
 package segdb_test
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
 	"segdb"
+	"segdb/internal/faultdev"
+	"segdb/internal/pager"
 	"segdb/internal/workload"
 )
 
@@ -344,5 +347,43 @@ func TestSyncMixedWorkloadStress(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("query %d: got %d hits, want %d", round, len(got), len(want))
 		}
+	}
+}
+
+// TestSyncSurfacesFaults: the concurrency wrapper adds no error
+// swallowing — injected device faults come back typed through Query and
+// land per-query in QueryBatch results.
+func TestSyncSurfacesFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	pageSize := segdb.PageSizeFor(16)
+	dev := faultdev.New(pager.NewMemDevice(pageSize), 1)
+	st, err := pager.Open(dev, pageSize, 0) // zero cache: faults reach queries
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.Synchronized(raw)
+	box := workload.BBox(segs)
+	queries := workload.RandomStabs(rng, 6, box)
+
+	dev.SetBudget(0)
+	if _, err := ix.Query(queries[0], func(segdb.Segment) {}); !errors.Is(err, faultdev.ErrInjected) {
+		t.Fatalf("query on dead disk: %v, want ErrInjected", err)
+	}
+	for i, br := range segdb.QueryBatch(ix, queries, 3) {
+		if !errors.Is(br.Err, faultdev.ErrInjected) {
+			t.Fatalf("batch[%d] on dead disk: %v, want ErrInjected", i, br.Err)
+		}
+	}
+
+	// A crashed device is just as visible through the wrapper.
+	dev.SetBudget(-1)
+	dev.Crash()
+	if _, err := ix.Query(queries[0], func(segdb.Segment) {}); !errors.Is(err, faultdev.ErrCrashed) {
+		t.Fatalf("query on crashed device: %v, want ErrCrashed", err)
 	}
 }
