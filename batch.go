@@ -1,6 +1,7 @@
 package segdb
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -15,22 +16,40 @@ type BatchResult struct {
 }
 
 // QueryBatch answers queries[i] into result[i] using up to parallelism
-// concurrent workers. With parallelism ≤ 1 the queries run sequentially
-// on the calling goroutine.
+// concurrent workers. It is QueryBatchContext without a deadline.
+func QueryBatch(ix Index, queries []Query, parallelism int) []BatchResult {
+	return QueryBatchContext(context.Background(), ix, queries, parallelism)
+}
+
+// contextQuerier is the optional interface of indexes whose queries can
+// be aborted mid-emission; *SyncIndex implements it.
+type contextQuerier interface {
+	QueryContext(ctx context.Context, q Query, emit func(Segment)) (QueryStats, error)
+}
+
+// QueryBatchContext answers queries[i] into result[i] using up to
+// parallelism concurrent workers, honouring ctx: once ctx is done, no
+// further query starts, and an index supporting per-query cancellation
+// (QueryContext, as *SyncIndex provides) also aborts the queries already
+// running. The returned slice always has len(queries) entries; a query
+// that was cancelled — before starting or mid-run — carries ctx's error
+// in its Err, so callers get partial results for the queries that did
+// complete rather than an all-or-nothing timeout. With parallelism ≤ 1
+// the queries run sequentially on the calling goroutine.
 //
 // For parallelism > 1 the index must be safe for concurrent queries:
 // wrap it with Synchronized, whose shared-lock queries run truly in
 // parallel on the sharded store. Workers pull queries from a shared
 // cursor, so a few expensive queries do not stall the rest of the batch
 // behind a static partition.
-func QueryBatch(ix Index, queries []Query, parallelism int) []BatchResult {
+func QueryBatchContext(ctx context.Context, ix Index, queries []Query, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
 	if parallelism <= 1 {
 		for i, q := range queries {
-			out[i] = runBatchQuery(ix, q)
+			out[i] = runBatchQuery(ctx, ix, q)
 		}
 		return out
 	}
@@ -45,7 +64,7 @@ func QueryBatch(ix Index, queries []Query, parallelism int) []BatchResult {
 				if i >= len(queries) {
 					return
 				}
-				out[i] = runBatchQuery(ix, queries[i])
+				out[i] = runBatchQuery(ctx, ix, queries[i])
 			}
 		}()
 	}
@@ -53,8 +72,19 @@ func QueryBatch(ix Index, queries []Query, parallelism int) []BatchResult {
 	return out
 }
 
-func runBatchQuery(ix Index, q Query) BatchResult {
+func runBatchQuery(ctx context.Context, ix Index, q Query) BatchResult {
 	var r BatchResult
-	r.Stats, r.Err = ix.Query(q, func(s Segment) { r.Hits = append(r.Hits, s) })
+	// A done context fails the remaining queries immediately — a worker
+	// never starts work past the deadline.
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	emit := func(s Segment) { r.Hits = append(r.Hits, s) }
+	if cq, ok := ix.(contextQuerier); ok {
+		r.Stats, r.Err = cq.QueryContext(ctx, q, emit)
+	} else {
+		r.Stats, r.Err = ix.Query(q, emit)
+	}
 	return r
 }

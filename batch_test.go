@@ -1,9 +1,12 @@
 package segdb_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"segdb"
 	"segdb/internal/workload"
@@ -66,6 +69,95 @@ func TestQueryBatchConcurrent(t *testing.T) {
 				t.Fatalf("parallelism %d, query %d: Stats.Reported = %d, len(Hits) = %d",
 					par, i, r.Stats.Reported, len(r.Hits))
 			}
+		}
+	}
+}
+
+// stallIndex answers queries by emitting segments: a query with X ≥ 0
+// reports int(X) answers and returns; a query with X < 0 emits forever,
+// so only context cancellation can end it. Each emission sleeps briefly
+// so a spinning query yields the scheduler.
+type stallIndex struct{}
+
+func (stallIndex) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	st := segdb.QueryStats{}
+	for i := uint64(1); q.X < 0 || i <= uint64(q.X); i++ {
+		emit(segdb.NewSegment(i, q.X, 0, q.X, 1))
+		st.Reported++
+		time.Sleep(20 * time.Microsecond)
+	}
+	return st, nil
+}
+
+func (stallIndex) Insert(segdb.Segment) error         { return segdb.ErrUnsupported }
+func (stallIndex) Delete(segdb.Segment) (bool, error) { return false, segdb.ErrUnsupported }
+func (stallIndex) Len() int                           { return 0 }
+func (stallIndex) Collect() ([]segdb.Segment, error)  { return nil, nil }
+func (stallIndex) Drop() error                        { return nil }
+
+// TestQueryBatchContextDeadline is the regression test for batches
+// ignoring their deadline: a batch over an index whose queries never
+// terminate must return promptly once the context expires, carrying
+// partial results — completed queries keep their answers and error-free
+// stats, while cancelled ones report ctx's error plus whatever they had
+// emitted so far.
+func TestQueryBatchContextDeadline(t *testing.T) {
+	ix := segdb.Synchronized(stallIndex{})
+
+	// Four fast queries followed by four that spin forever.
+	queries := make([]segdb.Query, 8)
+	for i := range queries {
+		if i < 4 {
+			queries[i] = segdb.Query{X: 5}
+		} else {
+			queries[i] = segdb.Query{X: -1}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results := segdb.QueryBatchContext(ctx, ix, queries, 4)
+	elapsed := time.Since(start)
+	// Before the fix this blocked forever; allow generous scheduler slack.
+	if elapsed > 5*time.Second {
+		t.Fatalf("batch returned after %v, want prompt return at the 100ms deadline", elapsed)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results[:4] {
+		if r.Err != nil {
+			t.Fatalf("fast query %d: %v", i, r.Err)
+		}
+		if len(r.Hits) != 5 || r.Stats.Reported != 5 {
+			t.Fatalf("fast query %d: %d hits, Reported %d, want 5", i, len(r.Hits), r.Stats.Reported)
+		}
+	}
+	for i, r := range results[4:] {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("spinning query %d: err = %v, want DeadlineExceeded", i, r.Err)
+		}
+		if len(r.Hits) == 0 {
+			t.Fatalf("spinning query %d: no partial hits before cancellation", i)
+		}
+	}
+}
+
+// TestQueryBatchContextPreCancelled: a context already done fails every
+// query without starting any of them.
+func TestQueryBatchContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ix := segdb.Synchronized(stallIndex{})
+	queries := []segdb.Query{{X: -1}, {X: -1}, {X: -1}}
+	results := segdb.QueryBatchContext(ctx, ix, queries, 2)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want Canceled", i, r.Err)
+		}
+		if len(r.Hits) != 0 {
+			t.Fatalf("query %d emitted %d hits under a cancelled context", i, len(r.Hits))
 		}
 	}
 }

@@ -1,9 +1,9 @@
 // Command segdbd serves a persisted segdb index over HTTP: the network
 // front of the library. It opens the store's catalog (either Solution),
-// wraps the index in segdb.Synchronized so queries run concurrently on
-// the sharded buffer pool, and serves them behind explicit admission
-// control — load beyond -max-inflight is shed with 429 + Retry-After
-// instead of queueing unboundedly.
+// wraps the index in segdb.SynchronizedOn so queries run concurrently on
+// the sharded buffer pool with per-query I/O attribution, and serves them
+// behind explicit admission control — load beyond -max-inflight is shed
+// with 429 + Retry-After instead of queueing unboundedly.
 //
 // Usage:
 //
@@ -19,29 +19,45 @@
 //	                 {"x":10,"ylo":0}                     upward ray
 //	                 {"x":10}                             stabbing line
 //	                 {"queries":[...],"parallelism":4}    batch (QueryBatch)
-//	GET  /statsz     request counts, latency histograms, admission and
-//	                 per-shard store stats (JSON)
+//	GET  /statsz     request counts, latency and pages-read histograms,
+//	                 admission and per-shard store stats (JSON);
+//	                 ?slow=1 adds the slow-query ring
+//	GET  /metricsz   the same registry in Prometheus text format
 //	GET  /healthz    liveness; 503 once draining
 //	GET  /healthz?deep=1  additionally runs a stabbing query (at
 //	                 -probe-x) through the real store: corrupt pages or a
 //	                 dying disk answer 500, not ok
 //
+// Observability:
+//
+//   - Requests slower than -slow-latency, or reading more than -slow-io
+//     physical pages, land in a bounded in-memory ring (/statsz?slow=1)
+//     and, with -slow-log, are appended as JSONL to a file.
+//     -slow-latency 0 logs every request — the smoke-test setting.
+//   - -debug-addr starts a second listener serving net/http/pprof
+//     (/debug/pprof/...), kept off the query port so profiling can stay
+//     firewalled in production.
+//
 // -verify runs segdb.VerifyIndexFile before serving: every page checksum
 // plus a full structural walk, refusing to serve a damaged file.
 //
 // SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
-// queries, fsync and close the store.
+// queries, flush the slow log, fsync and close the store.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +70,7 @@ func main() {
 	b := flag.Int("b", 0, "block capacity; 0 probes the file")
 	cache := flag.Int("cache", 256, "buffer-pool pages")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof; empty disables")
 	maxInflight := flag.Int("max-inflight", 64, "admission limit; excess load is shed with 429")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
@@ -62,6 +79,10 @@ func main() {
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown budget")
 	verify := flag.Bool("verify", false, "verify the whole index file (checksums + structural walk) before serving")
 	probeX := flag.Float64("probe-x", 0, "x of the stabbing query run by /healthz?deep=1")
+	slowLatency := flag.Duration("slow-latency", 250*time.Millisecond, "slow-query latency threshold; 0 logs every request")
+	slowIO := flag.Int64("slow-io", 0, "slow-query I/O threshold in physical pages read; 0 disables")
+	slowRing := flag.Int("slow-ring", 128, "slow-query ring capacity (/statsz?slow=1)")
+	slowLog := flag.String("slow-log", "", "append slow-query entries as JSONL to this file")
 	flag.Parse()
 
 	if *verify {
@@ -77,15 +98,54 @@ func main() {
 	log.Printf("segdbd: %s: %d segments, %d pages of %d bytes, %d pool shards",
 		*db, ix.Len(), st.PagesInUse(), st.PageSize(), st.Shards())
 
-	srv := server.New(segdb.Synchronized(ix), st, server.Config{
+	var sink *slowSink
+	if *slowLog != "" {
+		sink, err = openSlowSink(*slowLog)
+		if err != nil {
+			log.Fatalf("segdbd: slow log: %v", err)
+		}
+		log.Printf("segdbd: slow queries append to %s", *slowLog)
+	}
+
+	// -slow-latency 0 means "log everything": the server treats 0 as
+	// "use the default" and negative as "off", so map it to the smallest
+	// positive threshold.
+	slowLat := *slowLatency
+	if slowLat == 0 {
+		slowLat = time.Nanosecond
+	}
+
+	cfg := server.Config{
 		MaxInflight:      *maxInflight,
 		DefaultTimeout:   *timeout,
 		RetryAfter:       *retryAfter,
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *batchWorkers,
 		DeepProbeX:       *probeX,
-	})
+		SlowLatency:      slowLat,
+		SlowIOPages:      *slowIO,
+		SlowLogSize:      *slowRing,
+	}
+	if sink != nil {
+		cfg.SlowSink = sink.record
+	}
+	srv := server.New(segdb.SynchronizedOn(ix, st), st, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("segdbd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("segdbd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -116,6 +176,11 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("segdbd: serve: %v", err)
 	}
+	if sink != nil {
+		if err := sink.close(); err != nil {
+			log.Printf("segdbd: slow log: %v", err)
+		}
+	}
 	if err := st.Sync(); err != nil {
 		log.Printf("segdbd: sync: %v", err)
 	}
@@ -126,4 +191,44 @@ func main() {
 	fmt.Printf("segdbd: served %d queries, %d batches, shed %d; store hit ratio %.3f\n",
 		snap.Endpoints["query"].Requests, snap.Endpoints["batch"].Requests,
 		snap.Admission.Shed, snap.Store.HitRatio)
+}
+
+// slowSink appends slow-query entries to a JSONL file. Entries arrive on
+// request goroutines but only at the slow-query rate, so a mutex around a
+// buffered writer is plenty; flushing every entry keeps the file live for
+// tail -f at negligible cost at that rate.
+type slowSink struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func openSlowSink(path string) (*slowSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &slowSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (s *slowSink) record(e server.SlowEntry) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(line)
+	s.w.WriteByte('\n')
+	s.w.Flush()
+}
+
+func (s *slowSink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
 }

@@ -12,9 +12,12 @@
 // -csv derives the query coordinate range from a workload CSV (the one
 // the index was built from); otherwise -span bounds x and y. The report
 // combines client-side latency (merged per-worker histograms) with the
-// server's /statsz snapshot: throughput, p50/p90/p99, shed counts and
-// the store's pool hit ratio. -json emits the same report machine-
-// readably, e.g. for BENCH_server.json.
+// server's /statsz snapshot and a /metricsz scrape: throughput,
+// p50/p90/p99, shed counts, the store's pool hit ratio, and the
+// server-side I/O cost per query — physical pages read, the paper's
+// measure — so a slow run can be attributed to I/O rather than guessed
+// at. -json emits the same report machine-readably, e.g. for
+// BENCH_server.json.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -103,8 +107,9 @@ func main() {
 		lat.Merge(hw)
 	}
 	snap, snapErr := fetchStatsz(client, *addr)
+	prom, promErr := fetchMetricsz(client, *addr)
 
-	report := buildReport(&cnt, lat.Snapshot(), wall, *c, *batch, snap, snapErr)
+	report := buildReport(&cnt, lat.Snapshot(), wall, *c, *batch, snap, snapErr, prom, promErr)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -113,7 +118,7 @@ func main() {
 		}
 		return
 	}
-	printReport(report, snapErr)
+	printReport(report, snapErr, promErr)
 }
 
 type workerConfig struct {
@@ -208,6 +213,96 @@ func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
 	return fallback
 }
 
+// promMetrics holds scraped /metricsz samples keyed by metric name, then
+// by endpoint label ("" for unlabelled samples).
+type promMetrics map[string]map[string]float64
+
+func (p promMetrics) value(name, endpoint string) float64 {
+	return p[name][endpoint]
+}
+
+// parseProm parses Prometheus text exposition format, strictly enough to
+// serve as a format check: every non-comment line must be
+// `name{labels} value` or `name value` with a float value, and every
+// sample's metric name must have been announced by a preceding # TYPE
+// line. It keeps the endpoint label and drops the rest.
+func parseProm(text string) (promMetrics, error) {
+	out := make(promMetrics)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[1] == "TYPE" {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("metricsz line %d: no metric name: %q", ln+1, line)
+		}
+		endpoint := ""
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return nil, fmt.Errorf("metricsz line %d: unterminated labels: %q", ln+1, line)
+			}
+			for _, lv := range strings.Split(rest[1:end], ",") {
+				if v, ok := strings.CutPrefix(lv, `endpoint="`); ok {
+					endpoint = strings.TrimSuffix(v, `"`)
+				}
+			}
+			rest = rest[end+1:]
+		}
+		// Histogram series are announced under their family name.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] {
+				family = f
+				break
+			}
+		}
+		if !typed[family] {
+			return nil, fmt.Errorf("metricsz line %d: sample %q has no # TYPE", ln+1, name)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("metricsz line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		if out[name] == nil {
+			out[name] = make(map[string]float64)
+		}
+		out[name][endpoint] = val
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("metricsz: no samples")
+	}
+	return out, nil
+}
+
+func fetchMetricsz(client *http.Client, addr string) (promMetrics, error) {
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metricsz: HTTP %d", resp.StatusCode)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return nil, err
+	}
+	return parseProm(b.String())
+}
+
 func fetchStatsz(client *http.Client, addr string) (server.Snapshot, error) {
 	var snap server.Snapshot
 	resp, err := client.Get(addr + "/statsz")
@@ -219,6 +314,20 @@ func fetchStatsz(client *http.Client, addr string) (server.Snapshot, error) {
 		return snap, fmt.Errorf("statsz: HTTP %d", resp.StatusCode)
 	}
 	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// ServerIO is the server-side I/O cost of one endpoint's queries, as
+// scraped from /metricsz (cross-checkable against /statsz, which renders
+// the same registry): physical pages read per request — the paper's
+// I/O-model cost — with tail quantiles from the pages-read histogram.
+type ServerIO struct {
+	Endpoint      string  `json:"endpoint"`
+	Requests      int64   `json:"requests"`
+	PagesPerQuery float64 `json:"pages_per_query"`
+	HitsPerQuery  float64 `json:"hits_per_query"`
+	P50Pages      float64 `json:"p50_pages"`
+	P99Pages      float64 `json:"p99_pages"`
+	HitRatio      float64 `json:"hit_ratio"`
 }
 
 // Report is the run summary; -json emits it verbatim.
@@ -234,10 +343,11 @@ type Report struct {
 	Throughput  float64                  `json:"throughput_qps"`
 	Latency     server.HistogramSnapshot `json:"latency"`
 	ServerStats *server.Snapshot         `json:"server,omitempty"`
+	ServerIO    []ServerIO               `json:"server_io,omitempty"`
 	HitRatio    float64                  `json:"store_hit_ratio"`
 }
 
-func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration, clients, batch int, snap server.Snapshot, snapErr error) Report {
+func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration, clients, batch int, snap server.Snapshot, snapErr error, prom promMetrics, promErr error) Report {
 	r := Report{
 		Clients:     clients,
 		Batch:       batch,
@@ -256,10 +366,46 @@ func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration
 		r.ServerStats = &snap
 		r.HitRatio = snap.Store.HitRatio
 	}
+	if promErr == nil {
+		r.ServerIO = serverIOFrom(prom, r.ServerStats)
+	}
 	return r
 }
 
-func printReport(r Report, snapErr error) {
+// serverIOFrom folds the scraped histogram series into per-endpoint I/O
+// cost rows. Means come from the Prometheus _sum/_count series; tail
+// quantiles from the /statsz snapshot of the same histograms when it is
+// available.
+func serverIOFrom(prom promMetrics, snap *server.Snapshot) []ServerIO {
+	var out []ServerIO
+	for _, ep := range []string{"query", "batch"} {
+		count := prom.value("segdb_query_pages_read_count", ep)
+		if count == 0 {
+			continue
+		}
+		pages := prom.value("segdb_query_pages_read_sum", ep)
+		hits := prom.value("segdb_query_pool_hits_sum", ep)
+		io := ServerIO{
+			Endpoint:      ep,
+			Requests:      int64(count),
+			PagesPerQuery: pages / count,
+			HitsPerQuery:  hits / count,
+		}
+		if tot := pages + hits; tot > 0 {
+			io.HitRatio = hits / tot
+		}
+		if snap != nil {
+			if es, ok := snap.Endpoints[ep]; ok {
+				io.P50Pages = es.PagesRead.P50
+				io.P99Pages = es.PagesRead.P99
+			}
+		}
+		out = append(out, io)
+	}
+	return out
+}
+
+func printReport(r Report, snapErr, promErr error) {
 	fmt.Printf("segload: %d clients, %.1fs wall\n", r.Clients, r.WallSeconds)
 	fmt.Printf("  requests %d  ok %d  shed %d  errors %d  answers %d\n",
 		r.Requests, r.OK, r.Shed, r.Errors, r.Answers)
@@ -268,19 +414,27 @@ func printReport(r Report, snapErr error) {
 		r.Latency.MeanMS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
 	if snapErr != nil {
 		fmt.Printf("  statsz unavailable: %v\n", snapErr)
+	} else {
+		s := r.ServerStats
+		fmt.Printf("  server: store hit ratio %.3f (%d reads, %d hits), inflight max %d, shed %d\n",
+			s.Store.HitRatio, s.Store.Total.Reads, s.Store.Total.CacheHits,
+			s.Admission.MaxInflight, s.Admission.Shed)
+		if q, ok := s.Endpoints["query"]; ok && q.Latency.Count > 0 {
+			fmt.Printf("  server query latency ms: p50 %.3f  p99 %.3f (%d served)\n",
+				q.Latency.P50MS, q.Latency.P99MS, q.Latency.Count)
+		}
+		if b, ok := s.Endpoints["batch"]; ok && b.Latency.Count > 0 {
+			fmt.Printf("  server batch latency ms: p50 %.3f  p99 %.3f (%d served)\n",
+				b.Latency.P50MS, b.Latency.P99MS, b.Latency.Count)
+		}
+	}
+	if promErr != nil {
+		fmt.Printf("  metricsz unavailable: %v\n", promErr)
 		return
 	}
-	s := r.ServerStats
-	fmt.Printf("  server: store hit ratio %.3f (%d reads, %d hits), inflight max %d, shed %d\n",
-		s.Store.HitRatio, s.Store.Total.Reads, s.Store.Total.CacheHits,
-		s.Admission.MaxInflight, s.Admission.Shed)
-	if q, ok := s.Endpoints["query"]; ok && q.Latency.Count > 0 {
-		fmt.Printf("  server query latency ms: p50 %.3f  p99 %.3f (%d served)\n",
-			q.Latency.P50MS, q.Latency.P99MS, q.Latency.Count)
-	}
-	if b, ok := s.Endpoints["batch"]; ok && b.Latency.Count > 0 {
-		fmt.Printf("  server batch latency ms: p50 %.3f  p99 %.3f (%d served)\n",
-			b.Latency.P50MS, b.Latency.P99MS, b.Latency.Count)
+	for _, io := range r.ServerIO {
+		fmt.Printf("  server %s i/o: %.2f pages read/query (p50 %.0f  p99 %.0f), %.2f pool hits/query, hit ratio %.3f\n",
+			io.Endpoint, io.PagesPerQuery, io.P50Pages, io.P99Pages, io.HitsPerQuery, io.HitRatio)
 	}
 }
 

@@ -14,14 +14,26 @@ import (
 	"segdb/internal/sol2"
 )
 
-// QueryStats describes the work a single query performed, beyond the I/O
-// counters kept by the store.
+// QueryStats describes the work a single query performed. The structural
+// counters are filled by the index implementations themselves; the I/O
+// attribution fields are filled by the synchronization layer above
+// (segdb.SyncIndex / segdb.QueryBatchContext) from pager shard-counter
+// windows, because the indexes share one store and cannot tell their own
+// reads apart. Window attribution is exact for non-overlapping queries;
+// see the pager package comment for its semantics under concurrency.
 type QueryStats struct {
 	FirstLevelNodes int // first-level nodes visited
 	Reported        int // segments reported (the query's T)
 	GListSearches   int // Solution 2: multislab lists positioned from the root
 	GBridgeJumps    int // Solution 2: lists positioned through bridges
 	GFallbacks      int // Solution 2: failed bridge navigations
+
+	// PagesRead and PoolHits are the physical page reads and buffer-pool
+	// hits observed during the query's window, when the caller attributes
+	// I/O (zero otherwise). PagesRead is the query's cost in the paper's
+	// I/O model.
+	PagesRead int64
+	PoolHits  int64
 }
 
 // Index is a VS-query index over an NCT segment database.

@@ -39,6 +39,22 @@
 // ones (a pool hit is one cache hit, a miss is one physical read, a write
 // is one physical write), so I/O-model experiments are unaffected by the
 // concurrent machinery.
+//
+// # Per-operation attribution
+//
+// The counters are store-global: the pager does not know which query a
+// Read belongs to. Callers attribute I/O to an operation by bracketing it
+// with ReadStats (or Stats) and differencing — segdb.SyncIndex does this
+// for every query it runs. The resulting attribution is exact when
+// operations do not overlap in time. Under concurrency it is a window
+// measure with two documented skews: (1) a query's window also counts
+// reads issued by queries overlapping it, so per-query figures are upper
+// bounds whose sum over-counts roughly by the overlap factor; (2) a
+// singleflight-shared cold read is counted once, in the window of every
+// query open while it happened — the leader's physical read is the only
+// one that exists, so the global Reads counter stays exact even though
+// several windows observe it. Aggregate counters (Stats, StatsByShard)
+// are always exact regardless of concurrency.
 package pager
 
 import (
@@ -310,6 +326,20 @@ func (s *Store) Stats() Stats {
 		total = total.Add(s.shards[i].stats.snapshot())
 	}
 	return total
+}
+
+// ReadStats returns just the read-path counters (physical reads and pool
+// hits), summed over all shards. It is the cheap form of Stats for
+// per-query attribution: two atomic loads per shard, called twice per
+// query on the serving path, so it must not touch the write/alloc
+// counters it does not need.
+func (s *Store) ReadStats() (reads, hits int64) {
+	for i := range s.shards {
+		c := &s.shards[i].stats
+		reads += c.reads.Load()
+		hits += c.cacheHits.Load()
+	}
+	return reads, hits
 }
 
 // StatsByShard returns a per-shard snapshot of the counters: the

@@ -6,9 +6,9 @@
 // The request path is deliberately short: decode → admit (non-blocking
 // semaphore; saturation sheds with 429 rather than queueing) → query
 // under the index's shared lock → encode. Observability is on-path but
-// lock-free — per-endpoint counters and fixed-bucket latency histograms
-// are single atomic adds, so /statsz never perturbs the traffic it
-// measures.
+// lock-free — per-endpoint counters, latency histograms and per-query
+// I/O histograms are single atomic adds, so neither /statsz nor
+// /metricsz perturbs the traffic they measure.
 package server
 
 import (
@@ -16,53 +16,133 @@ import (
 	"time"
 )
 
-// histBuckets is the number of latency buckets. Bucket i counts
-// observations in (bound(i-1), bound(i)] with bound(i) = 1µs·2^i:
-// 1µs, 2µs, ... up to ~67s, with a final overflow bucket.
+// histBuckets is the number of histogram buckets. For a histogram with
+// base b, bucket i counts observations in (b·2^(i-1), b·2^i], so the
+// latency histogram (base 1µs) spans 1µs … ~67s and the I/O histogram
+// (base 1 page) spans 1 … 2^26 pages, each with a final overflow bucket.
 const histBuckets = 27
 
-// histBase is the upper bound of bucket 0.
+// histBase is the bucket-0 upper bound of the latency histogram.
 const histBase = time.Microsecond
 
-// Histogram is a fixed-bucket latency histogram with power-of-two bucket
-// bounds. Observe is a single atomic add per field — no locks, safe on
-// the request hot path.
-type Histogram struct {
+// hist is the lock-free fixed-bucket core shared by the latency and I/O
+// histograms: power-of-two bucket upper bounds base·2^i over unit-less
+// int64 observations. Observe is a handful of atomic adds — no locks,
+// safe on the request hot path.
+type hist struct {
 	counts [histBuckets]atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Int64 // nanoseconds
-	max    atomic.Int64 // nanoseconds, monotone
+	sum    atomic.Int64
+	max    atomic.Int64 // monotone
 }
 
-// bucketOf returns the bucket index for duration d.
-func bucketOf(d time.Duration) int {
-	if d < 0 {
-		d = 0
+// bucketOf returns the bucket index for value v against base.
+func bucketOf(v, base int64) int {
+	if v < 0 {
+		v = 0
 	}
 	b := 0
-	for bound := histBase; d > bound && b < histBuckets-1; bound <<= 1 {
+	for bound := base; v > bound && b < histBuckets-1; bound <<= 1 {
 		b++
 	}
 	return b
 }
 
-// Observe records one latency.
-func (h *Histogram) Observe(d time.Duration) {
-	h.counts[bucketOf(d)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
+func (h *hist) observe(v, base int64) {
+	h.counts[bucketOf(v, base)].Add(1)
+	h.sum.Add(v)
 	for {
 		cur := h.max.Load()
-		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
 			return
 		}
 	}
 }
 
+// histSnap is a raw point-in-time copy of a hist. Total is computed from
+// the loaded bucket counts — never from a separately-loaded counter — so
+// a rank derived from it can never exceed the summed buckets, even under
+// concurrent observes (the quantile-vs-overflow race the first version
+// of this file had).
+type histSnap struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    int64
+	max    int64
+	last   int // index of the last non-zero bucket, -1 if none
+}
+
+func (h *hist) snapshot() histSnap {
+	var s histSnap
+	s.last = -1
+	for i := range s.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		s.total += c
+		if c != 0 {
+			s.last = i
+		}
+	}
+	s.sum = h.sum.Load()
+	s.max = h.max.Load()
+	return s
+}
+
+// quantile estimates the p-quantile in base units from the snapshot,
+// taking the upper bound of the bucket the rank falls in (conservative:
+// never under-reports a tail).
+func (s histSnap) quantile(p float64, base int64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(s.total))
+	if rank >= s.total {
+		rank = s.total - 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum > rank {
+			return bucketBound(i, base)
+		}
+	}
+	return bucketBound(histBuckets-1, base)
+}
+
+// bucketBound returns the upper bound of bucket i in base units.
+func bucketBound(i int, base int64) float64 {
+	return float64(base << uint(i))
+}
+
+// bucketBoundMS returns the upper bound of latency bucket i in
+// milliseconds.
+func bucketBoundMS(i int) float64 { return bucketBound(i, int64(histBase)) / 1e6 }
+
+func (h *hist) merge(o *hist) {
+	for i := range h.counts {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.sum.Add(o.sum.Load())
+	for {
+		cur, om := h.max.Load(), o.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Histogram is the fixed-bucket latency histogram with power-of-two
+// bucket bounds (1µs … ~67s plus overflow); see hist for the concurrency
+// contract.
+type Histogram struct{ h hist }
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) { h.h.observe(int64(d), int64(histBase)) }
+
 // HistogramSnapshot is a point-in-time copy of a Histogram, in a form
 // that serializes cleanly to JSON and supports quantile estimation.
 type HistogramSnapshot struct {
 	Count   int64   `json:"count"`
+	SumMS   float64 `json:"sum_ms"`
 	MeanMS  float64 `json:"mean_ms"`
 	MaxMS   float64 `json:"max_ms"`
 	P50MS   float64 `json:"p50_ms"`
@@ -73,79 +153,88 @@ type HistogramSnapshot struct {
 
 // Snapshot copies the histogram and pre-computes the summary quantiles.
 // Under concurrent traffic the copy is consistent per bucket, not across
-// buckets — the usual monitoring contract.
+// buckets — the usual monitoring contract. Count is the sum of the
+// copied buckets, so quantile ranks always fall inside them.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
-	var counts [histBuckets]int64
-	last := -1
-	for i := range counts {
-		counts[i] = h.counts[i].Load()
-		if counts[i] != 0 {
-			last = i
-		}
+	raw := h.h.snapshot()
+	s := HistogramSnapshot{
+		Count: raw.total,
+		SumMS: float64(raw.sum) / 1e6,
+		MaxMS: float64(raw.max) / 1e6,
+		P50MS: raw.quantile(0.50, int64(histBase)) / 1e6,
+		P90MS: raw.quantile(0.90, int64(histBase)) / 1e6,
+		P99MS: raw.quantile(0.99, int64(histBase)) / 1e6,
 	}
-	s.Count = h.count.Load()
 	if s.Count > 0 {
-		s.MeanMS = float64(h.sum.Load()) / float64(s.Count) / 1e6
+		s.MeanMS = s.SumMS / float64(s.Count)
 	}
-	s.MaxMS = float64(h.max.Load()) / 1e6
-	s.Buckets = counts[:last+1]
-	s.P50MS = quantile(counts[:], s.Count, 0.50)
-	s.P90MS = quantile(counts[:], s.Count, 0.90)
-	s.P99MS = quantile(counts[:], s.Count, 0.99)
+	s.Buckets = raw.counts[:raw.last+1]
 	return s
-}
-
-// quantile estimates the p-quantile in milliseconds from bucket counts,
-// taking the upper bound of the bucket the rank falls in (conservative:
-// never under-reports a tail).
-func quantile(counts []int64, total int64, p float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	rank := int64(p * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var cum int64
-	for i, c := range counts {
-		cum += c
-		if cum > rank {
-			return bucketBoundMS(i)
-		}
-	}
-	return bucketBoundMS(len(counts) - 1)
-}
-
-// bucketBoundMS returns the upper bound of bucket i in milliseconds.
-func bucketBoundMS(i int) float64 {
-	return float64(int64(histBase)<<uint(i)) / 1e6
-}
-
-// BucketBoundsMS lists every bucket's upper bound in milliseconds; index
-// i corresponds to Buckets[i] of a snapshot. The last bucket is an
-// overflow bucket and its bound is nominal.
-func BucketBoundsMS() []float64 {
-	out := make([]float64, histBuckets)
-	for i := range out {
-		out[i] = bucketBoundMS(i)
-	}
-	return out
 }
 
 // Merge adds o's counts into h. It is meant for combining per-worker
 // client-side histograms after a run, not for concurrent use with
 // Observe on o.
-func (h *Histogram) Merge(o *Histogram) {
-	for i := range h.counts {
-		h.counts[i].Add(o.counts[i].Load())
+func (h *Histogram) Merge(o *Histogram) { h.h.merge(&o.h) }
+
+// BucketBoundsMS lists every latency bucket's upper bound in
+// milliseconds; index i corresponds to Buckets[i] of a snapshot. The
+// last bucket is an overflow bucket and its bound is nominal.
+func BucketBoundsMS() []float64 {
+	out := make([]float64, histBuckets)
+	for i := range out {
+		out[i] = bucketBound(i, int64(histBase)) / 1e6
 	}
-	h.count.Add(o.count.Load())
-	h.sum.Add(o.sum.Load())
-	for {
-		cur, om := h.max.Load(), o.max.Load()
-		if om <= cur || h.max.CompareAndSwap(cur, om) {
-			return
-		}
+	return out
+}
+
+// IOHistogram is the fixed-bucket histogram of per-query I/O counts
+// (pages read, pool hits): power-of-two bucket bounds 1, 2, 4, … 2^26
+// plus overflow. Same concurrency contract as Histogram.
+type IOHistogram struct{ h hist }
+
+// Observe records one per-query count.
+func (h *IOHistogram) Observe(n int64) { h.h.observe(n, 1) }
+
+// IOHistogramSnapshot is a point-in-time copy of an IOHistogram. Units
+// are plain counts (pages), not durations.
+type IOHistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Mean    float64 `json:"mean"`
+	Max     int64   `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets,omitempty"` // non-empty prefix of bucket counts
+}
+
+// Snapshot copies the histogram; the same consistency contract as
+// Histogram.Snapshot applies.
+func (h *IOHistogram) Snapshot() IOHistogramSnapshot {
+	raw := h.h.snapshot()
+	s := IOHistogramSnapshot{
+		Count: raw.total,
+		Sum:   raw.sum,
+		Max:   raw.max,
+		P50:   raw.quantile(0.50, 1),
+		P90:   raw.quantile(0.90, 1),
+		P99:   raw.quantile(0.99, 1),
 	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.Buckets = raw.counts[:raw.last+1]
+	return s
+}
+
+// IOBucketBounds lists every I/O bucket's upper bound in pages; index i
+// corresponds to Buckets[i] of a snapshot. The last bucket is an
+// overflow bucket and its bound is nominal.
+func IOBucketBounds() []float64 {
+	out := make([]float64, histBuckets)
+	for i := range out {
+		out[i] = bucketBound(i, 1)
+	}
+	return out
 }

@@ -63,13 +63,13 @@ func TestHistogramQuantiles(t *testing.T) {
 	if s.P50MS != bucketBoundMS(0) {
 		t.Fatalf("p50 = %g, want %g", s.P50MS, bucketBoundMS(0))
 	}
-	if s.P99MS != bucketBoundMS(bucketOf(900*time.Microsecond)) {
-		t.Fatalf("p99 = %g", s.P99MS)
+	if want := bucketBoundMS(bucketOf(int64(900*time.Microsecond), int64(histBase))); s.P99MS != want {
+		t.Fatalf("p99 = %g, want %g", s.P99MS, want)
 	}
 	if s.P50MS > s.P90MS || s.P90MS > s.P99MS {
 		t.Fatalf("quantiles not monotone: %g %g %g", s.P50MS, s.P90MS, s.P99MS)
 	}
-	if q := quantile(nil, 0, 0.5); q != 0 {
+	if q := (histSnap{}).quantile(0.5, int64(histBase)); q != 0 {
 		t.Fatalf("empty quantile = %g", q)
 	}
 }
@@ -105,6 +105,87 @@ func TestHistogramConcurrent(t *testing.T) {
 	wg.Wait()
 	if s := h.Snapshot(); s.Count != workers*per {
 		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+// TestHistogramSnapshotQuantileRace is the regression test for the
+// snapshot race the first version had: it loaded the bucket counts first
+// and the total count after, so under concurrent Observe the quantile
+// rank could exceed the summed buckets and p99 fell through to the ~67s
+// overflow bound. Every observation here is ≤ 1µs, so every quantile of
+// every snapshot must sit at bucket 0's bound — never beyond. Run with
+// -race.
+func TestHistogramSnapshotQuantileRace(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(500 * time.Nanosecond)
+				}
+			}
+		}()
+	}
+	maxBound := bucketBoundMS(0)
+	for i := 0; i < 5000; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if s.P99MS > maxBound || s.P50MS > maxBound {
+			t.Errorf("snapshot %d: p50 %g / p99 %g exceed max observed bound %g (count %d, buckets %v)",
+				i, s.P50MS, s.P99MS, maxBound, s.Count, s.Buckets)
+			break
+		}
+		var sum int64
+		for _, c := range s.Buckets {
+			sum += c
+		}
+		if sum != s.Count {
+			t.Errorf("snapshot %d: bucket sum %d != count %d", i, sum, s.Count)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestIOHistogram(t *testing.T) {
+	var h IOHistogram
+	for _, n := range []int64{0, 1, 2, 3, 1000} {
+		h.Observe(n)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1006 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	// Buckets: bound(0)=1 gets {0,1}, bound(1)=2 gets {2}, bound(2)=4
+	// gets {3}, 1000 ≤ 1024 = bound(10).
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[2] != 1 || s.Buckets[10] != 1 {
+		t.Fatalf("buckets misplace observations: %v", s.Buckets)
+	}
+	if s.P50 != 2 { // rank 2 of [0,1,2,3,1000] → bucket bound 2
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if s.P99 != 1024 {
+		t.Fatalf("p99 = %g", s.P99)
+	}
+	bounds := IOBucketBounds()
+	if bounds[0] != 1 || bounds[10] != 1024 || len(bounds) != histBuckets {
+		t.Fatalf("IO bucket bounds: %v", bounds)
 	}
 }
 

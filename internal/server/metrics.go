@@ -10,28 +10,54 @@ import (
 // Endpoint identifies a served endpoint for metric attribution.
 type Endpoint int
 
-// The instrumented endpoints.
+// The instrumented endpoints. EPParse is a pseudo-endpoint: a request
+// whose body does not decode cannot be attributed to the single or batch
+// form, so it is counted — one request, one error — on its own row, which
+// keeps the errors ≤ requests invariant on every row (the seed counted
+// decode failures as query errors without counting the request).
 const (
 	EPQuery  Endpoint = iota // POST /v1/query, single form
 	EPBatch                  // POST /v1/query, batch form
 	EPStatsz                 // GET /statsz
+	EPParse                  // POST /v1/query, body failed to decode
 	numEndpoints
 )
 
-var endpointNames = [numEndpoints]string{"query", "batch", "statsz"}
+var endpointNames = [numEndpoints]string{"query", "batch", "statsz", "parse"}
+
+// QueryIO is the per-request I/O attribution recorded next to latency:
+// physical pages read and buffer-pool hits during the request's queries
+// (summed over a batch). See segdb.SynchronizedOn for the attribution
+// semantics.
+type QueryIO struct {
+	PagesRead int64
+	PoolHits  int64
+}
+
+// Add folds one query's stats into the request total.
+func (io *QueryIO) Add(st segdb.QueryStats) {
+	io.PagesRead += st.PagesRead
+	io.PoolHits += st.PoolHits
+}
 
 // endpointCounters is one endpoint's lock-free counter block.
 type endpointCounters struct {
-	requests atomic.Int64 // requests that reached the handler
-	errors   atomic.Int64 // 4xx responses other than sheds
-	failures atomic.Int64 // 5xx responses
-	shed     atomic.Int64 // 429/503 shed by admission
-	answers  atomic.Int64 // segments reported
-	latency  Histogram    // of admitted, completed requests
+	requests  atomic.Int64 // requests that reached the handler
+	errors    atomic.Int64 // 4xx responses other than sheds
+	failures  atomic.Int64 // 5xx responses
+	shed      atomic.Int64 // 429/503 shed by admission
+	answers   atomic.Int64 // segments reported
+	pagesIO   atomic.Int64 // physical pages read, total
+	hitsIO    atomic.Int64 // pool hits, total
+	latency   Histogram    // of admitted, completed requests
+	pagesRead IOHistogram  // per-request physical pages read
+	poolHits  IOHistogram  // per-request pool hits
 }
 
 // Metrics is the server's lock-free metric registry. Every mutation on
-// the request path is a handful of atomic adds.
+// the request path is a handful of atomic adds. Both /statsz and
+// /metricsz render snapshots of this one registry, so the two surfaces
+// can never structurally disagree.
 type Metrics struct {
 	start     time.Time
 	endpoints [numEndpoints]endpointCounters
@@ -52,22 +78,38 @@ func (m *Metrics) OnError(ep Endpoint) { m.endpoints[ep].errors.Add(1) }
 // OnFailure counts a server (5xx) error response.
 func (m *Metrics) OnFailure(ep Endpoint) { m.endpoints[ep].failures.Add(1) }
 
-// OnDone records a completed admitted request: its latency and how many
-// answer segments it reported.
-func (m *Metrics) OnDone(ep Endpoint, d time.Duration, answers int) {
+// OnParseError counts a request whose body failed to decode: one request
+// and one error on the dedicated parse row.
+func (m *Metrics) OnParseError() {
+	m.OnRequest(EPParse)
+	m.OnError(EPParse)
+}
+
+// OnDone records a completed admitted request: its latency, how many
+// answer segments it reported, and its I/O attribution.
+func (m *Metrics) OnDone(ep Endpoint, d time.Duration, answers int, io QueryIO) {
 	c := &m.endpoints[ep]
 	c.latency.Observe(d)
 	c.answers.Add(int64(answers))
+	c.pagesIO.Add(io.PagesRead)
+	c.hitsIO.Add(io.PoolHits)
+	c.pagesRead.Observe(io.PagesRead)
+	c.poolHits.Observe(io.PoolHits)
 }
 
 // EndpointSnapshot is one endpoint's counters at a point in time.
 type EndpointSnapshot struct {
-	Requests int64             `json:"requests"`
-	Errors   int64             `json:"errors,omitempty"`
-	Failures int64             `json:"failures,omitempty"`
-	Shed     int64             `json:"shed,omitempty"`
-	Answers  int64             `json:"answers,omitempty"`
-	Latency  HistogramSnapshot `json:"latency"`
+	Requests  int64               `json:"requests"`
+	Errors    int64               `json:"errors,omitempty"`
+	Failures  int64               `json:"failures,omitempty"`
+	Shed      int64               `json:"shed,omitempty"`
+	Answers   int64               `json:"answers,omitempty"`
+	IOReads   int64               `json:"io_reads,omitempty"`
+	IOHits    int64               `json:"io_hits,omitempty"`
+	HitRatio  float64             `json:"io_hit_ratio,omitempty"`
+	Latency   HistogramSnapshot   `json:"latency"`
+	PagesRead IOHistogramSnapshot `json:"pages_read"`
+	PoolHits  IOHistogramSnapshot `json:"pool_hits"`
 }
 
 // StoreSnapshot is the store-level view: totals, the pool hit ratio, and
@@ -88,6 +130,7 @@ type Snapshot struct {
 	Admission     GateStats                   `json:"admission"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Store         StoreSnapshot               `json:"store"`
+	SlowLog       *SlowLogSnapshot            `json:"slow_log,omitempty"`
 }
 
 // SnapshotFrom assembles the full document from the metric registry, the
@@ -101,14 +144,22 @@ func SnapshotFrom(m *Metrics, g *Gate, st *segdb.Store, segments int) Snapshot {
 	}
 	for ep := Endpoint(0); ep < numEndpoints; ep++ {
 		c := &m.endpoints[ep]
-		s.Endpoints[endpointNames[ep]] = EndpointSnapshot{
-			Requests: c.requests.Load(),
-			Errors:   c.errors.Load(),
-			Failures: c.failures.Load(),
-			Shed:     c.shed.Load(),
-			Answers:  c.answers.Load(),
-			Latency:  c.latency.Snapshot(),
+		es := EndpointSnapshot{
+			Requests:  c.requests.Load(),
+			Errors:    c.errors.Load(),
+			Failures:  c.failures.Load(),
+			Shed:      c.shed.Load(),
+			Answers:   c.answers.Load(),
+			IOReads:   c.pagesIO.Load(),
+			IOHits:    c.hitsIO.Load(),
+			Latency:   c.latency.Snapshot(),
+			PagesRead: c.pagesRead.Snapshot(),
+			PoolHits:  c.poolHits.Snapshot(),
 		}
+		if tot := es.IOReads + es.IOHits; tot > 0 {
+			es.HitRatio = float64(es.IOHits) / float64(tot)
+		}
+		s.Endpoints[endpointNames[ep]] = es
 	}
 	if st != nil {
 		total := st.Stats()

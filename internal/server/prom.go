@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). It is fed by the same SnapshotFrom derivation
+// /statsz serves, so the two surfaces expose one registry and can never
+// structurally disagree — a counter present here is the same atomic the
+// JSON document reports.
+//
+// Latency histograms are exported in seconds (the Prometheus base unit)
+// as cumulative _bucket series; per-query I/O histograms keep their
+// natural unit, pages. The last internal bucket of each histogram is an
+// overflow bucket whose bound is nominal, so it is folded into le="+Inf"
+// rather than exported under a bound it does not honour.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	p := promWriter{w: w}
+
+	p.family("segdb_uptime_seconds", "Seconds since the metric registry was created.", "gauge")
+	p.sample("segdb_uptime_seconds", "", s.UptimeSeconds)
+	p.family("segdb_index_segments", "Segments stored in the served index.", "gauge")
+	p.sample("segdb_index_segments", "", float64(s.Segments))
+
+	// Per-endpoint counters, in fixed endpoint order so output is
+	// deterministic (the JSON map is not).
+	p.family("segdb_requests_total", "Requests reaching each endpoint's handler; the parse endpoint counts bodies that failed to decode.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_requests_total", endpointLabel(name), float64(ep.Requests))
+	})
+	p.family("segdb_request_errors_total", "Client (4xx) error responses other than sheds.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_request_errors_total", endpointLabel(name), float64(ep.Errors))
+	})
+	p.family("segdb_request_failures_total", "Server (5xx) error responses.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_request_failures_total", endpointLabel(name), float64(ep.Failures))
+	})
+	p.family("segdb_requests_shed_total", "Requests shed by admission control (429/503).", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_requests_shed_total", endpointLabel(name), float64(ep.Shed))
+	})
+	p.family("segdb_answers_total", "Answer segments reported.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_answers_total", endpointLabel(name), float64(ep.Answers))
+	})
+	p.family("segdb_io_pages_read_total", "Physical pages read attributed to each endpoint's queries.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_io_pages_read_total", endpointLabel(name), float64(ep.IOReads))
+	})
+	p.family("segdb_io_pool_hits_total", "Buffer-pool hits attributed to each endpoint's queries.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_io_pool_hits_total", endpointLabel(name), float64(ep.IOHits))
+	})
+
+	// Histograms: request latency (seconds) and per-query I/O (pages).
+	p.family("segdb_request_latency_seconds", "Latency of admitted, completed requests.", "histogram")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.histogram("segdb_request_latency_seconds", name, ep.Latency.Buckets,
+			latencySecondsBounds(), ep.Latency.Count, ep.Latency.SumMS/1e3)
+	})
+	p.family("segdb_query_pages_read", "Physical pages read per request (batch requests sum their queries).", "histogram")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.histogram("segdb_query_pages_read", name, ep.PagesRead.Buckets,
+			IOBucketBounds(), ep.PagesRead.Count, float64(ep.PagesRead.Sum))
+	})
+	p.family("segdb_query_pool_hits", "Buffer-pool hits per request (batch requests sum their queries).", "histogram")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.histogram("segdb_query_pool_hits", name, ep.PoolHits.Buckets,
+			IOBucketBounds(), ep.PoolHits.Count, float64(ep.PoolHits.Sum))
+	})
+
+	// Admission gate.
+	p.family("segdb_inflight_requests", "Currently admitted requests.", "gauge")
+	p.sample("segdb_inflight_requests", "", float64(s.Admission.Inflight))
+	p.family("segdb_inflight_limit", "Admission capacity; load beyond it is shed.", "gauge")
+	p.sample("segdb_inflight_limit", "", float64(s.Admission.MaxInflight))
+	p.family("segdb_admitted_total", "Requests admitted by the gate.", "counter")
+	p.sample("segdb_admitted_total", "", float64(s.Admission.Admitted))
+	p.family("segdb_admission_shed_total", "Requests shed at saturation (429).", "counter")
+	p.sample("segdb_admission_shed_total", "", float64(s.Admission.Shed))
+	p.family("segdb_admission_rejected_total", "Requests rejected while draining (503).", "counter")
+	p.sample("segdb_admission_rejected_total", "", float64(s.Admission.Rejected))
+	p.family("segdb_draining", "1 while the server is draining, else 0.", "gauge")
+	p.sample("segdb_draining", "", boolGauge(s.Admission.Draining))
+
+	// Store: totals plus the per-shard read-path breakdown (pool load
+	// balance), all straight from the shard counters.
+	p.family("segdb_store_pages_in_use", "Pages allocated in the store: the structure's space cost in blocks.", "gauge")
+	p.sample("segdb_store_pages_in_use", "", float64(s.Store.PagesInUse))
+	p.family("segdb_store_page_size_bytes", "Page size of the store.", "gauge")
+	p.sample("segdb_store_page_size_bytes", "", float64(s.Store.PageSize))
+	p.family("segdb_store_hit_ratio", "Fraction of page reads served by the buffer pool.", "gauge")
+	p.sample("segdb_store_hit_ratio", "", s.Store.HitRatio)
+	p.family("segdb_store_reads_total", "Physical page reads.", "counter")
+	p.sample("segdb_store_reads_total", "", float64(s.Store.Total.Reads))
+	p.family("segdb_store_writes_total", "Physical page writes.", "counter")
+	p.sample("segdb_store_writes_total", "", float64(s.Store.Total.Writes))
+	p.family("segdb_store_cache_hits_total", "Page reads served by the buffer pool.", "counter")
+	p.sample("segdb_store_cache_hits_total", "", float64(s.Store.Total.CacheHits))
+	p.family("segdb_store_shard_reads_total", "Physical page reads by pool shard.", "counter")
+	for i, sh := range s.Store.Shards {
+		p.sample("segdb_store_shard_reads_total", shardLabel(i), float64(sh.Reads))
+	}
+	p.family("segdb_store_shard_cache_hits_total", "Buffer-pool hits by pool shard.", "counter")
+	for i, sh := range s.Store.Shards {
+		p.sample("segdb_store_shard_cache_hits_total", shardLabel(i), float64(sh.CacheHits))
+	}
+
+	if s.SlowLog != nil {
+		p.family("segdb_slow_requests_total", "Requests that crossed a slow-query threshold.", "counter")
+		p.sample("segdb_slow_requests_total", "", float64(s.SlowLog.Total))
+	}
+}
+
+// latencySecondsBounds returns the latency bucket upper bounds in
+// seconds.
+func latencySecondsBounds() []float64 {
+	ms := BucketBoundsMS()
+	out := make([]float64, len(ms))
+	for i, b := range ms {
+		out[i] = b / 1e3
+	}
+	return out
+}
+
+func endpointLabel(name string) string { return `endpoint="` + name + `"` }
+
+func shardLabel(i int) string { return `shard="` + strconv.Itoa(i) + `"` }
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// promWriter accumulates exposition-format lines. Families must be
+// emitted contiguously (one HELP/TYPE block followed by all samples of
+// the family) — the format forbids interleaving.
+type promWriter struct {
+	w io.Writer
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(p.w, "%s%s %s\n", name, labels, formatPromValue(v))
+}
+
+// histogram writes one endpoint's cumulative _bucket series plus _sum and
+// _count. buckets is the non-empty prefix of per-bucket counts; bounds
+// the full upper-bound list in the exported unit. The final internal
+// bucket is an overflow bucket, so observations in it appear only under
+// le="+Inf".
+func (p *promWriter) histogram(name, endpoint string, buckets []int64, bounds []float64, count int64, sum float64) {
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if i == len(bounds)-1 {
+			break // overflow bucket: folded into +Inf below
+		}
+		p.sample(name+"_bucket", endpointLabel(endpoint)+`,le="`+formatPromValue(bounds[i])+`"`, float64(cum))
+	}
+	p.sample(name+"_bucket", endpointLabel(endpoint)+`,le="+Inf"`, float64(count))
+	p.sample(name+"_sum", endpointLabel(endpoint), sum)
+	p.sample(name+"_count", endpointLabel(endpoint), float64(count))
+}
+
+func (p *promWriter) eachEndpoint(s Snapshot, f func(name string, ep EndpointSnapshot)) {
+	for _, name := range endpointNames {
+		if ep, ok := s.Endpoints[name]; ok {
+			f(name, ep)
+		}
+	}
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip representation, no exponent for typical counter values.
+func formatPromValue(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// FormatFloat 'g' can produce "1e+06" for large counters; that is
+	// valid exposition format, so leave it — but normalize the one case
+	// Go renders oddly for the format's float grammar: nothing to do.
+	return s
+}
+
+// PromText renders the snapshot to a string; tests and tools use it.
+func PromText(s Snapshot) string {
+	var b strings.Builder
+	WritePrometheus(&b, s)
+	return b.String()
+}

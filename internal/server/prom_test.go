@@ -1,0 +1,311 @@
+package server_test
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"segdb/internal/server"
+	"segdb/internal/workload"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromStrict parses Prometheus text exposition format 0.0.4 and
+// fails on anything the format forbids: samples without a preceding
+// # TYPE for their family, interleaved families, malformed label sets,
+// or unparseable values. It returns samples plus the family → type map.
+func parsePromStrict(t *testing.T, text string) ([]promSample, map[string]string) {
+	t.Helper()
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i, r := range s {
+			alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+			if !alpha && (i == 0 || r < '0' || r > '9') {
+				return false
+			}
+		}
+		return true
+	}
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok {
+				return f
+			}
+		}
+		return name
+	}
+
+	types := make(map[string]string)
+	var samples []promSample
+	var lastFamily string
+	closed := make(map[string]bool) // families whose sample block ended
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			fields := strings.SplitN(l, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", line, l)
+			}
+			if fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					t.Fatalf("line %d: invalid metric name %q", line, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: invalid type %q", line, typ)
+				}
+				if _, dup := types[name]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %q", line, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value
+		var name, valStr string
+		labels := map[string]string{}
+		if i := strings.IndexByte(l, '{'); i >= 0 {
+			j := strings.IndexByte(l, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces in %q", line, l)
+			}
+			name = l[:i]
+			for _, pair := range strings.Split(l[i+1:j], ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", line, pair)
+				}
+				labels[k] = v[1 : len(v)-1]
+			}
+			valStr = strings.TrimSpace(l[j+1:])
+		} else {
+			var ok bool
+			name, valStr, ok = strings.Cut(l, " ")
+			if !ok {
+				t.Fatalf("line %d: no value in %q", line, l)
+			}
+			valStr = strings.TrimSpace(valStr)
+		}
+		if !validName(name) {
+			t.Fatalf("line %d: invalid metric name %q", line, name)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", line, valStr, err)
+		}
+
+		fam := family(name)
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE for family %q", line, name, fam)
+		}
+		if fam != lastFamily {
+			if closed[fam] {
+				t.Fatalf("line %d: family %q interleaved (resumed after other samples)", line, fam)
+			}
+			if lastFamily != "" {
+				closed[lastFamily] = true
+			}
+			lastFamily = fam
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: v})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// checkPromHistograms verifies every exported histogram: cumulative
+// buckets are monotone non-decreasing in le order, the +Inf bucket
+// equals _count, and _sum and _count exist per label set.
+func checkPromHistograms(t *testing.T, samples []promSample, types map[string]string) {
+	t.Helper()
+	type key struct{ fam, ep string }
+	buckets := make(map[key][]promSample)
+	counts := make(map[key]float64)
+	sums := make(map[key]bool)
+	for _, s := range samples {
+		fam, suf := s.name, ""
+		for _, sx := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(s.name, sx); ok && types[f] == "histogram" {
+				fam, suf = f, sx
+				break
+			}
+		}
+		if suf == "" {
+			continue
+		}
+		k := key{fam, s.labels["endpoint"]}
+		switch suf {
+		case "_bucket":
+			buckets[k] = append(buckets[k], s)
+		case "_count":
+			counts[k] = s.value
+		case "_sum":
+			sums[k] = true
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series found")
+	}
+	for k, bs := range buckets {
+		if !sums[k] {
+			t.Fatalf("histogram %v: missing _sum", k)
+		}
+		count, ok := counts[k]
+		if !ok {
+			t.Fatalf("histogram %v: missing _count", k)
+		}
+		le := func(s promSample) float64 {
+			l := s.labels["le"]
+			if l == "+Inf" {
+				return math.Inf(1)
+			}
+			v, err := strconv.ParseFloat(l, 64)
+			if err != nil {
+				t.Fatalf("histogram %v: bad le %q", k, l)
+			}
+			return v
+		}
+		sort.Slice(bs, func(i, j int) bool { return le(bs[i]) < le(bs[j]) })
+		last := bs[len(bs)-1]
+		if le(last) != math.Inf(1) {
+			t.Fatalf("histogram %v: no +Inf bucket", k)
+		}
+		if last.value != count {
+			t.Fatalf("histogram %v: +Inf bucket %v != count %v", k, last.value, count)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].value < bs[i-1].value {
+				t.Fatalf("histogram %v: cumulative buckets decrease at le=%q (%v < %v)",
+					k, bs[i].labels["le"], bs[i].value, bs[i-1].value)
+			}
+		}
+	}
+}
+
+// TestServeMetricszPrometheus drives real traffic (including malformed
+// bodies and a batch) through the server, scrapes /metricsz, and runs the
+// output through the strict parser — then cross-checks key series against
+// the /statsz snapshot, since both views must derive from one registry.
+func TestServeMetricszPrometheus(t *testing.T) {
+	hs, srv, segs := testServer(t, server.Config{SlowLatency: 1}) // log everything
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(12))
+	queries := workload.RandomVS(rng, 15, box, 3)
+	for _, q := range queries {
+		postQuery(t, hs.URL, server.QueryRequest{
+			QuerySpec: server.QuerySpec{X: q.X, YLo: ptr(q.YLo), YHi: ptr(q.YHi)},
+		})
+	}
+	var batch server.QueryRequest
+	for _, q := range queries[:5] {
+		batch.Queries = append(batch.Queries, server.QuerySpec{X: q.X})
+	}
+	postQuery(t, hs.URL, batch)
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json", strings.NewReader(`{nope`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(hs.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain version=0.0.4", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(mresp.Body)
+	for sc.Scan() {
+		fmt.Fprintln(&sb, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, types := parsePromStrict(t, sb.String())
+	checkPromHistograms(t, samples, types)
+
+	// Cross-check against the JSON snapshot: one registry, two views.
+	snap := srv.Snapshot()
+	get := func(name, ep string) float64 {
+		for _, s := range samples {
+			if s.name == name && s.labels["endpoint"] == ep {
+				return s.value
+			}
+		}
+		t.Fatalf("metric %s{endpoint=%q} not exported", name, ep)
+		return 0
+	}
+	if got := get("segdb_requests_total", "query"); got != float64(snap.Endpoints["query"].Requests) {
+		t.Fatalf("requests_total{query} = %v, statsz says %d", got, snap.Endpoints["query"].Requests)
+	}
+	if got := get("segdb_requests_total", "parse"); got != 1 {
+		t.Fatalf("requests_total{parse} = %v, want 1", got)
+	}
+	if got := get("segdb_request_errors_total", "parse"); got != 1 {
+		t.Fatalf("request_errors_total{parse} = %v, want 1", got)
+	}
+	if got := get("segdb_io_pages_read_total", "query"); got != float64(snap.Endpoints["query"].IOReads) {
+		t.Fatalf("io_pages_read_total{query} = %v, statsz says %d", got, snap.Endpoints["query"].IOReads)
+	}
+	if got := get("segdb_query_pages_read_count", "query"); got != float64(snap.Endpoints["query"].PagesRead.Count) {
+		t.Fatalf("pages_read histogram count = %v, statsz says %d", got, snap.Endpoints["query"].PagesRead.Count)
+	}
+	if got := get("segdb_store_reads_total", ""); got != float64(snap.Store.Total.Reads) {
+		t.Fatalf("store_reads_total = %v, statsz says %d", got, snap.Store.Total.Reads)
+	}
+	// With a log-everything threshold every request is slow.
+	if got := get("segdb_slow_requests_total", ""); got < float64(len(queries)) {
+		t.Fatalf("slow_requests_total = %v, want ≥ %d", got, len(queries))
+	}
+	// Per-shard series sum to the total.
+	var shardReads float64
+	for _, s := range samples {
+		if s.name == "segdb_store_shard_reads_total" {
+			shardReads += s.value
+		}
+	}
+	if shardReads != get("segdb_store_reads_total", "") {
+		t.Fatalf("shard reads sum %v != store total %v", shardReads, get("segdb_store_reads_total", ""))
+	}
+}
+
+// TestPromTextEmptyRegistry: a fresh registry must still render valid
+// exposition output (zero-valued series, no histogram samples missing).
+func TestPromTextEmptyRegistry(t *testing.T) {
+	_, srv, _ := testServer(t, server.Config{})
+	text := server.PromText(srv.Snapshot())
+	samples, types := parsePromStrict(t, text)
+	checkPromHistograms(t, samples, types)
+	if len(samples) == 0 {
+		t.Fatal("empty exposition output")
+	}
+}

@@ -36,6 +36,20 @@ type Config struct {
 	DeepProbeX float64
 	// DeepTimeout bounds the deep check. 0 selects 2s.
 	DeepTimeout time.Duration
+	// SlowLatency is the slow-query log's latency threshold: admitted
+	// requests running longer are logged. 0 selects 250ms; negative
+	// disables the latency trigger.
+	SlowLatency time.Duration
+	// SlowIOPages is the slow-query log's I/O threshold: requests whose
+	// queries read more physical pages are logged. 0 disables the I/O
+	// trigger (latency still applies).
+	SlowIOPages int64
+	// SlowLogSize is the slow-query ring capacity. 0 selects 128.
+	SlowLogSize int
+	// SlowSink, if set, receives every slow entry synchronously after it
+	// is ringed — segdbd points it at a buffered JSONL writer. Keep it
+	// fast; it runs on the request goroutine.
+	SlowSink func(SlowEntry)
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +71,12 @@ func (c Config) withDefaults() Config {
 	if c.DeepTimeout <= 0 {
 		c.DeepTimeout = 2 * time.Second
 	}
+	if c.SlowLatency == 0 {
+		c.SlowLatency = 250 * time.Millisecond
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
 	return c
 }
 
@@ -69,11 +89,14 @@ type Server struct {
 	cfg     Config
 	gate    *Gate
 	metrics *Metrics
+	slow    *SlowLog
 }
 
 // New assembles a server over a synchronized index. st may be nil (no
 // store-level stats in /statsz); passing the store the index lives on
-// adds shard stats and the pool hit ratio.
+// adds shard stats and the pool hit ratio. For per-query I/O attribution
+// (the pages-read histograms and the slow log's I/O column), wrap the
+// index with segdb.SynchronizedOn so its QueryStats carry I/O windows.
 func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
@@ -82,6 +105,7 @@ func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
 		cfg:     cfg,
 		gate:    NewGate(cfg.MaxInflight),
 		metrics: NewMetrics(),
+		slow:    NewSlowLog(cfg.SlowLogSize, cfg.SlowLatency, cfg.SlowIOPages, cfg.SlowSink),
 	}
 }
 
@@ -90,6 +114,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Gate exposes the admission gate, e.g. for tests.
 func (s *Server) Gate() *Gate { return s.gate }
+
+// SlowLog exposes the slow-query ring, e.g. for tests.
+func (s *Server) SlowLog() *SlowLog { return s.slow }
 
 // Snapshot returns the same document /statsz serves, programmatically.
 func (s *Server) Snapshot() Snapshot {
@@ -116,12 +143,14 @@ func (s *Server) Drain(ctx context.Context) error {
 // Handler returns the HTTP surface:
 //
 //	POST /v1/query  single or batch VS query (JSON)
-//	GET  /statsz    metrics snapshot (JSON)
+//	GET  /statsz    metrics snapshot (JSON); ?slow=1 adds the slow-query ring
+//	GET  /metricsz  the same registry in Prometheus text format
 //	GET  /healthz   liveness; 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -199,7 +228,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.metrics.OnError(EPQuery)
+		// A body that does not decode cannot be attributed to the single
+		// or batch form; counting it as a query error (as the seed did,
+		// without counting a request) let error counts exceed request
+		// counts. The parse pseudo-endpoint keeps every row's invariant.
+		s.metrics.OnParseError()
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -243,6 +276,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var resp QueryResponse
 	var answers int
+	var io QueryIO
 	if ep == EPBatch {
 		par := req.Parallelism
 		if par <= 0 || par > s.cfg.BatchParallelism {
@@ -252,7 +286,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for i, qs := range req.Queries {
 			queries[i] = qs.Query()
 		}
-		results := segdb.QueryBatch(s.ix, queries, par)
+		// QueryBatchContext stops running queries at the deadline: workers
+		// start nothing new once ctx is done and abort queries already
+		// emitting, so a timed-out batch sheds its load promptly instead
+		// of burning a worker pool on answers nobody will receive.
+		results := segdb.QueryBatchContext(ctx, s.ix, queries, par)
 		resp.Results = make([]QueryResult, len(results))
 		for i, br := range results {
 			qr := QueryResult{Count: len(br.Hits)}
@@ -263,24 +301,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				qr.Error = br.Err.Error()
 			}
 			answers += len(br.Hits)
+			io.Add(br.Stats)
 			resp.Results[i] = qr
 		}
 		if err := ctx.Err(); err != nil {
 			s.metrics.OnFailure(ep)
+			s.observeSlow(ep, &req, time.Since(start), io, answers, "deadline")
 			httpError(w, http.StatusServiceUnavailable, "batch exceeded deadline: "+err.Error())
 			return
 		}
 	} else {
 		var hits []segdb.Segment
-		_, err := s.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
+		st, err := s.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
 			hits = append(hits, sg)
 		})
+		io.Add(st)
 		if err != nil {
+			s.metrics.OnFailure(ep)
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				s.metrics.OnFailure(ep)
+				s.observeSlow(ep, &req, time.Since(start), io, len(hits), "deadline")
 				httpError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())
 			} else {
-				s.metrics.OnFailure(ep)
+				s.observeSlow(ep, &req, time.Since(start), io, len(hits), "error")
 				httpError(w, http.StatusInternalServerError, err.Error())
 			}
 			return
@@ -293,13 +335,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	resp.ElapsedMS = float64(elapsed) / 1e6
-	s.metrics.OnDone(ep, elapsed, answers)
+	s.metrics.OnDone(ep, elapsed, answers, io)
+	s.observeSlow(ep, &req, elapsed, io, answers, "ok")
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeSlow logs the request if it crossed a slow-query threshold.
+func (s *Server) observeSlow(ep Endpoint, req *QueryRequest, elapsed time.Duration, io QueryIO, answers int, status string) {
+	if !s.slow.Crossed(elapsed, io.PagesRead) {
+		return
+	}
+	s.slow.Record(SlowEntry{
+		Time:      time.Now(),
+		Endpoint:  endpointNames[ep],
+		Query:     querySummary(req),
+		Status:    status,
+		ElapsedMS: float64(elapsed) / 1e6,
+		PagesRead: io.PagesRead,
+		PoolHits:  io.PoolHits,
+		Answers:   answers,
+		Inflight:  s.gate.Inflight(),
+		Draining:  s.gate.Draining(),
+	})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.OnRequest(EPStatsz)
-	writeJSON(w, http.StatusOK, s.Snapshot())
+	snap := s.Snapshot()
+	if r.URL.Query().Get("slow") != "" {
+		sl := s.slow.Snapshot()
+		snap.SlowLog = &sl
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleMetricsz serves the same registry /statsz renders as JSON, in
+// Prometheus text exposition format.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.OnRequest(EPStatsz)
+	snap := s.Snapshot()
+	sl := s.slow.Snapshot()
+	snap.SlowLog = &sl
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, snap)
 }
 
 // handleHealthz is liveness by default; with ?deep=1 it also proves the

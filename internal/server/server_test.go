@@ -28,7 +28,7 @@ func testServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(segdb.Synchronized(ix), st, cfg)
+	srv := server.New(segdb.SynchronizedOn(ix, st), st, cfg)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return hs, srv, segs
@@ -459,6 +459,116 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET query: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeStatszInvariantUnderMalformedTraffic is the regression test
+// for decode failures skewing the metrics: malformed bodies used to
+// count an error on the query endpoint without counting a request, so
+// errors could exceed requests. They now land on the dedicated "parse"
+// row as one request plus one error, and every endpoint row keeps the
+// errors ≤ requests invariant under mixed good/bad traffic.
+func TestServeStatszInvariantUnderMalformedTraffic(t *testing.T) {
+	hs, srv, segs := testServer(t, server.Config{})
+	box := workload.BBox(segs)
+
+	const bad = 7
+	garbage := [][]byte{
+		[]byte(`{bad json`),
+		[]byte(`[1,2,3`),
+		[]byte(`{"x": "not a number"}`),
+		[]byte(`"just a string`),
+		[]byte(``),
+		[]byte(`{"queries": [{"x": {}}]}`),
+		[]byte(`{{{`),
+	}
+	for i := 0; i < bad; i++ {
+		resp, err := http.Post(hs.URL+"/v1/query", "application/json",
+			bytes.NewReader(garbage[i%len(garbage)]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed body %d: HTTP %d, want 400", i, resp.StatusCode)
+		}
+	}
+	const good = 5
+	for i := 0; i < good; i++ {
+		postQuery(t, hs.URL, server.QueryRequest{
+			QuerySpec: server.QuerySpec{X: box.MinX + float64(i)},
+		})
+	}
+
+	snap := srv.Snapshot()
+	for name, ep := range snap.Endpoints {
+		if ep.Errors > ep.Requests {
+			t.Fatalf("endpoint %q: errors %d > requests %d", name, ep.Errors, ep.Requests)
+		}
+	}
+	p := snap.Endpoints["parse"]
+	if p.Requests != bad || p.Errors != bad {
+		t.Fatalf("parse row = %d requests / %d errors, want %d / %d",
+			p.Requests, p.Errors, bad, bad)
+	}
+	q := snap.Endpoints["query"]
+	if q.Requests != good || q.Errors != 0 {
+		t.Fatalf("query row = %d requests / %d errors, want %d / 0",
+			q.Requests, q.Errors, good)
+	}
+}
+
+// TestServeIOAttribution: real traffic over SynchronizedOn must surface
+// per-endpoint I/O — totals, ratio, and a pages-read histogram whose
+// count matches the request count — and the single and batch endpoints
+// account independently.
+func TestServeIOAttribution(t *testing.T) {
+	hs, srv, segs := testServer(t, server.Config{})
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(8))
+	queries := workload.RandomVS(rng, 20, box, 3)
+
+	for _, q := range queries {
+		postQuery(t, hs.URL, server.QueryRequest{
+			QuerySpec: server.QuerySpec{X: q.X, YLo: ptr(q.YLo), YHi: ptr(q.YHi)},
+		})
+	}
+	var batch server.QueryRequest
+	for _, q := range queries {
+		batch.Queries = append(batch.Queries, server.QuerySpec{X: q.X, YLo: ptr(q.YLo), YHi: ptr(q.YHi)})
+	}
+	batch.Parallelism = 4
+	if resp, _ := postQuery(t, hs.URL, batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+
+	snap := srv.Snapshot()
+	for _, name := range []string{"query", "batch"} {
+		ep := snap.Endpoints[name]
+		if ep.IOReads+ep.IOHits == 0 {
+			t.Fatalf("%s endpoint attributed no I/O over %d requests", name, ep.Requests)
+		}
+		if ep.PagesRead.Count != ep.Requests {
+			t.Fatalf("%s pages-read histogram count %d != requests %d",
+				name, ep.PagesRead.Count, ep.Requests)
+		}
+		if ep.PoolHits.Count != ep.Requests {
+			t.Fatalf("%s pool-hits histogram count %d != requests %d",
+				name, ep.PoolHits.Count, ep.Requests)
+		}
+		if ep.PagesRead.Sum != ep.IOReads || ep.PoolHits.Sum != ep.IOHits {
+			t.Fatalf("%s histogram sums (%d reads, %d hits) != totals (%d, %d)",
+				name, ep.PagesRead.Sum, ep.PoolHits.Sum, ep.IOReads, ep.IOHits)
+		}
+		if ep.HitRatio < 0 || ep.HitRatio > 1 {
+			t.Fatalf("%s hit ratio %f out of range", name, ep.HitRatio)
+		}
+	}
+	// The single queries ran serially, so their windows are exact and can
+	// never exceed what the store itself observed. (Batch windows may
+	// over-count under concurrency — see the pager package comment.)
+	if qe := snap.Endpoints["query"]; qe.IOReads > snap.Store.Total.Reads {
+		t.Fatalf("attributed reads %d exceed store total %d", qe.IOReads, snap.Store.Total.Reads)
 	}
 }
 

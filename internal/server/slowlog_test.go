@@ -1,0 +1,182 @@
+package server_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"segdb/internal/server"
+	"segdb/internal/workload"
+)
+
+func TestSlowLogCrossed(t *testing.T) {
+	var nilLog *server.SlowLog
+	if nilLog.Crossed(time.Hour, 1<<30) {
+		t.Fatal("nil slow log crossed a threshold")
+	}
+
+	l := server.NewSlowLog(4, 100*time.Millisecond, 50, nil)
+	cases := []struct {
+		elapsed time.Duration
+		pages   int64
+		want    bool
+	}{
+		{50 * time.Millisecond, 10, false},
+		{150 * time.Millisecond, 10, true},  // latency threshold
+		{50 * time.Millisecond, 100, true},  // I/O threshold
+		{100 * time.Millisecond, 50, false}, // thresholds are strict
+	}
+	for i, c := range cases {
+		if got := l.Crossed(c.elapsed, c.pages); got != c.want {
+			t.Fatalf("case %d: Crossed(%v, %d) = %v, want %v", i, c.elapsed, c.pages, got, c.want)
+		}
+	}
+
+	// Disabled dimensions never trigger.
+	off := server.NewSlowLog(4, 0, 0, nil)
+	if off.Crossed(time.Hour, 1<<30) {
+		t.Fatal("thresholds 0/0 must disable the log")
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	var sunk []server.SlowEntry
+	l := server.NewSlowLog(3, time.Millisecond, 0, func(e server.SlowEntry) {
+		sunk = append(sunk, e)
+	})
+	for i := 0; i < 5; i++ {
+		l.Record(server.SlowEntry{Answers: i})
+	}
+	s := l.Snapshot()
+	if s.Total != 5 || s.Capacity != 3 {
+		t.Fatalf("snapshot total %d capacity %d, want 5/3", s.Total, s.Capacity)
+	}
+	if len(s.Entries) != 3 {
+		t.Fatalf("%d retained entries, want 3", len(s.Entries))
+	}
+	// Newest first: 4, 3, 2 survive the 3-slot ring.
+	for i, want := range []int{4, 3, 2} {
+		if s.Entries[i].Answers != want {
+			t.Fatalf("entry %d = %d, want %d (newest first)", i, s.Entries[i].Answers, want)
+		}
+	}
+	if len(sunk) != 5 {
+		t.Fatalf("sink saw %d entries, want all 5", len(sunk))
+	}
+}
+
+// TestSlowLogConcurrent hammers Record/Snapshot from many goroutines
+// under -race: totals must be exact and snapshots internally consistent.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := server.NewSlowLog(8, time.Millisecond, 0, nil)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Record(server.SlowEntry{Answers: w})
+				if i%32 == 0 {
+					s := l.Snapshot()
+					if len(s.Entries) > s.Capacity {
+						t.Errorf("snapshot holds %d entries, capacity %d", len(s.Entries), s.Capacity)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := l.Snapshot(); s.Total != writers*perWriter {
+		t.Fatalf("total %d, want %d", s.Total, writers*perWriter)
+	}
+}
+
+// TestServeSlowQueryLog drives traffic with a log-everything threshold
+// and asserts /statsz?slow=1 exposes the ring — entries carry the query
+// shape, status and I/O attribution — while plain /statsz omits it.
+func TestServeSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var sunk []server.SlowEntry
+	hs, _, segs := testServer(t, server.Config{
+		SlowLatency: 1, // a nanosecond: everything is slow
+		SlowLogSize: 16,
+		SlowSink: func(e server.SlowEntry) {
+			mu.Lock()
+			sunk = append(sunk, e)
+			mu.Unlock()
+		},
+	})
+	box := workload.BBox(segs)
+	rng := rand.New(rand.NewSource(13))
+	queries := workload.RandomVS(rng, 6, box, 3)
+	for _, q := range queries {
+		postQuery(t, hs.URL, server.QueryRequest{
+			QuerySpec: server.QuerySpec{X: q.X, YLo: ptr(q.YLo), YHi: ptr(q.YHi)},
+		})
+	}
+	var batch server.QueryRequest
+	for _, q := range queries[:3] {
+		batch.Queries = append(batch.Queries, server.QuerySpec{X: q.X})
+	}
+	postQuery(t, hs.URL, batch)
+
+	var snap server.Snapshot
+	resp, err := http.Get(hs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.SlowLog != nil {
+		t.Fatal("plain /statsz must omit the slow ring")
+	}
+
+	resp, err = http.Get(hs.URL + "/statsz?slow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.SlowLog == nil {
+		t.Fatal("/statsz?slow=1 returned no slow ring")
+	}
+	want := int64(len(queries) + 1) // every single query + the batch
+	if snap.SlowLog.Total != want {
+		t.Fatalf("slow total = %d, want %d", snap.SlowLog.Total, want)
+	}
+	var sawBatch, sawSingle bool
+	for _, e := range snap.SlowLog.Entries {
+		if e.Status != "ok" {
+			t.Fatalf("entry status %q, want ok", e.Status)
+		}
+		if e.Query == "" || e.Time.IsZero() {
+			t.Fatalf("entry missing query shape or time: %+v", e)
+		}
+		switch e.Endpoint {
+		case "batch":
+			sawBatch = true
+			if e.Query != "batch[3]" {
+				t.Fatalf("batch entry query = %q, want batch[3]", e.Query)
+			}
+		case "query":
+			sawSingle = true
+		}
+	}
+	if !sawBatch || !sawSingle {
+		t.Fatalf("ring missing endpoints: batch=%v single=%v", sawBatch, sawSingle)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(len(sunk)) != want {
+		t.Fatalf("sink saw %d entries, want %d", len(sunk), want)
+	}
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # serve-smoke: end-to-end check of the serving path. Builds a small
-# file-backed index, starts segdbd, drives it with segload, asserts
-# /statsz returns sane JSON, and shuts the daemon down gracefully.
+# file-backed index, starts segdbd (slow log at 0-threshold, pprof on a
+# debug listener), drives it with segload, asserts /statsz returns sane
+# JSON, /metricsz parses as Prometheus text format, the slow ring and
+# JSONL sink recorded the traffic, and shuts the daemon down gracefully.
 set -euo pipefail
 
 addr=127.0.0.1:18070
+dbgaddr=127.0.0.1:18071
 dir=$(mktemp -d)
 pid=""
 cleanup() {
@@ -20,7 +23,11 @@ go build -o "$dir" ./cmd/segdb ./cmd/segdbd ./cmd/segload
 # A query through the CLI cross-checks the persisted index against the CSV.
 "$dir/segdb" query -db "$dir/index.db" -b 32 -x 2500 -ylo 0 -yhi 200 -check "$dir/segs.csv" >/dev/null
 
-"$dir/segdbd" -db "$dir/index.db" -addr "$addr" -max-inflight 16 >"$dir/segdbd.log" 2>&1 &
+# -slow-latency 0 logs every request: the ring and JSONL sink must be
+# non-empty after any traffic at all.
+"$dir/segdbd" -db "$dir/index.db" -addr "$addr" -max-inflight 16 \
+    -debug-addr "$dbgaddr" -slow-latency 0 -slow-ring 64 \
+    -slow-log "$dir/slow.jsonl" >"$dir/segdbd.log" 2>&1 &
 pid=$!
 for _ in $(seq 1 100); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -28,20 +35,75 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 
-"$dir/segload" -addr "http://$addr" -csv "$dir/segs.csv" -c 4 -duration 2s
+# segload scrapes /metricsz itself through a strict parser and folds
+# server-side I/O attribution into its report.
+"$dir/segload" -addr "http://$addr" -csv "$dir/segs.csv" -c 4 -duration 2s | tee "$dir/segload.out"
+grep -q 'pages read/query' "$dir/segload.out" \
+    || { echo "serve-smoke: segload reported no server-side i/o per query"; exit 1; }
+grep -q 'metricsz unavailable' "$dir/segload.out" \
+    && { echo "serve-smoke: segload could not parse /metricsz"; exit 1; }
 
-# /statsz must be valid JSON recording the traffic segload just sent.
+# /statsz must be valid JSON recording the traffic segload just sent,
+# including per-endpoint I/O attribution.
 stats=$(curl -fsS "http://$addr/statsz")
 echo "$stats" | jq -e '
     .endpoints.query.requests > 0
     and .endpoints.query.answers > 0
     and .endpoints.query.latency.count > 0
+    and .endpoints.query.io_reads + .endpoints.query.io_hits > 0
+    and .endpoints.query.pages_read.count == .endpoints.query.requests
     and (.store.shards | length) > 0
     and .store.total.Reads > 0
     and .admission.max_inflight == 16
     and .admission.inflight == 0
     and .segments > 0' >/dev/null \
     || { echo "serve-smoke: statsz failed sanity check:"; echo "$stats" | jq . || echo "$stats"; exit 1; }
+
+# The slow ring (0-threshold: everything) must hold entries with I/O
+# attribution, and the JSONL sink must be line-delimited valid JSON.
+curl -fsS "http://$addr/statsz?slow=1" | jq -e '
+    .slow_log.total > 0
+    and (.slow_log.entries | length) > 0
+    and (.slow_log.entries[0].query | length) > 0' >/dev/null \
+    || { echo "serve-smoke: slow-query ring empty under 0-threshold"; exit 1; }
+[ -s "$dir/slow.jsonl" ] || { echo "serve-smoke: slow-query JSONL sink is empty"; exit 1; }
+jq -es 'length > 0' "$dir/slow.jsonl" >/dev/null \
+    || { echo "serve-smoke: slow-query JSONL sink holds invalid JSON"; exit 1; }
+
+# /metricsz must be Prometheus text format 0.0.4: every line a comment or
+# "name[{labels}] value", every sample family announced by # TYPE, and
+# the key series non-zero.
+metrics=$(curl -fsS "http://$addr/metricsz")
+echo "$metrics" | awk '
+    /^$/ { next }
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / {
+        if ($2 == "TYPE") typed[$3] = 1
+        next
+    }
+    /^#/ { print "bad comment: " $0; bad = 1; next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$/ {
+        fam = $1; sub(/\{.*/, "", fam)
+        sub(/_(bucket|sum|count)$/, "", fam)
+        if (!(fam in typed)) { print "sample without TYPE: " $0; bad = 1 }
+        next
+    }
+    { print "unparseable line: " $0; bad = 1 }
+    END { exit bad }' \
+    || { echo "serve-smoke: /metricsz is not valid exposition format"; exit 1; }
+for want in 'segdb_requests_total{endpoint="query"}' \
+            'segdb_query_pages_read_bucket' \
+            'segdb_request_latency_seconds_bucket' \
+            'segdb_slow_requests_total' \
+            'segdb_store_shard_reads_total{shard="0"}'; do
+    echo "$metrics" | grep -qF "$want" \
+        || { echo "serve-smoke: /metricsz missing $want"; exit 1; }
+done
+echo "$metrics" | awk -F' ' '/^segdb_requests_total\{endpoint="query"\}/ { v = $2 } END { exit !(v > 0) }' \
+    || { echo "serve-smoke: /metricsz query request counter is zero"; exit 1; }
+
+# The debug listener serves pprof, kept off the query port.
+curl -fsS "http://$dbgaddr/debug/pprof/cmdline" >/dev/null \
+    || { echo "serve-smoke: pprof debug listener not responding"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid"

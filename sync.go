@@ -17,17 +17,57 @@ import (
 type SyncIndex struct {
 	mu sync.RWMutex
 	ix Index
+	st *Store // non-nil: attribute per-query I/O from its counters
 }
 
 // Synchronized wraps an index for concurrent use. The caller must stop
 // using the unwrapped index directly.
 func Synchronized(ix Index) *SyncIndex { return &SyncIndex{ix: ix} }
 
+// SynchronizedOn is Synchronized with per-query I/O attribution: every
+// query's QueryStats additionally carries the physical reads and pool
+// hits st's counters recorded during the query's window (PagesRead,
+// PoolHits). st must be the store the index lives on. Attribution is
+// exact while queries do not overlap; under concurrent queries a window
+// also sees overlapping queries' reads — see the pager package comment
+// for the precise semantics under the sharded pool and singleflight.
+func SynchronizedOn(ix Index, st *Store) *SyncIndex {
+	return &SyncIndex{ix: ix, st: st}
+}
+
+// ioWindow brackets one query for I/O attribution; the zero value (no
+// store) is inert.
+type ioWindow struct {
+	st     *Store
+	r0, h0 int64
+}
+
+func (s *SyncIndex) beginIO() ioWindow {
+	w := ioWindow{st: s.st}
+	if w.st != nil {
+		w.r0, w.h0 = w.st.ReadStats()
+	}
+	return w
+}
+
+// end folds the window's read delta into st.
+func (w ioWindow) end(st *QueryStats) {
+	if w.st == nil {
+		return
+	}
+	r1, h1 := w.st.ReadStats()
+	st.PagesRead = r1 - w.r0
+	st.PoolHits = h1 - w.h0
+}
+
 // Query implements the Index contract under a shared lock.
 func (s *SyncIndex) Query(q Query, emit func(Segment)) (QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.ix.Query(q, emit)
+	w := s.beginIO()
+	st, err := s.ix.Query(q, emit)
+	w.end(&st)
+	return st, err
 }
 
 // queryAborted unwinds a query whose context was cancelled mid-emission.
@@ -52,6 +92,7 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 		err error
 		n   int
 	)
+	w := s.beginIO()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -68,6 +109,7 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 			}
 		})
 	}()
+	w.end(&st)
 	if cerr := ctx.Err(); cerr != nil {
 		return st, cerr
 	}

@@ -350,6 +350,65 @@ func TestSyncMixedWorkloadStress(t *testing.T) {
 	}
 }
 
+// TestSyncIOAttribution: SynchronizedOn brackets every query with the
+// store's read counters, so serial queries carry exact per-query
+// PagesRead/PoolHits — a cold pool shows physical reads, a warm re-run
+// of the same query shows pool hits instead, and the per-query deltas
+// sum to the store's own counter movement.
+func TestSyncIOAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	pageSize := segdb.PageSizeFor(16)
+	st, err := pager.Open(pager.NewMemDevice(pageSize), pageSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.SynchronizedOn(raw, st)
+	box := workload.BBox(segs)
+	q := segdb.VSeg((box.MinX+box.MaxX)/2, box.MinY, box.MaxY)
+
+	r0, h0 := st.ReadStats()
+	stats, err := ix.Query(q, func(segdb.Segment) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, h1 := st.ReadStats()
+	if stats.PagesRead == 0 {
+		t.Fatal("query on a cold 4-page pool attributed zero physical reads")
+	}
+	if stats.PagesRead != r1-r0 || stats.PoolHits != h1-h0 {
+		t.Fatalf("serial attribution inexact: query saw %d reads/%d hits, store moved %d/%d",
+			stats.PagesRead, stats.PoolHits, r1-r0, h1-h0)
+	}
+
+	// The plain wrapper attributes nothing: zero stays zero.
+	plain := segdb.Synchronized(raw)
+	pstats, err := plain.Query(q, func(segdb.Segment) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pstats.PagesRead != 0 || pstats.PoolHits != 0 {
+		t.Fatalf("Synchronized (no store) attributed I/O: %+v", pstats)
+	}
+
+	// QueryBatch over SynchronizedOn carries attribution per result.
+	queries := workload.RandomStabs(rng, 8, box)
+	var pages int64
+	for i, br := range segdb.QueryBatch(ix, queries, 2) {
+		if br.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, br.Err)
+		}
+		pages += br.Stats.PagesRead + br.Stats.PoolHits
+	}
+	if pages == 0 {
+		t.Fatal("batch over SynchronizedOn attributed no page touches at all")
+	}
+}
+
 // TestSyncSurfacesFaults: the concurrency wrapper adds no error
 // swallowing — injected device faults come back typed through Query and
 // land per-query in QueryBatch results.
