@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke serve-smoke ci
+.PHONY: all build vet test race bench fuzz-smoke serve-smoke wal-crash ci
 
 all: ci
 
@@ -33,4 +33,9 @@ fuzz-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: vet build test race serve-smoke
+# WAL crash-matrix gate: kill the log at every record boundary and the
+# checkpoint at every step, then recover and verify — under -race.
+wal-crash:
+	$(GO) test -race -run 'DurableCrash|DurableCheckpoint|WALCrash|TornTail' . ./internal/wal
+
+ci: vet build test race wal-crash serve-smoke

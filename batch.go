@@ -2,6 +2,7 @@ package segdb
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -34,8 +35,10 @@ type contextQuerier interface {
 // running. The returned slice always has len(queries) entries; a query
 // that was cancelled — before starting or mid-run — carries ctx's error
 // in its Err, so callers get partial results for the queries that did
-// complete rather than an all-or-nothing timeout. With parallelism ≤ 1
-// the queries run sequentially on the calling goroutine.
+// complete rather than an all-or-nothing timeout. Parallelism 1 runs the
+// queries sequentially on the calling goroutine; parallelism ≤ 0 selects
+// GOMAXPROCS workers — the "just use the machine" default, so a zero
+// value never silently serializes a large batch.
 //
 // For parallelism > 1 the index must be safe for concurrent queries:
 // wrap it with Synchronized, whose shared-lock queries run truly in
@@ -44,10 +47,13 @@ type contextQuerier interface {
 // behind a static partition.
 func QueryBatchContext(ctx context.Context, ix Index, queries []Query, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
-	if parallelism <= 1 {
+	if parallelism == 1 {
 		for i, q := range queries {
 			out[i] = runBatchQuery(ctx, ix, q)
 		}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -172,3 +174,96 @@ func TestQueryBatchEmpty(t *testing.T) {
 		t.Fatalf("empty batch returned %d results", len(got))
 	}
 }
+
+// barrierIndex blocks each query until a second query has at least
+// started (monotonic arrivals, so a quick sibling cannot slip past
+// unobserved): a batch that runs queries concurrently finishes clean,
+// while a silently sequential batch times its first query out.
+type barrierIndex struct {
+	arrived atomic.Int64
+}
+
+var errBarrierTimeout = errors.New("no concurrent query arrived")
+
+func (b *barrierIndex) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	b.arrived.Add(1)
+	for deadline := time.Now().Add(2 * time.Second); b.arrived.Load() < 2; {
+		if time.Now().After(deadline) {
+			return segdb.QueryStats{}, errBarrierTimeout
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return segdb.QueryStats{}, nil
+}
+
+func (b *barrierIndex) Insert(segdb.Segment) error         { return segdb.ErrUnsupported }
+func (b *barrierIndex) Delete(segdb.Segment) (bool, error) { return false, segdb.ErrUnsupported }
+func (b *barrierIndex) Len() int                           { return 0 }
+func (b *barrierIndex) Collect() ([]segdb.Segment, error)  { return nil, nil }
+func (b *barrierIndex) Drop() error                        { return nil }
+
+// TestQueryBatchDefaultParallelism is the regression test for
+// parallelism ≤ 0 silently running a batch sequentially: the default now
+// means GOMAXPROCS workers, so over a barrier index every query must
+// meet a concurrent sibling. Run with -race.
+func TestQueryBatchDefaultParallelism(t *testing.T) {
+	// The default resolves to GOMAXPROCS at call time; pin it ≥ 2 so the
+	// test is meaningful on single-core machines too (workers only need
+	// concurrent scheduling, not parallel execution, to meet the barrier).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	queries := make([]segdb.Query, 16)
+	for i := range queries {
+		queries[i] = segdb.VLine(float64(i))
+	}
+	for _, par := range []int{0, -3} {
+		for i, r := range segdb.QueryBatch(&barrierIndex{}, queries, par) {
+			if r.Err != nil {
+				t.Fatalf("parallelism %d, query %d: %v (batch ran sequentially?)", par, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestQueryBatchExplicitSequential: parallelism 1 still means strictly
+// sequential on the calling goroutine — at most one query in flight.
+func TestQueryBatchExplicitSequential(t *testing.T) {
+	var ix seqCheckIndex
+	queries := make([]segdb.Query, 8)
+	for i := range queries {
+		queries[i] = segdb.VLine(float64(i))
+	}
+	for i, r := range segdb.QueryBatch(&ix, queries, 1) {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+	}
+	if got := ix.maxInflight.Load(); got != 1 {
+		t.Fatalf("max in-flight queries = %d, want 1", got)
+	}
+}
+
+// seqCheckIndex records the maximum number of concurrently running
+// queries.
+type seqCheckIndex struct {
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+}
+
+func (s *seqCheckIndex) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	cur := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	for {
+		max := s.maxInflight.Load()
+		if cur <= max || s.maxInflight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	return segdb.QueryStats{}, nil
+}
+
+func (s *seqCheckIndex) Insert(segdb.Segment) error         { return segdb.ErrUnsupported }
+func (s *seqCheckIndex) Delete(segdb.Segment) (bool, error) { return false, segdb.ErrUnsupported }
+func (s *seqCheckIndex) Len() int                           { return 0 }
+func (s *seqCheckIndex) Collect() ([]segdb.Segment, error)  { return nil, nil }
+func (s *seqCheckIndex) Drop() error                        { return nil }

@@ -19,6 +19,9 @@
 //	                 {"x":10,"ylo":0}                     upward ray
 //	                 {"x":10}                             stabbing line
 //	                 {"queries":[...],"parallelism":4}    batch (QueryBatch)
+//	POST /v1/insert  {"id":7,"ax":0,"ay":1,"bx":5,"by":2}  durable insert
+//	POST /v1/delete  same body                             durable delete
+//	                 (both require -wal; read-only serving answers 501)
 //	GET  /statsz     request counts, latency and pages-read histograms,
 //	                 admission and per-shard store stats (JSON);
 //	                 ?slow=1 adds the slow-query ring
@@ -41,8 +44,16 @@
 // -verify runs segdb.VerifyIndexFile before serving: every page checksum
 // plus a full structural walk, refusing to serve a damaged file.
 //
+// -wal <path> serves the index read-write as a segdb.DurableIndex: every
+// acknowledged insert/delete is covered by an fsynced write-ahead-log
+// record before the response, -group-commit-window batches concurrent
+// writers into shared fsyncs, and updates get their own admission class
+// (-max-inflight-updates). The index file itself only changes at the
+// shutdown checkpoint, via the atomic shadow commit.
+//
 // SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
-// queries, flush the slow log, fsync and close the store.
+// requests, flush the slow log, then checkpoint (WAL mode) or fsync and
+// close the store.
 package main
 
 import (
@@ -83,6 +94,9 @@ func main() {
 	slowIO := flag.Int64("slow-io", 0, "slow-query I/O threshold in physical pages read; 0 disables")
 	slowRing := flag.Int("slow-ring", 128, "slow-query ring capacity (/statsz?slow=1)")
 	slowLog := flag.String("slow-log", "", "append slow-query entries as JSONL to this file")
+	walPath := flag.String("wal", "", "write-ahead log path; enables POST /v1/insert and /v1/delete (requires a Solution 1 index)")
+	groupCommit := flag.Duration("group-commit-window", 0, "group-commit window: how long an update fsync lingers for concurrent writers to share it")
+	maxInflightUpdates := flag.Int("max-inflight-updates", 16, "write-admission limit; excess update load is shed with 429")
 	flag.Parse()
 
 	if *verify {
@@ -91,12 +105,39 @@ func main() {
 		}
 		log.Printf("segdbd: %s verified (checksums + structural walk)", *db)
 	}
-	st, ix, err := segdb.OpenIndexFile(*db, *b, *cache)
-	if err != nil {
-		log.Fatalf("segdbd: %v", err)
+
+	// -wal serves the index read-write: the checkpoint file plus a
+	// write-ahead log, replayed at open. Without it the file is served
+	// read-only straight off its store.
+	var (
+		sx  *segdb.SyncIndex
+		st  *segdb.Store
+		dix *segdb.DurableIndex
+		err error
+	)
+	if *walPath != "" {
+		dix, err = segdb.OpenDurableIndex(*db, *walPath, segdb.DurableOptions{
+			Build:             segdb.Options{B: *b},
+			CachePages:        *cache,
+			GroupCommitWindow: *groupCommit,
+		})
+		if err != nil {
+			log.Fatalf("segdbd: %v", err)
+		}
+		sx, st = dix.Index(), dix.Store()
+		records, _, _ := dix.WALStats()
+		log.Printf("segdbd: %s + %s: %d segments (%d wal records), read-write",
+			*db, *walPath, sx.Len(), records)
+	} else {
+		var ix segdb.Index
+		st, ix, err = segdb.OpenIndexFile(*db, *b, *cache)
+		if err != nil {
+			log.Fatalf("segdbd: %v", err)
+		}
+		sx = segdb.SynchronizedOn(ix, st)
+		log.Printf("segdbd: %s: %d segments, %d pages of %d bytes, %d pool shards",
+			*db, ix.Len(), st.PagesInUse(), st.PageSize(), st.Shards())
 	}
-	log.Printf("segdbd: %s: %d segments, %d pages of %d bytes, %d pool shards",
-		*db, ix.Len(), st.PagesInUse(), st.PageSize(), st.Shards())
 
 	var sink *slowSink
 	if *slowLog != "" {
@@ -129,7 +170,11 @@ func main() {
 	if sink != nil {
 		cfg.SlowSink = sink.record
 	}
-	srv := server.New(segdb.SynchronizedOn(ix, st), st, cfg)
+	if dix != nil {
+		cfg.Updater = dix
+		cfg.MaxInflightUpdates = *maxInflightUpdates
+	}
+	srv := server.New(sx, st, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *debugAddr != "" {
@@ -181,16 +226,32 @@ func main() {
 			log.Printf("segdbd: slow log: %v", err)
 		}
 	}
-	if err := st.Sync(); err != nil {
-		log.Printf("segdbd: sync: %v", err)
-	}
-	if err := st.Close(); err != nil {
-		log.Printf("segdbd: close: %v", err)
-	}
 	snap := srv.Snapshot()
+	if dix != nil {
+		// A graceful stop checkpoints: the live state lands in the index
+		// file through the shadow commit and the log rotates empty, so the
+		// next open replays nothing.
+		if err := dix.Compact(); err != nil {
+			log.Printf("segdbd: checkpoint: %v", err)
+		}
+		if err := dix.Close(); err != nil {
+			log.Printf("segdbd: close: %v", err)
+		}
+	} else {
+		if err := st.Sync(); err != nil {
+			log.Printf("segdbd: sync: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("segdbd: close: %v", err)
+		}
+	}
 	fmt.Printf("segdbd: served %d queries, %d batches, shed %d; store hit ratio %.3f\n",
 		snap.Endpoints["query"].Requests, snap.Endpoints["batch"].Requests,
 		snap.Admission.Shed, snap.Store.HitRatio)
+	if dix != nil {
+		fmt.Printf("segdbd: served %d inserts, %d deletes; checkpointed %d segments\n",
+			snap.Endpoints["insert"].Requests, snap.Endpoints["delete"].Requests, sx.Len())
+	}
 }
 
 // slowSink appends slow-query entries to a JSONL file. Entries arrive on

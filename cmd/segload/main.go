@@ -9,6 +9,12 @@
 //	segload -addr http://127.0.0.1:8080 -c 4 -duration 10s -span 50000
 //	segload -csv segs.csv -c 16 -json
 //
+// -write-frac mixes durable writes into the stream (against segdbd -wal):
+// that fraction of each worker's requests become /v1/insert or /v1/delete
+// calls on worker-private segments laid out above the data's bounding box
+// — horizontal, each on its own y — so the NCT insert contract holds by
+// construction and deletes always target segments the worker inserted.
+//
 // -csv derives the query coordinate range from a workload CSV (the one
 // the index was built from); otherwise -span bounds x and y. The report
 // combines client-side latency (merged per-worker histograms) with the
@@ -45,6 +51,8 @@ type counters struct {
 	shed     atomic.Int64
 	errors   atomic.Int64
 	answers  atomic.Int64
+	inserts  atomic.Int64 // acknowledged inserts
+	deletes  atomic.Int64 // acknowledged deletes
 }
 
 func main() {
@@ -59,6 +67,7 @@ func main() {
 	rayFrac := flag.Float64("ray-frac", 0.2, "fraction of ray queries")
 	batch := flag.Int("batch", 0, "queries per request (0 = single form)")
 	withHits := flag.Bool("hits", false, "transfer full hit payloads instead of counts")
+	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are writes, split insert/delete (requires segdbd -wal)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -96,6 +105,7 @@ func main() {
 				xLo:      xLo, xHi: xHi, yLo: yLo, yHi: yHi, height: h,
 				lineFrac: *lineFrac, rayFrac: *rayFrac,
 				batch: *batch, omitHits: !*withHits,
+				writeFrac: *writeFrac, worker: w,
 			}, &cnt, hists[w])
 		}(w)
 	}
@@ -128,6 +138,8 @@ type workerConfig struct {
 	lineFrac, rayFrac  float64
 	batch              int
 	omitHits           bool
+	writeFrac          float64
+	worker             int
 }
 
 func randQuery(rng *rand.Rand, cfg workerConfig) server.QuerySpec {
@@ -151,9 +163,88 @@ func randQuery(rng *rand.Rand, cfg workerConfig) server.QuerySpec {
 	return q
 }
 
+// updaterState is one worker's write-path state: the segments it has
+// inserted and not yet deleted, and its next unique ID. Inserted segments
+// are horizontal, each on its own y strictly above the data's bounding
+// box, so the NCT invariant (the Insert contract) holds by construction —
+// they cross neither the stored data nor each other, across all workers.
+type updaterState struct {
+	owned []server.WireSegment
+	next  uint64
+}
+
+// newSegment mints this worker's next disjoint segment.
+func (u *updaterState) newSegment(cfg workerConfig) server.WireSegment {
+	u.next++
+	// Worker lanes above the data: yHi + height clears the box, each
+	// worker gets a wide band, each insert its own y within it.
+	y := cfg.yHi + (cfg.yHi-cfg.yLo) + 1 + float64(cfg.worker)*1e6 + float64(u.next)*1e-3
+	w := (cfg.xHi-cfg.xLo)/10 + 1
+	return server.WireSegment{
+		// IDs partition by worker, far above any generator-assigned ID.
+		ID: uint64(cfg.worker+1)<<32 | u.next,
+		AX: cfg.xLo, AY: y, BX: cfg.xLo + w, BY: y,
+	}
+}
+
+// runUpdate issues one insert or delete. Deletes target a segment this
+// worker inserted earlier; with nothing owned it inserts.
+func runUpdate(client *http.Client, addr string, rng *rand.Rand, cfg workerConfig, u *updaterState, cnt *counters, hist *server.Histogram) {
+	del := len(u.owned) > 0 && rng.Intn(2) == 0
+	var seg server.WireSegment
+	endpoint := "/v1/insert"
+	var ownedIdx int
+	if del {
+		endpoint = "/v1/delete"
+		ownedIdx = rng.Intn(len(u.owned))
+		seg = u.owned[ownedIdx]
+	} else {
+		seg = u.newSegment(cfg)
+	}
+	body, err := json.Marshal(server.UpdateRequest{WireSegment: seg})
+	if err != nil {
+		fatal(err)
+	}
+	cnt.requests.Add(1)
+	start := time.Now()
+	resp, err := client.Post(addr+endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		cnt.errors.Add(1)
+		return
+	}
+	var ur server.UpdateResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&ur)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	switch {
+	case resp.StatusCode == http.StatusOK && decErr == nil:
+		cnt.ok.Add(1)
+		hist.Observe(elapsed)
+		if del {
+			cnt.deletes.Add(1)
+			u.owned[ownedIdx] = u.owned[len(u.owned)-1]
+			u.owned = u.owned[:len(u.owned)-1]
+		} else {
+			cnt.inserts.Add(1)
+			u.owned = append(u.owned, seg)
+		}
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		cnt.shed.Add(1)
+		time.Sleep(retryAfter(resp, 50*time.Millisecond))
+	default:
+		cnt.errors.Add(1)
+	}
+}
+
 func runWorker(client *http.Client, addr string, rng *rand.Rand, cfg workerConfig, cnt *counters, hist *server.Histogram) {
 	url := addr + "/v1/query"
+	var upd updaterState
 	for time.Now().Before(cfg.deadline) {
+		if cfg.writeFrac > 0 && rng.Float64() < cfg.writeFrac {
+			runUpdate(client, addr, rng, cfg, &upd, cnt, hist)
+			continue
+		}
 		var req server.QueryRequest
 		req.OmitHits = cfg.omitHits
 		if cfg.batch > 0 {
@@ -325,6 +416,7 @@ type ServerIO struct {
 	Requests      int64   `json:"requests"`
 	PagesPerQuery float64 `json:"pages_per_query"`
 	HitsPerQuery  float64 `json:"hits_per_query"`
+	WritesPerOp   float64 `json:"writes_per_op,omitempty"`
 	P50Pages      float64 `json:"p50_pages"`
 	P99Pages      float64 `json:"p99_pages"`
 	HitRatio      float64 `json:"hit_ratio"`
@@ -340,6 +432,8 @@ type Report struct {
 	Shed        int64                    `json:"shed"`
 	Errors      int64                    `json:"errors"`
 	Answers     int64                    `json:"answers"`
+	Inserts     int64                    `json:"inserts,omitempty"`
+	Deletes     int64                    `json:"deletes,omitempty"`
 	Throughput  float64                  `json:"throughput_qps"`
 	Latency     server.HistogramSnapshot `json:"latency"`
 	ServerStats *server.Snapshot         `json:"server,omitempty"`
@@ -357,6 +451,8 @@ func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration
 		Shed:        cnt.shed.Load(),
 		Errors:      cnt.errors.Load(),
 		Answers:     cnt.answers.Load(),
+		Inserts:     cnt.inserts.Load(),
+		Deletes:     cnt.deletes.Load(),
 		Latency:     lat,
 	}
 	if wall > 0 {
@@ -378,18 +474,20 @@ func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration
 // available.
 func serverIOFrom(prom promMetrics, snap *server.Snapshot) []ServerIO {
 	var out []ServerIO
-	for _, ep := range []string{"query", "batch"} {
+	for _, ep := range []string{"query", "batch", "insert", "delete"} {
 		count := prom.value("segdb_query_pages_read_count", ep)
 		if count == 0 {
 			continue
 		}
 		pages := prom.value("segdb_query_pages_read_sum", ep)
 		hits := prom.value("segdb_query_pool_hits_sum", ep)
+		written := prom.value("segdb_query_pages_written_sum", ep)
 		io := ServerIO{
 			Endpoint:      ep,
 			Requests:      int64(count),
 			PagesPerQuery: pages / count,
 			HitsPerQuery:  hits / count,
+			WritesPerOp:   written / count,
 		}
 		if tot := pages + hits; tot > 0 {
 			io.HitRatio = hits / tot
@@ -409,6 +507,9 @@ func printReport(r Report, snapErr, promErr error) {
 	fmt.Printf("segload: %d clients, %.1fs wall\n", r.Clients, r.WallSeconds)
 	fmt.Printf("  requests %d  ok %d  shed %d  errors %d  answers %d\n",
 		r.Requests, r.OK, r.Shed, r.Errors, r.Answers)
+	if r.Inserts > 0 || r.Deletes > 0 {
+		fmt.Printf("  writes: %d inserts, %d deletes acknowledged durable\n", r.Inserts, r.Deletes)
+	}
 	fmt.Printf("  throughput %.1f q/s\n", r.Throughput)
 	fmt.Printf("  latency ms: mean %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
 		r.Latency.MeanMS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
@@ -433,8 +534,12 @@ func printReport(r Report, snapErr, promErr error) {
 		return
 	}
 	for _, io := range r.ServerIO {
-		fmt.Printf("  server %s i/o: %.2f pages read/query (p50 %.0f  p99 %.0f), %.2f pool hits/query, hit ratio %.3f\n",
+		fmt.Printf("  server %s i/o: %.2f pages read/query (p50 %.0f  p99 %.0f), %.2f pool hits/query, hit ratio %.3f",
 			io.Endpoint, io.PagesPerQuery, io.P50Pages, io.P99Pages, io.HitsPerQuery, io.HitRatio)
+		if io.WritesPerOp > 0 {
+			fmt.Printf(", %.2f pages written/op", io.WritesPerOp)
+		}
+		fmt.Println()
 	}
 }
 

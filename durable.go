@@ -1,0 +1,275 @@
+package segdb
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"segdb/internal/core"
+	"segdb/internal/wal"
+)
+
+// DurableIndex is the online read-write form of a persisted index: a
+// Solution-1 index served from memory, with every acknowledged
+// Insert/Delete made crash-durable by a write-ahead log before the call
+// returns. It is what `segdbd -wal` serves.
+//
+// # Design
+//
+// The index file at path is never mutated in place — it changes only
+// through the shadow-file commit of BuildIndexFile, during Compact. The
+// live index instead lives on an in-memory store, rebuilt at open from
+// the checkpoint file's segments plus a replay of the WAL tail. Crash
+// safety therefore reduces to two already-proven protocols: the atomic
+// checkpoint rename and the append-only CRC-framed log (internal/wal).
+//
+// An update applies to the live index first (so a validation error never
+// reaches the log), appends one logical record, and acknowledges only
+// after the log's group-commit fsync covers it. Readers see an update as
+// soon as it applies — before the fsync — so a crash can lose a write
+// that was briefly visible but never acknowledged; the durability
+// promise is attached to the acknowledgement, not to visibility.
+//
+// Replay is idempotent (an insert record replays as delete-then-insert,
+// an upsert), so recovery may replay the whole log over a checkpoint
+// that already contains some of its records: the crash window between a
+// checkpoint's commit rename and the log rotation needs no extra
+// bookkeeping.
+//
+// If the log wedges (a failed append or fsync — durability unknowable),
+// every later update fails with the latched error while reads keep
+// working; reopen to recover. Only Solution 1 qualifies: the paper's
+// Theorem 1 structure is fully dynamic, while Solution 2 has no Delete
+// and would break the upsert replay.
+type DurableIndex struct {
+	path string
+	opt  Options // live/checkpoint build configuration
+	wrap deviceWrapper
+
+	// upMu serializes apply+append so the log's record order is the
+	// apply order — without it, two concurrent updates to the same
+	// segment could replay in the opposite order they applied and
+	// recovery would diverge from the served state. The group-commit
+	// fsync runs outside upMu, so concurrent writers still coalesce
+	// into one Sync.
+	upMu sync.Mutex
+	live *SyncIndex
+	mem  *Store
+	log  *wal.Log
+}
+
+// DurableOptions configures OpenDurableIndex.
+type DurableOptions struct {
+	// Build configures the index when path does not exist yet; an
+	// existing file's catalog wins over it. Zero-value B selects 32.
+	Build Options
+	// CachePages sizes the live in-memory store's buffer pool; 0 selects
+	// 256. The pool is what PagesRead/PoolHits attribution observes.
+	CachePages int
+	// GroupCommitWindow is how long a commit leader waits before its
+	// fsync so concurrent writers can join the batch; 0 syncs
+	// immediately (concurrent commits still coalesce).
+	GroupCommitWindow time.Duration
+}
+
+// OpenDurableIndex opens (creating if absent) the Solution-1 index file
+// at path and its write-ahead log at walPath, replays the log tail, and
+// returns the index ready to serve reads and durable writes.
+func OpenDurableIndex(path, walPath string, dopt DurableOptions) (*DurableIndex, error) {
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segdb: open wal: %w", err)
+	}
+	d, err := openDurableIndex(path, dopt, f, nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// openDurableIndex is OpenDurableIndex on an injectable WAL file and
+// checkpoint device wrapper — the crash-matrix test hook.
+func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap deviceWrapper) (*DurableIndex, error) {
+	if dopt.CachePages == 0 {
+		dopt.CachePages = 256
+	}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		// First boot: commit an empty checkpoint so every later open —
+		// including recovery — goes through the same path.
+		if err := buildIndexFile(path, dopt.Build, 1, nil, wrap); err != nil {
+			return nil, err
+		}
+	}
+
+	st, ix, err := OpenIndexFile(path, 0, buildCachePages)
+	if err != nil {
+		return nil, err
+	}
+	s1, ok := ix.(core.Solution1)
+	if !ok {
+		st.Close()
+		return nil, fmt.Errorf("segdb: durable index %s: got index type %T, need Solution 1 (the fully dynamic structure)", path, ix)
+	}
+	cfg := s1.Index.Config()
+	opt := Options{B: cfg.B, PlainPST: cfg.Plain, Alpha: cfg.Alpha}
+	segs, err := ix.Collect()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("segdb: durable index %s: %w", path, err)
+	}
+	if err := st.Close(); err != nil {
+		return nil, fmt.Errorf("segdb: durable index %s: close: %w", path, err)
+	}
+
+	mem := NewMemStore(opt.B, dopt.CachePages)
+	liveIx, err := BuildSolution1(mem, opt, segs)
+	if err != nil {
+		mem.Close()
+		return nil, fmt.Errorf("segdb: durable index %s: rebuild live: %w", path, err)
+	}
+
+	log, err := wal.Open(walFile, dopt.GroupCommitWindow, func(r wal.Record) error {
+		// Upsert replay: the checkpoint may already hold this record
+		// (crash between checkpoint rename and log rotation), so insert
+		// is delete-then-insert and a delete of an absent segment is a
+		// no-op. Either way the state converges on apply order.
+		if _, err := liveIx.Delete(r.Seg); err != nil {
+			return err
+		}
+		if r.Op == wal.OpInsert {
+			return liveIx.Insert(r.Seg)
+		}
+		return nil
+	})
+	if err != nil {
+		mem.Close()
+		return nil, fmt.Errorf("segdb: durable index %s: %w", path, err)
+	}
+
+	return &DurableIndex{
+		path: path,
+		opt:  opt,
+		wrap: wrap,
+		live: SynchronizedOn(liveIx, mem),
+		mem:  mem,
+		log:  log,
+	}, nil
+}
+
+// Index returns the live index for reads: queries, batches and Len run
+// against it exactly as against any SyncIndex. Do not mutate through it
+// — updates must go through the DurableIndex or they are not logged.
+func (d *DurableIndex) Index() *SyncIndex { return d.live }
+
+// Store returns the in-memory store the live index runs on, for I/O
+// stats.
+func (d *DurableIndex) Store() *Store { return d.mem }
+
+// Insert durably adds a segment: it applies to the live index, appends
+// an insert record, and returns once the record is fsync-covered. On
+// success the segment survives any crash; on error it was either never
+// applied (validation) or never acknowledged. The caller owns the NCT
+// contract, as with every Insert in this package.
+func (d *DurableIndex) Insert(seg Segment) (UpdateStats, error) {
+	st, lsn, err := d.applyInsert(seg)
+	if err != nil {
+		return st, err
+	}
+	return st, d.log.Sync(lsn)
+}
+
+// applyInsert is Insert's apply+append step, atomic under upMu.
+func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
+	d.upMu.Lock()
+	defer d.upMu.Unlock()
+	if err := d.log.Wedged(); err != nil {
+		return UpdateStats{}, 0, err
+	}
+	st, err := d.live.InsertStats(seg)
+	if err != nil {
+		return st, 0, err
+	}
+	lsn, err := d.log.Append(wal.Record{Op: wal.OpInsert, Seg: seg})
+	if err != nil {
+		// Roll the apply back so reads do not serve a write the log
+		// never saw. The log is wedged, so no later write can interleave
+		// with the rollback.
+		d.live.Delete(seg)
+		return st, 0, err
+	}
+	return st, lsn, nil
+}
+
+// Delete durably removes a segment. A segment that was not present is
+// (false, nil) and writes no record.
+func (d *DurableIndex) Delete(seg Segment) (bool, UpdateStats, error) {
+	found, st, lsn, err := d.applyDelete(seg)
+	if err != nil || !found {
+		return found, st, err
+	}
+	return found, st, d.log.Sync(lsn)
+}
+
+// applyDelete is Delete's apply+append step, atomic under upMu.
+func (d *DurableIndex) applyDelete(seg Segment) (bool, UpdateStats, int64, error) {
+	d.upMu.Lock()
+	defer d.upMu.Unlock()
+	if err := d.log.Wedged(); err != nil {
+		return false, UpdateStats{}, 0, err
+	}
+	found, st, err := d.live.DeleteStats(seg)
+	if err != nil || !found {
+		return found, st, 0, err
+	}
+	lsn, err := d.log.Append(wal.Record{Op: wal.OpDelete, Seg: seg})
+	if err != nil {
+		d.live.Insert(seg)
+		return found, st, 0, err
+	}
+	return found, st, lsn, nil
+}
+
+// Compact checkpoints: it rebuilds the index file from the live state
+// through the shadow-file commit (crash leaves the old checkpoint or the
+// new one, never a hybrid) and then rotates the log. Updates are blocked
+// for the duration; queries keep running until the final state swap. A
+// crash after the commit rename but before the rotation is benign — the
+// stale records replay as upserts over the new checkpoint.
+func (d *DurableIndex) Compact() error {
+	// upMu holds updates off from Collect through Reset: a write landing
+	// between the collect and the rotation would be in neither the new
+	// checkpoint nor the surviving log. Queries only pause during
+	// Collect's shared-lock scan.
+	d.upMu.Lock()
+	defer d.upMu.Unlock()
+	if err := d.log.Wedged(); err != nil {
+		return err
+	}
+	segs, err := d.live.Collect()
+	if err != nil {
+		return fmt.Errorf("segdb: checkpoint %s: %w", d.path, err)
+	}
+	if err := buildIndexFile(d.path, d.opt, 1, segs, d.wrap); err != nil {
+		return fmt.Errorf("segdb: checkpoint %s: %w", d.path, err)
+	}
+	return d.log.Reset()
+}
+
+// WALStats reports the log's size in records, bytes appended, and the
+// durable watermark — the serving layer's observability hook.
+func (d *DurableIndex) WALStats() (records, size, durable int64) {
+	return d.log.Records(), d.log.Size(), d.log.Durable()
+}
+
+// Close syncs and closes the log and releases the live store. It does
+// not checkpoint; call Compact first for a clean shutdown that empties
+// the log.
+func (d *DurableIndex) Close() error {
+	err := d.log.Close()
+	if cerr := d.mem.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -11,6 +11,12 @@ import (
 	"math/big"
 )
 
+// ErrInvalidSegment marks a segment the index structures reject: a zero
+// ID or degenerate (zero-length) geometry. The structures wrap it, so
+// callers across the stack — down to the HTTP write path — can map it to
+// a client error with errors.Is.
+var ErrInvalidSegment = fmt.Errorf("invalid segment")
+
 // Point is a point in the plane.
 type Point struct {
 	X, Y float64

@@ -342,6 +342,15 @@ func (s *Store) ReadStats() (reads, hits int64) {
 	return reads, hits
 }
 
+// WriteStats returns the physical page writes, summed over all shards —
+// the write-path sibling of ReadStats, for per-update attribution.
+func (s *Store) WriteStats() (writes int64) {
+	for i := range s.shards {
+		writes += s.shards[i].stats.writes.Load()
+	}
+	return writes
+}
+
 // StatsByShard returns a per-shard snapshot of the counters: the
 // observability hook for checking hit-ratio and load balance across the
 // pool shards. Events are attributed to the shard of the page they touch.

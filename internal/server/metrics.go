@@ -20,18 +20,21 @@ const (
 	EPBatch                  // POST /v1/query, batch form
 	EPStatsz                 // GET /statsz
 	EPParse                  // POST /v1/query, body failed to decode
+	EPInsert                 // POST /v1/insert
+	EPDelete                 // POST /v1/delete
 	numEndpoints
 )
 
-var endpointNames = [numEndpoints]string{"query", "batch", "statsz", "parse"}
+var endpointNames = [numEndpoints]string{"query", "batch", "statsz", "parse", "insert", "delete"}
 
 // QueryIO is the per-request I/O attribution recorded next to latency:
 // physical pages read and buffer-pool hits during the request's queries
-// (summed over a batch). See segdb.SynchronizedOn for the attribution
-// semantics.
+// (summed over a batch), plus pages written for update requests. See
+// segdb.SynchronizedOn for the attribution semantics.
 type QueryIO struct {
-	PagesRead int64
-	PoolHits  int64
+	PagesRead    int64
+	PoolHits     int64
+	PagesWritten int64
 }
 
 // Add folds one query's stats into the request total.
@@ -40,18 +43,27 @@ func (io *QueryIO) Add(st segdb.QueryStats) {
 	io.PoolHits += st.PoolHits
 }
 
+// AddUpdate folds one update's I/O attribution into the request total.
+func (io *QueryIO) AddUpdate(st segdb.UpdateStats) {
+	io.PagesRead += st.PagesRead
+	io.PoolHits += st.PoolHits
+	io.PagesWritten += st.PagesWritten
+}
+
 // endpointCounters is one endpoint's lock-free counter block.
 type endpointCounters struct {
 	requests  atomic.Int64 // requests that reached the handler
 	errors    atomic.Int64 // 4xx responses other than sheds
 	failures  atomic.Int64 // 5xx responses
 	shed      atomic.Int64 // 429/503 shed by admission
-	answers   atomic.Int64 // segments reported
-	pagesIO   atomic.Int64 // physical pages read, total
-	hitsIO    atomic.Int64 // pool hits, total
-	latency   Histogram    // of admitted, completed requests
-	pagesRead IOHistogram  // per-request physical pages read
-	poolHits  IOHistogram  // per-request pool hits
+	answers      atomic.Int64 // segments reported
+	pagesIO      atomic.Int64 // physical pages read, total
+	hitsIO       atomic.Int64 // pool hits, total
+	writesIO     atomic.Int64 // physical pages written, total
+	latency      Histogram    // of admitted, completed requests
+	pagesRead    IOHistogram  // per-request physical pages read
+	poolHits     IOHistogram  // per-request pool hits
+	pagesWritten IOHistogram  // per-request physical pages written
 }
 
 // Metrics is the server's lock-free metric registry. Every mutation on
@@ -93,23 +105,27 @@ func (m *Metrics) OnDone(ep Endpoint, d time.Duration, answers int, io QueryIO) 
 	c.answers.Add(int64(answers))
 	c.pagesIO.Add(io.PagesRead)
 	c.hitsIO.Add(io.PoolHits)
+	c.writesIO.Add(io.PagesWritten)
 	c.pagesRead.Observe(io.PagesRead)
 	c.poolHits.Observe(io.PoolHits)
+	c.pagesWritten.Observe(io.PagesWritten)
 }
 
 // EndpointSnapshot is one endpoint's counters at a point in time.
 type EndpointSnapshot struct {
-	Requests  int64               `json:"requests"`
-	Errors    int64               `json:"errors,omitempty"`
-	Failures  int64               `json:"failures,omitempty"`
-	Shed      int64               `json:"shed,omitempty"`
-	Answers   int64               `json:"answers,omitempty"`
-	IOReads   int64               `json:"io_reads,omitempty"`
-	IOHits    int64               `json:"io_hits,omitempty"`
-	HitRatio  float64             `json:"io_hit_ratio,omitempty"`
-	Latency   HistogramSnapshot   `json:"latency"`
-	PagesRead IOHistogramSnapshot `json:"pages_read"`
-	PoolHits  IOHistogramSnapshot `json:"pool_hits"`
+	Requests     int64               `json:"requests"`
+	Errors       int64               `json:"errors,omitempty"`
+	Failures     int64               `json:"failures,omitempty"`
+	Shed         int64               `json:"shed,omitempty"`
+	Answers      int64               `json:"answers,omitempty"`
+	IOReads      int64               `json:"io_reads,omitempty"`
+	IOHits       int64               `json:"io_hits,omitempty"`
+	IOWrites     int64               `json:"io_writes,omitempty"`
+	HitRatio     float64             `json:"io_hit_ratio,omitempty"`
+	Latency      HistogramSnapshot   `json:"latency"`
+	PagesRead    IOHistogramSnapshot `json:"pages_read"`
+	PoolHits     IOHistogramSnapshot `json:"pool_hits"`
+	PagesWritten IOHistogramSnapshot `json:"pages_written"`
 }
 
 // StoreSnapshot is the store-level view: totals, the pool hit ratio, and
@@ -122,15 +138,27 @@ type StoreSnapshot struct {
 	Shards     []segdb.IOStats `json:"shards,omitempty"`
 }
 
+// WALSnapshot is the write-ahead log's view for a read-write server:
+// how many records the live log holds, its size, and the durable
+// watermark (bytes acknowledged as fsynced).
+type WALSnapshot struct {
+	Records      int64 `json:"records"`
+	SizeBytes    int64 `json:"size_bytes"`
+	DurableBytes int64 `json:"durable_bytes"`
+}
+
 // Snapshot is the full /statsz document. segload decodes it to fold
 // server-side stats into its report, so every field round-trips JSON.
+// WriteAdmission and WAL are present only on a read-write server.
 type Snapshot struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Segments      int                         `json:"segments"`
-	Admission     GateStats                   `json:"admission"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
-	Store         StoreSnapshot               `json:"store"`
-	SlowLog       *SlowLogSnapshot            `json:"slow_log,omitempty"`
+	UptimeSeconds  float64                     `json:"uptime_seconds"`
+	Segments       int                         `json:"segments"`
+	Admission      GateStats                   `json:"admission"`
+	WriteAdmission *GateStats                  `json:"write_admission,omitempty"`
+	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
+	Store          StoreSnapshot               `json:"store"`
+	WAL            *WALSnapshot                `json:"wal,omitempty"`
+	SlowLog        *SlowLogSnapshot            `json:"slow_log,omitempty"`
 }
 
 // SnapshotFrom assembles the full document from the metric registry, the
@@ -145,16 +173,18 @@ func SnapshotFrom(m *Metrics, g *Gate, st *segdb.Store, segments int) Snapshot {
 	for ep := Endpoint(0); ep < numEndpoints; ep++ {
 		c := &m.endpoints[ep]
 		es := EndpointSnapshot{
-			Requests:  c.requests.Load(),
-			Errors:    c.errors.Load(),
-			Failures:  c.failures.Load(),
-			Shed:      c.shed.Load(),
-			Answers:   c.answers.Load(),
-			IOReads:   c.pagesIO.Load(),
-			IOHits:    c.hitsIO.Load(),
-			Latency:   c.latency.Snapshot(),
-			PagesRead: c.pagesRead.Snapshot(),
-			PoolHits:  c.poolHits.Snapshot(),
+			Requests:     c.requests.Load(),
+			Errors:       c.errors.Load(),
+			Failures:     c.failures.Load(),
+			Shed:         c.shed.Load(),
+			Answers:      c.answers.Load(),
+			IOReads:      c.pagesIO.Load(),
+			IOHits:       c.hitsIO.Load(),
+			IOWrites:     c.writesIO.Load(),
+			Latency:      c.latency.Snapshot(),
+			PagesRead:    c.pagesRead.Snapshot(),
+			PoolHits:     c.poolHits.Snapshot(),
+			PagesWritten: c.pagesWritten.Snapshot(),
 		}
 		if tot := es.IOReads + es.IOHits; tot > 0 {
 			es.HitRatio = float64(es.IOHits) / float64(tot)

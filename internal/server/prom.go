@@ -56,6 +56,10 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
 		p.sample("segdb_io_pool_hits_total", endpointLabel(name), float64(ep.IOHits))
 	})
+	p.family("segdb_io_pages_written_total", "Physical pages written attributed to each endpoint's updates.", "counter")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.sample("segdb_io_pages_written_total", endpointLabel(name), float64(ep.IOWrites))
+	})
 
 	// Histograms: request latency (seconds) and per-query I/O (pages).
 	p.family("segdb_request_latency_seconds", "Latency of admitted, completed requests.", "histogram")
@@ -73,6 +77,11 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		p.histogram("segdb_query_pool_hits", name, ep.PoolHits.Buckets,
 			IOBucketBounds(), ep.PoolHits.Count, float64(ep.PoolHits.Sum))
 	})
+	p.family("segdb_query_pages_written", "Physical pages written per request; non-zero only on update endpoints.", "histogram")
+	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
+		p.histogram("segdb_query_pages_written", name, ep.PagesWritten.Buckets,
+			IOBucketBounds(), ep.PagesWritten.Count, float64(ep.PagesWritten.Sum))
+	})
 
 	// Admission gate.
 	p.family("segdb_inflight_requests", "Currently admitted requests.", "gauge")
@@ -87,6 +96,26 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	p.sample("segdb_admission_rejected_total", "", float64(s.Admission.Rejected))
 	p.family("segdb_draining", "1 while the server is draining, else 0.", "gauge")
 	p.sample("segdb_draining", "", boolGauge(s.Admission.Draining))
+
+	// Write path: present only on a read-write server.
+	if s.WriteAdmission != nil {
+		p.family("segdb_inflight_updates", "Currently admitted updates.", "gauge")
+		p.sample("segdb_inflight_updates", "", float64(s.WriteAdmission.Inflight))
+		p.family("segdb_inflight_updates_limit", "Write-admission capacity; update load beyond it is shed.", "gauge")
+		p.sample("segdb_inflight_updates_limit", "", float64(s.WriteAdmission.MaxInflight))
+		p.family("segdb_updates_admitted_total", "Updates admitted by the write gate.", "counter")
+		p.sample("segdb_updates_admitted_total", "", float64(s.WriteAdmission.Admitted))
+		p.family("segdb_updates_shed_total", "Updates shed at write saturation (429).", "counter")
+		p.sample("segdb_updates_shed_total", "", float64(s.WriteAdmission.Shed))
+	}
+	if s.WAL != nil {
+		p.family("segdb_wal_records", "Records in the live write-ahead log since the last checkpoint.", "gauge")
+		p.sample("segdb_wal_records", "", float64(s.WAL.Records))
+		p.family("segdb_wal_size_bytes", "Size of the live write-ahead log.", "gauge")
+		p.sample("segdb_wal_size_bytes", "", float64(s.WAL.SizeBytes))
+		p.family("segdb_wal_durable_bytes", "Fsync-covered prefix of the write-ahead log.", "gauge")
+		p.sample("segdb_wal_durable_bytes", "", float64(s.WAL.DurableBytes))
+	}
 
 	// Store: totals plus the per-shard read-path breakdown (pool load
 	// balance), all straight from the shard counters.

@@ -13,6 +13,18 @@ import (
 	"segdb"
 )
 
+// Updater is the write path a read-write server serves: durable inserts
+// and deletes with per-update I/O attribution, plus the WAL's state for
+// /statsz. *segdb.DurableIndex satisfies it; a nil Updater keeps the
+// server read-only (update endpoints answer 501).
+type Updater interface {
+	Insert(seg segdb.Segment) (segdb.UpdateStats, error)
+	Delete(seg segdb.Segment) (bool, segdb.UpdateStats, error)
+	WALStats() (records, size, durable int64)
+}
+
+var _ Updater = (*segdb.DurableIndex)(nil)
+
 // Config tunes a Server. The zero value selects sane defaults.
 type Config struct {
 	// MaxInflight bounds concurrently admitted queries; excess load is
@@ -50,6 +62,14 @@ type Config struct {
 	// is ringed — segdbd points it at a buffered JSONL writer. Keep it
 	// fast; it runs on the request goroutine.
 	SlowSink func(SlowEntry)
+	// Updater, if set, enables the write path: POST /v1/insert and
+	// /v1/delete apply durable updates through it. Nil keeps the server
+	// read-only.
+	Updater Updater
+	// MaxInflightUpdates bounds concurrently admitted updates — a
+	// separate admission class from queries, so a write burst cannot
+	// starve reads of admission slots (and vice versa). 0 selects 16.
+	MaxInflightUpdates int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowLogSize <= 0 {
 		c.SlowLogSize = 128
 	}
+	if c.MaxInflightUpdates <= 0 {
+		c.MaxInflightUpdates = 16
+	}
 	return c
 }
 
@@ -88,6 +111,7 @@ type Server struct {
 	st      *segdb.Store
 	cfg     Config
 	gate    *Gate
+	wgate   *Gate // write admission; nil on a read-only server
 	metrics *Metrics
 	slow    *SlowLog
 }
@@ -99,7 +123,7 @@ type Server struct {
 // index with segdb.SynchronizedOn so its QueryStats carry I/O windows.
 func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		ix:      ix,
 		st:      st,
 		cfg:     cfg,
@@ -107,6 +131,10 @@ func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
 		metrics: NewMetrics(),
 		slow:    NewSlowLog(cfg.SlowLogSize, cfg.SlowLatency, cfg.SlowIOPages, cfg.SlowSink),
 	}
+	if cfg.Updater != nil {
+		s.wgate = NewGate(cfg.MaxInflightUpdates)
+	}
+	return s
 }
 
 // Metrics exposes the registry, e.g. for tests.
@@ -119,36 +147,66 @@ func (s *Server) Gate() *Gate { return s.gate }
 func (s *Server) SlowLog() *SlowLog { return s.slow }
 
 // Snapshot returns the same document /statsz serves, programmatically.
+// On a read-write server it carries the write-admission gate and the
+// WAL's records/size/durable watermark next to the read-path registry.
 func (s *Server) Snapshot() Snapshot {
-	return SnapshotFrom(s.metrics, s.gate, s.st, s.ix.Len())
+	snap := SnapshotFrom(s.metrics, s.gate, s.st, s.ix.Len())
+	if s.wgate != nil {
+		ws := s.wgate.Stats()
+		snap.WriteAdmission = &ws
+		records, size, durable := s.cfg.Updater.WALStats()
+		snap.WAL = &WALSnapshot{Records: records, SizeBytes: size, DurableBytes: durable}
+	}
+	return snap
 }
 
-// BeginDrain stops admitting queries; in-flight ones keep their slots.
-func (s *Server) BeginDrain() { s.gate.StartDrain() }
-
-// Drain stops admitting queries and waits until the in-flight ones have
-// finished, or ctx expires. It is the programmatic half of graceful
-// shutdown; pair it with http.Server.Shutdown, which drains connections.
-func (s *Server) Drain(ctx context.Context) error {
+// BeginDrain stops admitting queries and updates; in-flight ones keep
+// their slots.
+func (s *Server) BeginDrain() {
 	s.gate.StartDrain()
-	select {
-	case <-s.gate.Drained():
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("server: drain: %d queries still in flight: %w",
-			s.gate.Inflight(), ctx.Err())
+	if s.wgate != nil {
+		s.wgate.StartDrain()
 	}
+}
+
+// Drain stops admitting queries and updates and waits until the
+// in-flight ones have finished, or ctx expires. It is the programmatic
+// half of graceful shutdown; pair it with http.Server.Shutdown, which
+// drains connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	gates := []*Gate{s.gate}
+	if s.wgate != nil {
+		gates = append(gates, s.wgate)
+	}
+	for _, g := range gates {
+		select {
+		case <-g.Drained():
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d requests still in flight: %w",
+				g.Inflight(), ctx.Err())
+		}
+	}
+	return nil
 }
 
 // Handler returns the HTTP surface:
 //
-//	POST /v1/query  single or batch VS query (JSON)
-//	GET  /statsz    metrics snapshot (JSON); ?slow=1 adds the slow-query ring
-//	GET  /metricsz  the same registry in Prometheus text format
-//	GET  /healthz   liveness; 503 once draining
+//	POST /v1/query   single or batch VS query (JSON)
+//	POST /v1/insert  durable insert (501 on a read-only server)
+//	POST /v1/delete  durable delete (501 on a read-only server)
+//	GET  /statsz     metrics snapshot (JSON); ?slow=1 adds the slow-query ring
+//	GET  /metricsz   the same registry in Prometheus text format
+//	GET  /healthz    liveness; 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, EPInsert)
+	})
+	mux.HandleFunc("/v1/delete", func(w http.ResponseWriter, r *http.Request) {
+		s.handleUpdate(w, r, EPDelete)
+	})
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -306,7 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := ctx.Err(); err != nil {
 			s.metrics.OnFailure(ep)
-			s.observeSlow(ep, &req, time.Since(start), io, answers, "deadline")
+			s.observeSlow(ep, querySummary(&req), time.Since(start), io, answers, "deadline")
 			httpError(w, http.StatusServiceUnavailable, "batch exceeded deadline: "+err.Error())
 			return
 		}
@@ -319,10 +377,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			s.metrics.OnFailure(ep)
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				s.observeSlow(ep, &req, time.Since(start), io, len(hits), "deadline")
+				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "deadline")
 				httpError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())
 			} else {
-				s.observeSlow(ep, &req, time.Since(start), io, len(hits), "error")
+				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "error")
 				httpError(w, http.StatusInternalServerError, err.Error())
 			}
 			return
@@ -336,26 +394,126 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	resp.ElapsedMS = float64(elapsed) / 1e6
 	s.metrics.OnDone(ep, elapsed, answers, io)
-	s.observeSlow(ep, &req, elapsed, io, answers, "ok")
+	s.observeSlow(ep, querySummary(&req), elapsed, io, answers, "ok")
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// UpdateRequest is the /v1/insert and /v1/delete body: one segment. For
+// delete, the segment must match a stored one exactly (same id and
+// endpoints) — segment identity, not id lookup, mirroring the Index
+// contract.
+type UpdateRequest struct {
+	WireSegment
+}
+
+// UpdateResponse is the update endpoints' response. Found is meaningful
+// for deletes only: false means no matching segment was stored (the
+// delete is a durable no-op and is not logged). PagesWritten is the
+// update's physical write cost — the paper's I/O measure for the update
+// path.
+type UpdateResponse struct {
+	Found        bool    `json:"found"`
+	Segments     int     `json:"segments"`
+	PagesRead    int64   `json:"pages_read"`
+	PagesWritten int64   `json:"pages_written"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// handleUpdate serves POST /v1/insert and /v1/delete through the
+// configured Updater under the write-admission gate. An acknowledged
+// (200) update is durable: the Updater's contract is that it returns
+// only after the WAL record is fsynced (group commit batches concurrent
+// acknowledgements into shared fsyncs).
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoint) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.Updater == nil {
+		httpError(w, http.StatusNotImplemented, "read-only server: restart segdbd with -wal to enable updates")
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.OnParseError()
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	s.metrics.OnRequest(ep)
+
+	// Updates have their own admission class: a write burst sheds with
+	// 429 instead of eating read slots, and vice versa.
+	if err := s.wgate.Admit(); err != nil {
+		s.metrics.OnShed(ep)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		if errors.Is(err, ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		}
+		return
+	}
+	defer s.wgate.Release()
+
+	seg := segdb.NewSegment(req.ID, req.AX, req.AY, req.BX, req.BY)
+	start := time.Now()
+	var (
+		found bool
+		ust   segdb.UpdateStats
+		err   error
+	)
+	if ep == EPInsert {
+		ust, err = s.cfg.Updater.Insert(seg)
+		found = err == nil
+	} else {
+		found, ust, err = s.cfg.Updater.Delete(seg)
+	}
+	elapsed := time.Since(start)
+	var io QueryIO
+	io.AddUpdate(ust)
+	if err != nil {
+		if errors.Is(err, segdb.ErrInvalidSegment) {
+			s.metrics.OnError(ep)
+			s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "error")
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Anything else is the durability machinery failing (wedged WAL,
+		// dying disk): a 5xx, and the server stays up serving reads.
+		s.metrics.OnFailure(ep)
+		s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "failure")
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.OnDone(ep, elapsed, 0, io)
+	s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "ok")
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Found:        found,
+		Segments:     s.ix.Len(),
+		PagesRead:    ust.PagesRead,
+		PagesWritten: ust.PagesWritten,
+		ElapsedMS:    float64(elapsed) / 1e6,
+	})
+}
+
 // observeSlow logs the request if it crossed a slow-query threshold.
-func (s *Server) observeSlow(ep Endpoint, req *QueryRequest, elapsed time.Duration, io QueryIO, answers int, status string) {
+// summary is the compact query/update shape for the log's Query column.
+func (s *Server) observeSlow(ep Endpoint, summary string, elapsed time.Duration, io QueryIO, answers int, status string) {
 	if !s.slow.Crossed(elapsed, io.PagesRead) {
 		return
 	}
 	s.slow.Record(SlowEntry{
-		Time:      time.Now(),
-		Endpoint:  endpointNames[ep],
-		Query:     querySummary(req),
-		Status:    status,
-		ElapsedMS: float64(elapsed) / 1e6,
-		PagesRead: io.PagesRead,
-		PoolHits:  io.PoolHits,
-		Answers:   answers,
-		Inflight:  s.gate.Inflight(),
-		Draining:  s.gate.Draining(),
+		Time:         time.Now(),
+		Endpoint:     endpointNames[ep],
+		Query:        summary,
+		Status:       status,
+		ElapsedMS:    float64(elapsed) / 1e6,
+		PagesRead:    io.PagesRead,
+		PoolHits:     io.PoolHits,
+		PagesWritten: io.PagesWritten,
+		Answers:      answers,
+		Inflight:     s.gate.Inflight(),
+		Draining:     s.gate.Draining(),
 	})
 }
 

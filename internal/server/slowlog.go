@@ -13,16 +13,17 @@ import (
 // server was shedding or draining around it (a slow request during drain
 // or heavy shedding is a different diagnosis than one in calm traffic).
 type SlowEntry struct {
-	Time      time.Time `json:"time"`
-	Endpoint  string    `json:"endpoint"`
-	Query     string    `json:"query"` // compact shape, e.g. "x=3.2 y=[0,5]" or "batch[128]"
-	Status    string    `json:"status"`
-	ElapsedMS float64   `json:"elapsed_ms"`
-	PagesRead int64     `json:"pages_read"`
-	PoolHits  int64     `json:"pool_hits"`
-	Answers   int       `json:"answers"`
-	Inflight  int       `json:"inflight"`
-	Draining  bool      `json:"draining,omitempty"`
+	Time         time.Time `json:"time"`
+	Endpoint     string    `json:"endpoint"`
+	Query        string    `json:"query"` // compact shape, e.g. "x=3.2 y=[0,5]", "batch[128]" or "insert #7"
+	Status       string    `json:"status"`
+	ElapsedMS    float64   `json:"elapsed_ms"`
+	PagesRead    int64     `json:"pages_read"`
+	PoolHits     int64     `json:"pool_hits"`
+	PagesWritten int64     `json:"pages_written,omitempty"`
+	Answers      int       `json:"answers"`
+	Inflight     int       `json:"inflight"`
+	Draining     bool      `json:"draining,omitempty"`
 }
 
 // SlowLog is a bounded ring of recent slow requests plus an optional
@@ -118,6 +119,11 @@ func querySummary(req *QueryRequest) string {
 		return fmt.Sprintf("batch[%d]", len(req.Queries))
 	}
 	return querySpecSummary(req.QuerySpec)
+}
+
+// updateSummary renders an update request's shape for the slow log.
+func updateSummary(ep Endpoint, req *UpdateRequest) string {
+	return fmt.Sprintf("%s #%d", endpointNames[ep], req.ID)
 }
 
 func querySpecSummary(q QuerySpec) string {

@@ -1,0 +1,205 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segdb"
+	"segdb/internal/server"
+)
+
+// durableServer serves a fresh DurableIndex from a temp dir: the
+// read-write form segdbd -wal runs.
+func durableServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.Server, *segdb.DurableIndex) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := segdb.OpenDurableIndex(filepath.Join(dir, "index.db"), filepath.Join(dir, "index.wal"),
+		segdb.DurableOptions{Build: segdb.Options{B: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	cfg.Updater = d
+	srv := server.New(d.Index(), d.Store(), cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, srv, d
+}
+
+func postUpdate(t *testing.T, url, endpoint string, seg server.WireSegment) (*http.Response, server.UpdateResponse) {
+	t.Helper()
+	body, err := json.Marshal(server.UpdateRequest{WireSegment: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ur server.UpdateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, ur
+}
+
+// TestServeInsertDelete drives the write path end to end over HTTP:
+// insert, query the segment back, delete, query it gone — plus the
+// error surface (absent delete, invalid segment, wrong method) and the
+// write-path rows in both /statsz and /metricsz.
+func TestServeInsertDelete(t *testing.T) {
+	hs, srv, _ := durableServer(t, server.Config{})
+
+	seg := server.WireSegment{ID: 7, AX: 0, AY: 1, BX: 10, BY: 3}
+	resp, ur := postUpdate(t, hs.URL, "/v1/insert", seg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: HTTP %d", resp.StatusCode)
+	}
+	if !ur.Found || ur.Segments != 1 {
+		t.Fatalf("insert response: %+v, want found with 1 segment", ur)
+	}
+
+	// The insert must be visible to queries immediately.
+	qresp, qr := postQuery(t, hs.URL, server.QueryRequest{QuerySpec: server.QuerySpec{X: 5}})
+	if qresp.StatusCode != http.StatusOK || qr.Count != 1 || qr.Hits[0].ID != 7 {
+		t.Fatalf("query after insert: HTTP %d, %d hits", qresp.StatusCode, qr.Count)
+	}
+
+	// Delete must match the stored segment exactly and report Found.
+	resp, ur = postUpdate(t, hs.URL, "/v1/delete", seg)
+	if resp.StatusCode != http.StatusOK || !ur.Found || ur.Segments != 0 {
+		t.Fatalf("delete: HTTP %d, %+v", resp.StatusCode, ur)
+	}
+	if _, qr := postQuery(t, hs.URL, server.QueryRequest{QuerySpec: server.QuerySpec{X: 5}}); qr.Count != 0 {
+		t.Fatalf("deleted segment still answers: %d hits", qr.Count)
+	}
+
+	// Deleting again is a durable no-op: 200 with Found false.
+	resp, ur = postUpdate(t, hs.URL, "/v1/delete", seg)
+	if resp.StatusCode != http.StatusOK || ur.Found {
+		t.Fatalf("absent delete: HTTP %d, found %v; want 200, false", resp.StatusCode, ur.Found)
+	}
+
+	// Validation errors are the client's fault: 400, never logged.
+	if resp, _ := postUpdate(t, hs.URL, "/v1/insert", server.WireSegment{ID: 0, AX: 1, BX: 2}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero-ID insert: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(hs.URL + "/v1/insert"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET insert: HTTP %d, want 405", resp.StatusCode)
+		}
+	}
+
+	snap := srv.Snapshot()
+	ins, ok := snap.Endpoints["insert"]
+	if !ok || ins.Requests != 2 || ins.Errors != 1 {
+		t.Fatalf("insert endpoint row: %+v (present %v), want 2 requests 1 error", ins, ok)
+	}
+	del := snap.Endpoints["delete"]
+	if del.Requests != 2 {
+		t.Fatalf("delete endpoint row: %d requests, want 2", del.Requests)
+	}
+	if snap.WriteAdmission == nil || snap.WriteAdmission.Admitted != 4 {
+		t.Fatalf("write admission: %+v, want 4 admitted", snap.WriteAdmission)
+	}
+	if snap.WAL == nil || snap.WAL.Records != 2 {
+		t.Fatalf("wal snapshot: %+v, want 2 records (insert+delete)", snap.WAL)
+	}
+	if snap.WAL.DurableBytes != snap.WAL.SizeBytes {
+		t.Fatalf("wal durable %d != size %d after acknowledged updates",
+			snap.WAL.DurableBytes, snap.WAL.SizeBytes)
+	}
+
+	// The write path renders on /metricsz next to the read path.
+	text := server.PromText(snap)
+	for _, want := range []string{
+		`segdb_requests_total{endpoint="insert"} 2`,
+		`segdb_requests_total{endpoint="delete"} 2`,
+		"segdb_wal_records 2",
+		"segdb_io_pages_written_total",
+		"segdb_query_pages_written_count",
+		"segdb_updates_admitted_total 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metricsz missing %q", want)
+		}
+	}
+}
+
+// TestServeUpdateReadOnly: without an Updater the write endpoints answer
+// 501 and point at -wal, and /statsz carries no write-path rows.
+func TestServeUpdateReadOnly(t *testing.T) {
+	hs, srv, _ := testServer(t, server.Config{})
+	for _, ep := range []string{"/v1/insert", "/v1/delete"} {
+		resp, _ := postUpdate(t, hs.URL, ep, server.WireSegment{ID: 1, AX: 0, BX: 1})
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("%s on read-only server: HTTP %d, want 501", ep, resp.StatusCode)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.WriteAdmission != nil || snap.WAL != nil {
+		t.Fatalf("read-only snapshot carries write-path sections: %+v %+v",
+			snap.WriteAdmission, snap.WAL)
+	}
+}
+
+// TestServeUpdateDrain: draining refuses updates with 503 alongside
+// queries, and Drain completes with the write gate empty.
+func TestServeUpdateDrain(t *testing.T) {
+	hs, srv, _ := durableServer(t, server.Config{})
+	srv.BeginDrain()
+	resp, _ := postUpdate(t, hs.URL, "/v1/insert", server.WireSegment{ID: 1, AX: 0, AY: 0, BX: 1, BY: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+	if snap := srv.Snapshot(); snap.Endpoints["insert"].Shed != 1 {
+		t.Fatalf("shed not counted on insert row: %+v", snap.Endpoints["insert"])
+	}
+}
+
+// TestServeInsertSurvivesReopen: an acknowledged insert replays from the
+// WAL — the durability promise the 200 makes, without a checkpoint.
+func TestServeInsertSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, wal := filepath.Join(dir, "index.db"), filepath.Join(dir, "index.wal")
+	d, err := segdb.OpenDurableIndex(db, wal, segdb.DurableOptions{Build: segdb.Options{B: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{Updater: d}
+	srv := server.New(d.Index(), d.Store(), cfg)
+	hs := httptest.NewServer(srv.Handler())
+	seg := server.WireSegment{ID: 42, AX: 0, AY: 5, BX: 9, BY: 5}
+	if resp, _ := postUpdate(t, hs.URL, "/v1/insert", seg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: HTTP %d", resp.StatusCode)
+	}
+	hs.Close()
+	// No Compact: closing leaves the record only in the WAL.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := segdb.OpenDurableIndex(db, wal, segdb.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if n := d2.Index().Len(); n != 1 {
+		t.Fatalf("after reopen: %d segments, want the acknowledged insert", n)
+	}
+	segs, err := d2.Index().Collect()
+	if err != nil || len(segs) != 1 || segs[0].ID != 42 {
+		t.Fatalf("after reopen: Collect = %v, %v", segs, err)
+	}
+}

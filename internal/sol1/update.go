@@ -15,7 +15,7 @@ import (
 // the insertion path whose child weights violate α-balance is rebuilt.
 func (ix *Index) Insert(s geom.Segment) error {
 	if s.ID == 0 || s.IsPoint() {
-		return fmt.Errorf("sol1: invalid segment %v", s)
+		return fmt.Errorf("sol1: %w %v", geom.ErrInvalidSegment, s)
 	}
 	newRoot, err := ix.insertRec(ix.root, s)
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 // B-tree recorded in DESIGN.md §5.
 func (ix *Index) Insert(s geom.Segment) error {
 	if s.ID == 0 || s.IsPoint() {
-		return fmt.Errorf("sol2: invalid segment %v", s)
+		return fmt.Errorf("sol2: %w %v", geom.ErrInvalidSegment, s)
 	}
 	newRoot, err := ix.insertRec(ix.root, s)
 	if err != nil {

@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrFileCrashed is returned by every FaultFile operation after a crash.
+var ErrFileCrashed = errors.New("wal: fault file crashed")
+
+// FaultFile is an in-memory File with the crash semantics of a real disk
+// under power loss, the byte-granular sibling of internal/faultdev's
+// page device: WriteAt lands in a pending overlay (the OS page cache of
+// the model) and reaches the durable image only at Sync; Crash discards
+// the overlay, or — with tearing enabled — applies a random prefix of
+// some pending extents, modelling appends torn mid-sector. CrashAt
+// schedules the crash deterministically at the n-th operation (reads,
+// writes, syncs and truncates all count), which is what lets the crash
+// matrix kill the log at every single file operation of a workload.
+type FaultFile struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	durable []byte
+	pending []extent
+
+	ops      int64
+	crashAt  int64 // operation number to crash at; <0 disabled
+	crashed  bool
+	tornFrac float64
+}
+
+// extent is one pending (unsynced) write.
+type extent struct {
+	off  int64
+	data []byte
+}
+
+// NewFaultFile returns an empty fault file. seed drives torn-write
+// prefixes, so a crash point plus a seed fully determines the durable
+// image.
+func NewFaultFile(seed int64) *FaultFile {
+	return &FaultFile{rng: rand.New(rand.NewSource(seed)), crashAt: -1}
+}
+
+// NewFaultFileFrom returns a healthy fault file whose durable contents
+// start as a copy of image — the "disk after reboot" of a crashed
+// FaultFile's DurableImage.
+func NewFaultFileFrom(seed int64, image []byte) *FaultFile {
+	f := NewFaultFile(seed)
+	f.durable = append([]byte(nil), image...)
+	return f
+}
+
+// CrashAt schedules a crash at operation number op (0-based over all
+// ReadAt/WriteAt/Sync/Truncate calls); that operation and every later
+// one fail with ErrFileCrashed.
+func (f *FaultFile) CrashAt(op int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = op
+}
+
+// TornWrites makes a crash apply a random prefix of each pending write
+// with probability frac, instead of dropping it whole.
+func (f *FaultFile) TornWrites(frac float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornFrac = frac
+}
+
+// Crash cuts power now: pending writes are discarded or torn, and every
+// later operation fails.
+func (f *FaultFile) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crash()
+}
+
+// crash requires f.mu.
+func (f *FaultFile) crash() {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	for _, e := range f.pending {
+		// Truncate markers (nil data) are unsynced metadata: lost whole.
+		if len(e.data) > 0 && f.tornFrac > 0 && f.rng.Float64() < f.tornFrac {
+			cut := f.rng.Intn(len(e.data)) // strict prefix: 0..len-1 bytes land
+			f.applyDurable(e.off, e.data[:cut])
+		}
+	}
+	f.pending = nil
+}
+
+// Ops returns the number of operations attempted so far.
+func (f *FaultFile) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the file has crashed.
+func (f *FaultFile) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// DurableImage returns a copy of the bytes a reopen after the crash
+// would see: the synced image plus any torn fragments.
+func (f *FaultFile) DurableImage() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]byte, len(f.durable))
+	copy(out, f.durable)
+	return out
+}
+
+// admit charges one operation; requires f.mu.
+func (f *FaultFile) admit() error {
+	op := f.ops
+	f.ops++
+	if f.crashed {
+		return fmt.Errorf("op %d: %w", op, ErrFileCrashed)
+	}
+	if f.crashAt >= 0 && op >= f.crashAt {
+		f.crash()
+		return fmt.Errorf("op %d: %w", op, ErrFileCrashed)
+	}
+	return nil
+}
+
+// ReadAt implements File; reads see pending writes, like a page cache.
+func (f *FaultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.admit(); err != nil {
+		return 0, err
+	}
+	img := f.cachedImage()
+	if off >= int64(len(img)) {
+		return 0, io.EOF
+	}
+	n := copy(p, img[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements File: the write is pending until the next Sync.
+func (f *FaultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.admit(); err != nil {
+		return 0, err
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	f.pending = append(f.pending, extent{off: off, data: cp})
+	return len(p), nil
+}
+
+// Sync implements File: pending writes reach the durable image.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.admit(); err != nil {
+		return err
+	}
+	for _, e := range f.pending {
+		f.applyDurable(e.off, e.data)
+	}
+	f.pending = nil
+	return nil
+}
+
+// Truncate implements File. Like a metadata journal, the new length is
+// applied in order with the pending data writes at the next Sync; the
+// cached image shrinks immediately.
+func (f *FaultFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.admit(); err != nil {
+		return err
+	}
+	f.pending = append(f.pending, extent{off: size, data: nil})
+	return nil
+}
+
+// Close implements File; close is not a durability point.
+func (f *FaultFile) Close() error { return nil }
+
+// cachedImage builds the view reads see: durable bytes plus pending
+// writes applied in order. Requires f.mu.
+func (f *FaultFile) cachedImage() []byte {
+	img := make([]byte, len(f.durable))
+	copy(img, f.durable)
+	for _, e := range f.pending {
+		if e.data == nil { // truncate marker
+			if e.off < int64(len(img)) {
+				img = img[:e.off]
+			}
+			continue
+		}
+		img = applyExtent(img, e.off, e.data)
+	}
+	return img
+}
+
+// applyDurable lands bytes (or a truncate marker) on the durable image.
+// Requires f.mu.
+func (f *FaultFile) applyDurable(off int64, data []byte) {
+	if data == nil {
+		if off < int64(len(f.durable)) {
+			f.durable = f.durable[:off]
+		}
+		return
+	}
+	f.durable = applyExtent(f.durable, off, data)
+}
+
+func applyExtent(img []byte, off int64, data []byte) []byte {
+	end := off + int64(len(data))
+	for int64(len(img)) < end {
+		img = append(img, 0)
+	}
+	copy(img[off:end], data)
+	return img
+}
+
+var _ File = (*FaultFile)(nil)

@@ -1,0 +1,368 @@
+// Package wal is the write-ahead log behind segdb's online update path:
+// an append-only record log that makes an acknowledged Insert/Delete
+// crash-durable before the in-memory working index serves it.
+//
+// # Format
+//
+// The file starts with an 8-byte header (magic "SGWL", format version),
+// followed by length-prefixed records:
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// A record payload is one logical index operation: op byte (insert or
+// delete), segment ID, and the four segment coordinates — logical
+// logging, so replay is independent of the index file's page layout.
+//
+// # Durability contract
+//
+// Append only buffers a record at the log's tail (the OS page cache);
+// Sync(lsn) makes every record at or below lsn durable and is the
+// acknowledgement point. Concurrent committers batch into one fsync
+// ("group commit"): while one writer's fsync is in flight the others
+// queue behind the sync mutex, and whoever runs next covers everything
+// appended so far in a single Sync. An optional commit window widens the
+// batch further by letting the leader sleep before flushing.
+//
+// Any write or fsync failure wedges the log permanently (every later
+// Append/Sync returns the latched error): after a failed fsync the
+// durable prefix is unknowable, so pretending to continue would turn
+// "acknowledged means durable" into a lie. Reopen to recover.
+//
+// # Replay
+//
+// Open scans the existing records in order, applies every intact one,
+// and truncates the file at the first torn, short or CRC-corrupt record:
+// a crash mid-append loses at most the unacknowledged tail, never a
+// record that Sync covered. Unknown op codes with a valid checksum are a
+// format error, not a torn tail, and fail the open.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb/internal/geom"
+)
+
+// File is the durable-file surface the log runs on. *os.File implements
+// it; tests substitute a fault-injecting in-memory file (FaultFile) to
+// crash the log at every operation.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+const (
+	magic      = 0x4c574753 // "SGWL"
+	version    = 1
+	headerSize = 8
+	frameSize  = 8 // u32 length + u32 crc
+	// payloadSize is the fixed record payload: op, id, 4 coordinates.
+	payloadSize = 1 + 8 + 4*8
+	recordSize  = frameSize + payloadSize
+)
+
+// Op is a logged index operation.
+type Op uint8
+
+// The logged operations.
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// Record is one logical index update.
+type Record struct {
+	Op  Op
+	Seg geom.Segment
+}
+
+var (
+	// ErrNotWAL reports a file whose header is not a segdb WAL.
+	ErrNotWAL = errors.New("wal: not a segdb write-ahead log")
+	// ErrVersion reports a WAL format version this build does not read.
+	ErrVersion = errors.New("wal: unsupported format version")
+	// ErrBadRecord reports a record that is framed and checksummed
+	// correctly but does not decode — a format error, not a torn tail.
+	ErrBadRecord = errors.New("wal: malformed record")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only record log with group-commit durability. Append
+// and Truncate callers must not overlap each other (segdb.DurableIndex
+// serializes them under its update lock); Sync may be called from any
+// number of goroutines concurrently with appends.
+type Log struct {
+	f      File
+	window time.Duration
+
+	mu      sync.Mutex // guards size and err
+	size    int64      // file tail: offset of the next append
+	err     error      // latched first write/sync failure; wedges the log
+	durable atomic.Int64
+
+	syncMu sync.Mutex // group commit: one fsync in flight at a time
+}
+
+// Open scans the log in f, replays every intact record through apply in
+// order, truncates the torn tail (if any), and returns the log positioned
+// for appends. An empty or missing-content file gets a fresh header. The
+// commit window widens group-commit batches: a Sync leader sleeps that
+// long before flushing so concurrent committers can join its fsync; 0
+// syncs immediately (concurrent committers still batch behind the sync
+// mutex). apply may be nil to skip replay (tests); an apply error aborts
+// the open.
+func Open(f File, window time.Duration, apply func(Record) error) (*Log, error) {
+	l := &Log{f: f, window: window}
+
+	var hdr [headerSize]byte
+	n, err := f.ReadAt(hdr[:], 0)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("wal: read header: %w", err)
+	}
+	if n < headerSize {
+		// Empty file, or a header torn mid-creation. The header is written
+		// and fsynced before the first append, so a torn header means no
+		// record was ever acknowledged: reinitializing loses nothing.
+		if err := f.Truncate(0); err != nil {
+			return nil, fmt.Errorf("wal: reset torn header: %w", err)
+		}
+		binary.LittleEndian.PutUint32(hdr[0:4], magic)
+		binary.LittleEndian.PutUint32(hdr[4:8], version)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			return nil, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync header: %w", err)
+		}
+		l.size = headerSize
+		l.durable.Store(headerSize)
+		return l, nil
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("wal: bad magic: %w", ErrNotWAL)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return nil, fmt.Errorf("wal: format version %d: %w", v, ErrVersion)
+	}
+
+	pos, err := l.replay(apply)
+	if err != nil {
+		return nil, err
+	}
+	// Cut the torn tail so new appends extend an intact record sequence.
+	if err := f.Truncate(pos); err != nil {
+		return nil, fmt.Errorf("wal: truncate torn tail at %d: %w", pos, err)
+	}
+	l.size = pos
+	l.durable.Store(pos)
+	return l, nil
+}
+
+// replay scans records from the header onward, applying intact ones, and
+// returns the offset of the first record that is not fully intact — the
+// replay truncation point.
+func (l *Log) replay(apply func(Record) error) (int64, error) {
+	pos := int64(headerSize)
+	var frame [frameSize]byte
+	payload := make([]byte, payloadSize)
+	for {
+		if n, err := l.f.ReadAt(frame[:], pos); n < frameSize {
+			if err != nil && err != io.EOF {
+				return 0, fmt.Errorf("wal: read frame at %d: %w", pos, err)
+			}
+			return pos, nil // clean end or torn frame
+		}
+		plen := binary.LittleEndian.Uint32(frame[0:4])
+		if plen != payloadSize {
+			return pos, nil // torn or garbage length: truncate here
+		}
+		if n, err := l.f.ReadAt(payload, pos+frameSize); n < int(plen) {
+			if err != nil && err != io.EOF {
+				return 0, fmt.Errorf("wal: read record at %d: %w", pos, err)
+			}
+			return pos, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+			return pos, nil // torn or bit-rotten payload
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return 0, fmt.Errorf("wal: record at %d: %w", pos, err)
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return 0, fmt.Errorf("wal: replay record at %d: %w", pos, err)
+			}
+		}
+		pos += recordSize
+	}
+}
+
+func encodeRecord(rec Record, buf []byte) {
+	p := buf[frameSize:]
+	p[0] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(p[1:9], rec.Seg.ID)
+	binary.LittleEndian.PutUint64(p[9:17], math.Float64bits(rec.Seg.A.X))
+	binary.LittleEndian.PutUint64(p[17:25], math.Float64bits(rec.Seg.A.Y))
+	binary.LittleEndian.PutUint64(p[25:33], math.Float64bits(rec.Seg.B.X))
+	binary.LittleEndian.PutUint64(p[33:41], math.Float64bits(rec.Seg.B.Y))
+	binary.LittleEndian.PutUint32(buf[0:4], payloadSize)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(p, castagnoli))
+}
+
+func decodeRecord(p []byte) (Record, error) {
+	op := Op(p[0])
+	if op != OpInsert && op != OpDelete {
+		return Record{}, fmt.Errorf("%w: unknown op %d", ErrBadRecord, op)
+	}
+	var rec Record
+	rec.Op = op
+	rec.Seg.ID = binary.LittleEndian.Uint64(p[1:9])
+	rec.Seg.A.X = math.Float64frombits(binary.LittleEndian.Uint64(p[9:17]))
+	rec.Seg.A.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[17:25]))
+	rec.Seg.B.X = math.Float64frombits(binary.LittleEndian.Uint64(p[25:33]))
+	rec.Seg.B.Y = math.Float64frombits(binary.LittleEndian.Uint64(p[33:41]))
+	return rec, nil
+}
+
+// Append writes rec at the log's tail and returns its LSN: the byte
+// offset one past the record, which Sync uses as a durability watermark.
+// The record is buffered, not durable, until a Sync at or above the
+// returned LSN completes. Appends must be externally serialized against
+// each other and against Reset.
+func (l *Log) Append(rec Record) (int64, error) {
+	var buf [recordSize]byte
+	encodeRecord(rec, buf[:])
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if _, err := l.f.WriteAt(buf[:], l.size); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return 0, l.err
+	}
+	l.size += recordSize
+	return l.size, nil
+}
+
+// Sync makes every record at or below lsn durable, batching concurrent
+// committers into one fsync. On return, either the watermark covers lsn
+// or the error is permanent (the log is wedged).
+func (l *Log) Sync(lsn int64) error {
+	if l.durable.Load() >= lsn {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	// A leader that ran while this committer queued may already have
+	// covered it; its records are durable without a second fsync.
+	if l.durable.Load() >= lsn {
+		return nil
+	}
+	if l.window > 0 {
+		time.Sleep(l.window) // let more committers append into this batch
+	}
+	l.mu.Lock()
+	target, err := l.size, l.err
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: sync: %w", err)
+		}
+		err = l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.durable.Store(target)
+	return nil
+}
+
+// Commit appends rec and makes it durable: the convenience form of
+// Append + Sync for callers without an apply step in between.
+func (l *Log) Commit(rec Record) error {
+	lsn, err := l.Append(rec)
+	if err != nil {
+		return err
+	}
+	return l.Sync(lsn)
+}
+
+// Reset empties the log back to its header — the checkpoint rotation:
+// once a checkpoint of the indexed state is durably committed, the
+// records it covers are dead weight. The truncation is itself fsynced so
+// a crash cannot resurrect the old records under a new checkpoint.
+// Callers must serialize Reset against Append (DurableIndex holds its
+// update lock across both the checkpoint and the rotation).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
+		l.err = fmt.Errorf("wal: reset: %w", err)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: reset sync: %w", err)
+		return l.err
+	}
+	l.size = headerSize
+	l.durable.Store(headerSize)
+	return nil
+}
+
+// Size returns the log's tail offset: header plus all appended records,
+// durable or not.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Durable returns the current durability watermark: every record at or
+// below it has been covered by a completed fsync.
+func (l *Log) Durable() int64 { return l.durable.Load() }
+
+// Records returns how many records the log holds past the header.
+func (l *Log) Records() int64 { return (l.Size() - headerSize) / recordSize }
+
+// Wedged returns the latched write/sync failure, or nil while the log is
+// healthy.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close syncs outstanding appends and closes the file. A wedged log
+// closes the file without syncing.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

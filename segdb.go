@@ -80,6 +80,10 @@ type IOStats = pager.Stats
 // ErrUnsupported is returned for operations outside a structure's model.
 var ErrUnsupported = core.ErrUnsupported
 
+// ErrInvalidSegment marks a segment the index structures reject (zero ID
+// or degenerate geometry); match with errors.Is.
+var ErrInvalidSegment = geom.ErrInvalidSegment
+
 // NewSegment constructs a segment from raw coordinates. The ID must be
 // unique and non-zero within one index.
 func NewSegment(id uint64, x1, y1, x2, y2 float64) Segment {

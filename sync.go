@@ -99,6 +99,12 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 				if _, ok := r.(queryAborted); !ok {
 					panic(r)
 				}
+				// The abort unwound past the `st, err = ...` assignment, so
+				// st is still zero even though n segments were delivered.
+				// Backfill what the emit wrapper counted — otherwise an
+				// aborted query logs Reported=0 beside non-zero PagesRead,
+				// internally inconsistent slow-log rows.
+				st.Reported = n
 			}
 		}()
 		st, err = s.ix.Query(q, func(sg Segment) {
@@ -118,16 +124,66 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 
 // Insert implements the Index contract under an exclusive lock.
 func (s *SyncIndex) Insert(seg Segment) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ix.Insert(seg)
+	_, err := s.InsertStats(seg)
+	return err
 }
 
 // Delete implements the Index contract under an exclusive lock.
 func (s *SyncIndex) Delete(seg Segment) (bool, error) {
+	found, _, err := s.DeleteStats(seg)
+	return found, err
+}
+
+// UpdateStats is the I/O attribution of one Insert or Delete: the pages
+// read, pool hits and physical pages written observed during the
+// update's window. Like query attribution it is exact only while no
+// other work overlaps the window; built without a store (Synchronized)
+// it is always zero.
+type UpdateStats struct {
+	PagesRead    int64
+	PoolHits     int64
+	PagesWritten int64
+}
+
+// beginWrite opens an update attribution window; requires the exclusive
+// lock (updates are serialized, so the window only sees concurrent
+// readers' reads, never another update's writes).
+func (s *SyncIndex) beginWrite() (ioWindow, int64) {
+	w := s.beginIO()
+	var w0 int64
+	if s.st != nil {
+		w0 = s.st.WriteStats()
+	}
+	return w, w0
+}
+
+func (s *SyncIndex) endWrite(w ioWindow, w0 int64) UpdateStats {
+	var qs QueryStats
+	w.end(&qs)
+	u := UpdateStats{PagesRead: qs.PagesRead, PoolHits: qs.PoolHits}
+	if s.st != nil {
+		u.PagesWritten = s.st.WriteStats() - w0
+	}
+	return u
+}
+
+// InsertStats is Insert with I/O attribution: the same window bracketing
+// queries get, extended with physical pages written.
+func (s *SyncIndex) InsertStats(seg Segment) (UpdateStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ix.Delete(seg)
+	w, w0 := s.beginWrite()
+	err := s.ix.Insert(seg)
+	return s.endWrite(w, w0), err
+}
+
+// DeleteStats is Delete with I/O attribution.
+func (s *SyncIndex) DeleteStats(seg Segment) (bool, UpdateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, w0 := s.beginWrite()
+	found, err := s.ix.Delete(seg)
+	return found, s.endWrite(w, w0), err
 }
 
 // Len implements the Index contract under a shared lock.

@@ -1,6 +1,7 @@
 package segdb_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -444,5 +445,92 @@ func TestSyncSurfacesFaults(t *testing.T) {
 	dev.Crash()
 	if _, err := ix.Query(queries[0], func(segdb.Segment) {}); !errors.Is(err, faultdev.ErrCrashed) {
 		t.Fatalf("query on crashed device: %v, want ErrCrashed", err)
+	}
+}
+
+// TestSyncQueryContextCancelBackfillsStats is the regression test for
+// cancelled queries returning zero QueryStats: the queryAborted panic
+// unwinds past the `st, err = Query(...)` assignment, so before the fix
+// a query that had already delivered hundreds of segments reported
+// Reported = 0 next to non-zero PagesRead — internally inconsistent
+// slow-log rows. The stats of a cancelled query must now cover at least
+// the segments actually delivered. Run with -race.
+func TestSyncQueryContextCancelBackfillsStats(t *testing.T) {
+	// 300 stacked horizontal segments all crossing the query line, so a
+	// stab delivers far more than the 64-emission cancellation stride.
+	var segs []segdb.Segment
+	for i := 1; i <= 300; i++ {
+		segs = append(segs, segdb.NewSegment(uint64(i), 0, float64(i), 10, float64(i)))
+	}
+	st := segdb.NewMemStore(16, 4)
+	raw, err := segdb.BuildSolution1(st, segdb.Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.SynchronizedOn(raw, st)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	qst, err := ix.QueryContext(ctx, segdb.VLine(5), func(segdb.Segment) {
+		if delivered++; delivered == 100 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (did the query finish before cancelling?)", err)
+	}
+	if delivered < 100 || delivered >= len(segs) {
+		t.Fatalf("cancellation did not abort mid-emission: delivered %d of %d", delivered, len(segs))
+	}
+	if qst.Reported < delivered {
+		t.Fatalf("cancelled query stats lost its work: Reported = %d, delivered = %d", qst.Reported, delivered)
+	}
+	if qst.PagesRead+qst.PoolHits == 0 {
+		t.Fatalf("cancelled query reports no I/O despite delivering %d segments", delivered)
+	}
+}
+
+// TestSyncUpdateIOAttribution: InsertStats/DeleteStats bracket updates
+// with the same I/O window queries get, extended with pages written, so
+// write endpoints can report per-update cost. A wrapper built without a
+// store stays inert.
+func TestSyncUpdateIOAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+	st := segdb.NewMemStore(16, 64)
+	raw, err := segdb.BuildSolution1(st, segdb.Options{B: 16}, segs[:len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := segdb.SynchronizedOn(raw, st)
+
+	extra := segs[len(segs)-1]
+	ist, err := ix.InsertStats(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ist.PagesWritten == 0 {
+		t.Fatalf("insert reported no pages written: %+v", ist)
+	}
+	found, dst, err := ix.DeleteStats(extra)
+	if err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if dst.PagesRead+dst.PoolHits+dst.PagesWritten == 0 {
+		t.Fatalf("delete reported no I/O at all: %+v", dst)
+	}
+
+	// Without a store there is nothing to attribute: all-zero stats.
+	plain := segdb.Synchronized(raw)
+	pst, err := plain.InsertStats(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst != (segdb.UpdateStats{}) {
+		t.Fatalf("storeless wrapper attributed I/O: %+v", pst)
+	}
+	if _, _, err := plain.DeleteStats(extra); err != nil {
+		t.Fatal(err)
 	}
 }
