@@ -39,7 +39,9 @@ import (
 //
 // If the log wedges (a failed append or fsync — durability unknowable),
 // every later update fails with the latched error while reads keep
-// working; reopen to recover. Only Solution 1 qualifies: the paper's
+// working; reopen to recover. The one exception: if a failed append's
+// rollback also fails, the live index has diverged from anything
+// recovery can rebuild, so it is poisoned and reads fail too. Only Solution 1 qualifies: the paper's
 // Theorem 1 structure is fully dynamic, while Solution 2 has no Delete
 // and would break the upsert replay.
 type DurableIndex struct {
@@ -195,8 +197,13 @@ func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
 	if err != nil {
 		// Roll the apply back so reads do not serve a write the log
 		// never saw. The log is wedged, so no later write can interleave
-		// with the rollback.
-		d.live.Delete(seg)
+		// with the rollback. If the rollback itself fails the live index
+		// has permanently diverged from what recovery would rebuild —
+		// poison it so reads refuse too, instead of serving a state the
+		// WAL cannot reconstruct.
+		if _, rerr := d.live.Delete(seg); rerr != nil {
+			d.live.poison(fmt.Errorf("segdb: insert %d: rollback after append failure (%v) failed: %w", seg.ID, err, rerr))
+		}
 		return st, 0, err
 	}
 	return st, lsn, nil
@@ -225,7 +232,9 @@ func (d *DurableIndex) applyDelete(seg Segment) (bool, UpdateStats, int64, error
 	}
 	lsn, err := d.log.Append(wal.Record{Op: wal.OpDelete, Seg: seg})
 	if err != nil {
-		d.live.Insert(seg)
+		if rerr := d.live.Insert(seg); rerr != nil {
+			d.live.poison(fmt.Errorf("segdb: delete %d: rollback after append failure (%v) failed: %w", seg.ID, err, rerr))
+		}
 		return found, st, 0, err
 	}
 	return found, st, lsn, nil

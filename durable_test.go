@@ -1,10 +1,13 @@
 package segdb
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"segdb/internal/faultdev"
 	"segdb/internal/wal"
@@ -277,6 +280,112 @@ func TestDurableCrashMatrixWAL(t *testing.T) {
 		if err := VerifyIndexFile(path); err != nil {
 			t.Fatalf("crash at WAL op %d: checkpoint file damaged: %v", k, err)
 		}
+	}
+}
+
+// TestDurableCompactConcurrentWithCommits races online checkpoints
+// against committing writers — the Reset/Sync interleaving the WAL-level
+// gate test pins deterministically, here through the public API under
+// load. Every insert is acknowledged while Compact loops concurrently;
+// a power cut that drops the WAL's page cache must then lose none of
+// them: a stale durability watermark surviving a rotation would let
+// commits skip their fsync and vanish here. Run under -race.
+func TestDurableCompactConcurrentWithCommits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.db")
+	dopt := DurableOptions{Build: Options{B: 16}, GroupCommitWindow: 200 * time.Microsecond}
+	segs := workload.Grid(rand.New(rand.NewSource(11)), 10, 10, 0.95, 0.2)
+
+	f := wal.NewFaultFile(5)
+	d, err := openDurableIndex(path, dopt, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(segs); i += workers {
+				if _, err := d.Insert(segs[i]); err != nil {
+					t.Errorf("insert %d: %v", segs[i].ID, err)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	compacts := 0
+	for running := true; running; {
+		if err := d.Compact(); err != nil {
+			t.Errorf("compact %d: %v", compacts, err)
+			break
+		}
+		compacts++
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+	}
+	<-done
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Power cut: unsynced WAL bytes vanish. Everything acknowledged must
+	// come back from the last checkpoint plus the durable log tail.
+	f.Crash()
+	d.Close()
+	d2, err := openDurableIndex(path, dopt, wal.NewFaultFileFrom(5, f.DurableImage()), nil)
+	if err != nil {
+		t.Fatalf("recovery open after %d concurrent compacts: %v", compacts, err)
+	}
+	defer d2.Close()
+	got, err := d2.Index().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, segs) {
+		t.Fatalf("after %d compacts racing commits, recovered %d segments, want all %d acknowledged",
+			compacts, len(got), len(segs))
+	}
+}
+
+// TestSyncIndexPoison: a poisoned SyncIndex refuses queries and updates
+// with the latched error — what DurableIndex relies on when a failed
+// rollback leaves the live state unreconstructible — and the first
+// latched error wins.
+func TestSyncIndexPoison(t *testing.T) {
+	segs := workload.Grid(rand.New(rand.NewSource(13)), 4, 4, 0.9, 0.2)
+	st := NewMemStore(16, 16)
+	raw, err := BuildSolution1(st, Options{B: 16}, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := SynchronizedOn(raw, st)
+	boom := errors.New("live state diverged")
+	ix.poison(boom)
+	ix.poison(errors.New("second poison must not displace the first"))
+
+	if _, err := ix.Query(VLine(0.5), func(Segment) {}); !errors.Is(err, boom) {
+		t.Fatalf("Query on poisoned index: %v, want the poison error", err)
+	}
+	if _, err := ix.QueryContext(context.Background(), VLine(0.5), func(Segment) {}); !errors.Is(err, boom) {
+		t.Fatalf("QueryContext on poisoned index: %v, want the poison error", err)
+	}
+	if _, err := ix.InsertStats(NewSegment(1e6, 0, 0, 1, 0)); !errors.Is(err, boom) {
+		t.Fatalf("InsertStats on poisoned index: %v, want the poison error", err)
+	}
+	if _, _, err := ix.DeleteStats(segs[0]); !errors.Is(err, boom) {
+		t.Fatalf("DeleteStats on poisoned index: %v, want the poison error", err)
+	}
+	if _, err := ix.Collect(); !errors.Is(err, boom) {
+		t.Fatalf("Collect on poisoned index: %v, want the poison error", err)
+	}
+	if err := ix.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact on poisoned index: %v, want the poison error", err)
 	}
 }
 

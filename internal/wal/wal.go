@@ -21,7 +21,9 @@
 // ("group commit"): while one writer's fsync is in flight the others
 // queue behind the sync mutex, and whoever runs next covers everything
 // appended so far in a single Sync. An optional commit window widens the
-// batch further by letting the leader sleep before flushing.
+// batch further by letting the leader sleep before flushing — but only
+// when other committers have already appended behind it; a lone writer
+// skips the window and pays just the fsync.
 //
 // Any write or fsync failure wedges the log permanently (every later
 // Append/Sync returns the latched error): after a failed fsync the
@@ -118,10 +120,11 @@ type Log struct {
 // Open scans the log in f, replays every intact record through apply in
 // order, truncates the torn tail (if any), and returns the log positioned
 // for appends. An empty or missing-content file gets a fresh header. The
-// commit window widens group-commit batches: a Sync leader sleeps that
-// long before flushing so concurrent committers can join its fsync; 0
-// syncs immediately (concurrent committers still batch behind the sync
-// mutex). apply may be nil to skip replay (tests); an apply error aborts
+// commit window widens group-commit batches: a Sync leader that sees
+// records appended behind its own sleeps that long before flushing so
+// concurrent committers can join its fsync; a leader with nothing
+// batched behind it, or a window of 0, syncs immediately (concurrent
+// committers still batch behind the sync mutex). apply may be nil to skip replay (tests); an apply error aborts
 // the open.
 func Open(f File, window time.Duration, apply func(Record) error) (*Log, error) {
 	l := &Log{f: f, window: window}
@@ -272,14 +275,23 @@ func (l *Log) Sync(lsn int64) error {
 	if l.durable.Load() >= lsn {
 		return nil
 	}
-	if l.window > 0 {
-		time.Sleep(l.window) // let more committers append into this batch
-	}
 	l.mu.Lock()
 	target, err := l.size, l.err
 	l.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	// Sleep out the commit window only when another committer has already
+	// appended past this one's record — evidence a batch is forming. A
+	// lone writer pays just the fsync, not window + fsync.
+	if l.window > 0 && target > lsn {
+		time.Sleep(l.window) // let more committers append into this batch
+		l.mu.Lock()
+		target, err = l.size, l.err
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	if err := l.f.Sync(); err != nil {
 		l.mu.Lock()
@@ -309,8 +321,16 @@ func (l *Log) Commit(rec Record) error {
 // records it covers are dead weight. The truncation is itself fsynced so
 // a crash cannot resurrect the old records under a new checkpoint.
 // Callers must serialize Reset against Append (DurableIndex holds its
-// update lock across both the checkpoint and the rotation).
+// update lock across both the checkpoint and the rotation); Sync needs
+// no such care — Reset takes the sync mutex first, so an in-flight
+// group-commit fsync lands its watermark before the truncate. Without
+// that ordering, a Sync that read its target size before the truncate
+// would store a watermark above the reset size afterwards, and every
+// later commit at or below the stale watermark would be acknowledged
+// off the fast path without any fsync — acknowledged-but-volatile.
 func (l *Log) Reset() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {

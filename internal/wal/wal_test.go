@@ -171,12 +171,140 @@ func TestResetRotatesLog(t *testing.T) {
 	}
 }
 
+// gatedFile wraps a FaultFile so a test can hold one fsync in flight:
+// after arm, the next Sync signals entered and parks until release is
+// closed, then proceeds normally.
+type gatedFile struct {
+	*FaultFile
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGatedFile() *gatedFile {
+	return &gatedFile{
+		FaultFile: NewFaultFile(1),
+		entered:   make(chan struct{}),
+		release:   make(chan struct{}),
+	}
+}
+
+func (g *gatedFile) arm() {
+	g.mu.Lock()
+	g.armed = true
+	g.mu.Unlock()
+}
+
+func (g *gatedFile) Sync() error {
+	g.mu.Lock()
+	armed := g.armed
+	g.armed = false
+	g.mu.Unlock()
+	if armed {
+		close(g.entered)
+		<-g.release
+	}
+	return g.FaultFile.Sync()
+}
+
+// TestResetWaitsForInflightSync is the regression test for the
+// Reset/Sync race: a Reset overlapping an in-flight group-commit fsync
+// must wait for it to land its watermark. Before the fix, the fsync's
+// stale target (read before the truncate) was stored above the reset
+// size afterwards, and every later commit at or below it returned from
+// the durable fast path acknowledged but never fsynced.
+func TestResetWaitsForInflightSync(t *testing.T) {
+	g := newGatedFile()
+	l, err := Open(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(rec(OpInsert, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.arm()
+	syncDone := make(chan error, 1)
+	go func() { syncDone <- l.Sync(lsn) }()
+	<-g.entered // the commit's fsync is now in flight
+
+	resetDone := make(chan error, 1)
+	go func() { resetDone <- l.Reset() }()
+	select {
+	case <-resetDone:
+		t.Fatal("Reset completed while a Sync fsync was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(g.release)
+	if err := <-syncDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-resetDone; err != nil {
+		t.Fatal(err)
+	}
+	if d, s := l.Durable(), l.Size(); d != s || d != int64(headerSize) {
+		t.Fatalf("after Reset: durable=%d size=%d, want both %d", d, s, headerSize)
+	}
+
+	// A post-reset commit must genuinely fsync: the acknowledged record
+	// has to survive a power cut that drops the page cache.
+	if err := l.Commit(rec(OpInsert, 2)); err != nil {
+		t.Fatal(err)
+	}
+	g.Crash()
+	got := replayAll(t, imageFile(g.DurableImage()))
+	if len(got) != 1 || got[0] != rec(OpInsert, 2) {
+		t.Fatalf("post-reset commit not durable across a crash: replay = %+v", got)
+	}
+}
+
+// TestLoneWriterSkipsCommitWindow: a solitary committer has nothing to
+// batch with, so it must not sleep out the group-commit window — just
+// the fsync.
+func TestLoneWriterSkipsCommitWindow(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Commit(rec(OpInsert, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el >= 250*time.Millisecond {
+		t.Fatalf("lone commit took %v: it slept the commit window with nothing to batch", el)
+	}
+	if l.Durable() != l.Size() {
+		t.Fatalf("durable %d != size %d after lone commit", l.Durable(), l.Size())
+	}
+	got := replayAll(t, imageFile(f.DurableImage()))
+	if len(got) != 1 || got[0] != rec(OpInsert, 1) {
+		t.Fatalf("lone commit not durable: replay = %+v", got)
+	}
+}
+
+// slowFile wraps a FaultFile with a realistic fsync latency. On an
+// instant in-memory fsync, concurrent committers never overlap — each
+// commit finishes before the next appends — so no batch would ever form
+// and a batching assertion would be vacuous.
+type slowFile struct {
+	*FaultFile
+	d time.Duration
+}
+
+func (s slowFile) Sync() error {
+	time.Sleep(s.d)
+	return s.FaultFile.Sync()
+}
+
 // TestGroupCommitConcurrent: many goroutines committing concurrently all
 // end up durable, and the log batches them into far fewer fsyncs than
-// commits (the point of group commit). Run under -race.
+// commits (the point of group commit) — committers queue behind the
+// in-flight fsync and ride the next one together. Run under -race.
 func TestGroupCommitConcurrent(t *testing.T) {
 	f := NewFaultFile(1)
-	l, err := Open(f, time.Millisecond, nil)
+	l, err := Open(slowFile{f, 200 * time.Microsecond}, time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

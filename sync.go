@@ -15,9 +15,23 @@ import (
 // can never resurrect stale bytes over a concurrent writer's fresh page
 // (see internal/pager). QueryBatch exploits this with a worker pool.
 type SyncIndex struct {
-	mu sync.RWMutex
-	ix Index
-	st *Store // non-nil: attribute per-query I/O from its counters
+	mu    sync.RWMutex
+	ix    Index
+	st    *Store // non-nil: attribute per-query I/O from its counters
+	fatal error  // latched by poison; fails every later query and update
+}
+
+// poison latches err permanently: every later query and update fails
+// with it. DurableIndex latches it when a failed WAL append's rollback
+// also fails — at that point the live state has diverged from anything
+// recovery can rebuild, and serving reads from it would silently break
+// the durability contract. Reopen to recover.
+func (s *SyncIndex) poison(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
 }
 
 // Synchronized wraps an index for concurrent use. The caller must stop
@@ -64,6 +78,9 @@ func (w ioWindow) end(st *QueryStats) {
 func (s *SyncIndex) Query(q Query, emit func(Segment)) (QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.fatal != nil {
+		return QueryStats{}, s.fatal
+	}
 	w := s.beginIO()
 	st, err := s.ix.Query(q, emit)
 	w.end(&st)
@@ -87,6 +104,9 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.fatal != nil {
+		return QueryStats{}, s.fatal
+	}
 	var (
 		st  QueryStats
 		err error
@@ -172,6 +192,9 @@ func (s *SyncIndex) endWrite(w ioWindow, w0 int64) UpdateStats {
 func (s *SyncIndex) InsertStats(seg Segment) (UpdateStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return UpdateStats{}, s.fatal
+	}
 	w, w0 := s.beginWrite()
 	err := s.ix.Insert(seg)
 	return s.endWrite(w, w0), err
@@ -181,6 +204,9 @@ func (s *SyncIndex) InsertStats(seg Segment) (UpdateStats, error) {
 func (s *SyncIndex) DeleteStats(seg Segment) (bool, UpdateStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return false, UpdateStats{}, s.fatal
+	}
 	w, w0 := s.beginWrite()
 	found, err := s.ix.Delete(seg)
 	return found, s.endWrite(w, w0), err
@@ -197,6 +223,9 @@ func (s *SyncIndex) Len() int {
 func (s *SyncIndex) Collect() ([]Segment, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.fatal != nil {
+		return nil, s.fatal
+	}
 	return s.ix.Collect()
 }
 
@@ -215,6 +244,9 @@ func (s *SyncIndex) Drop() error {
 func (s *SyncIndex) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fatal != nil {
+		return s.fatal
+	}
 	if c, ok := s.ix.(compacter); ok {
 		return c.Compact()
 	}
