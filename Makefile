@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke serve-smoke wal-crash ci
+.PHONY: all build vet test race bench fuzz-smoke serve-smoke repl-smoke wal-crash ci
 
 all: ci
 
@@ -17,7 +17,7 @@ test:
 # singleflight, QueryBatch, SyncIndex stress, server admission/drain,
 # crash matrix) must pass under -race.
 race:
-	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash' ./internal/pager ./internal/server ./...
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash|Repl' ./internal/pager ./internal/server ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -33,9 +33,15 @@ fuzz-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# End-to-end replication gate: leader + follower, segload read split,
+# QueryBatch differential, kill -9 the follower mid-stream, WAL rotation
+# with re-snapshot, lag series on /metricsz.
+repl-smoke:
+	./scripts/repl_smoke.sh
+
 # WAL crash-matrix gate: kill the log at every record boundary and the
 # checkpoint at every step, then recover and verify — under -race.
 wal-crash:
 	$(GO) test -race -run 'DurableCrash|DurableCheckpoint|WALCrash|TornTail' . ./internal/wal
 
-ci: vet build test race wal-crash serve-smoke
+ci: vet build test race wal-crash serve-smoke repl-smoke

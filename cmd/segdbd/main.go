@@ -51,6 +51,16 @@
 // (-max-inflight-updates). The index file itself only changes at the
 // shutdown checkpoint, via the atomic shadow commit.
 //
+// Replication: a read-write (-wal) segdbd is automatically a leader — it
+// serves GET /v1/repl/snapshot and /v1/repl/wal so followers can
+// bootstrap and tail it, POST /v1/admin/compact rotates its log online,
+// and /statsz carries per-follower lag. `segdbd -follow <leader-url>`
+// runs a follower instead: it bootstraps from the leader's snapshot into
+// -db, tails committed WAL records into a local crash-durable copy, and
+// serves reads from it; writes answer 503 with the leader's URL in
+// X-Segdb-Leader. /healthz?deep=1 turns red when replication lag
+// exceeds -max-replica-lag.
+//
 // SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
 // requests, flush the slow log, then checkpoint (WAL mode) or fsync and
 // close the store.
@@ -73,6 +83,7 @@ import (
 	"time"
 
 	"segdb"
+	"segdb/internal/repl"
 	"segdb/internal/server"
 )
 
@@ -97,6 +108,10 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log path; enables POST /v1/insert and /v1/delete (requires a Solution 1 index)")
 	groupCommit := flag.Duration("group-commit-window", 0, "group-commit window: how long an update fsync lingers for concurrent writers to share it")
 	maxInflightUpdates := flag.Int("max-inflight-updates", 16, "write-admission limit; excess update load is shed with 429")
+	follow := flag.String("follow", "", "leader base URL; serve as a read replica tailing its WAL (writes answer 503)")
+	followerID := flag.String("follower-id", "", "name reported to the leader's lag table; defaults to the hostname")
+	maxReplicaLag := flag.Duration("max-replica-lag", 10*time.Second, "replica staleness budget: /healthz?deep=1 fails beyond it; <=0 disables")
+	replicaCompact := flag.Int64("replica-compact-records", 65536, "local WAL records that trigger a replica checkpoint; <0 disables")
 	flag.Parse()
 
 	if *verify {
@@ -106,16 +121,51 @@ func main() {
 		log.Printf("segdbd: %s verified (checksums + structural walk)", *db)
 	}
 
-	// -wal serves the index read-write: the checkpoint file plus a
-	// write-ahead log, replayed at open. Without it the file is served
-	// read-only straight off its store.
+	// Three serving modes: -follow tails a leader as a read replica, -wal
+	// serves the index read-write (checkpoint file + write-ahead log,
+	// replayed at open) and doubles as a replication leader, and the
+	// default serves the file read-only straight off its store.
 	var (
 		sx  *segdb.SyncIndex
 		st  *segdb.Store
 		dix *segdb.DurableIndex
+		fol *repl.Follower
+		srv *server.Server
 		err error
 	)
-	if *walPath != "" {
+	if *follow != "" {
+		localWAL := *walPath
+		if localWAL == "" {
+			localWAL = *db + ".wal"
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		fol, err = repl.Open(ctx, repl.Config{
+			Leader:         *follow,
+			DB:             *db,
+			WAL:            localWAL,
+			ID:             *followerID,
+			Durable:        segdb.DurableOptions{Build: segdb.Options{B: *b}, CachePages: *cache},
+			CompactRecords: *replicaCompact,
+			Logf:           log.Printf,
+			// A re-snapshot replaces the local index; repoint the server at
+			// it. srv is assigned before the tailing goroutine starts, so
+			// swaps (which only happen on that goroutine) always see it; the
+			// initial install during Open runs here with srv still nil.
+			OnSwap: func(ix *segdb.SyncIndex, st *segdb.Store) {
+				if srv != nil {
+					srv.SwapIndex(ix, st)
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			log.Fatalf("segdbd: follower: %v", err)
+		}
+		sx, st = fol.Index(), fol.Store()
+		fst := fol.Status()
+		log.Printf("segdbd: following %s as %q: %d segments at epoch %d lsn %d",
+			*follow, fst.ID, sx.Len(), fst.Epoch, fst.AppliedLSN)
+	} else if *walPath != "" {
 		dix, err = segdb.OpenDurableIndex(*db, *walPath, segdb.DurableOptions{
 			Build:             segdb.Options{B: *b},
 			CachePages:        *cache,
@@ -173,9 +223,29 @@ func main() {
 	if dix != nil {
 		cfg.Updater = dix
 		cfg.MaxInflightUpdates = *maxInflightUpdates
+		// A read-write server is a replication leader: followers bootstrap
+		// from its checkpoint and tail its committed log.
+		cfg.Repl = repl.NewLeader(dix)
 	}
-	srv := server.New(sx, st, cfg)
+	if fol != nil {
+		cfg.Follower = fol
+		cfg.MaxReplicaLag = *maxReplicaLag
+	}
+	srv = server.New(sx, st, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// The follower tails the leader until shutdown; srv is already
+	// assigned, so re-snapshot swaps repoint it.
+	folCtx, folCancel := context.WithCancel(context.Background())
+	defer folCancel()
+	var folDone chan struct{}
+	if fol != nil {
+		folDone = make(chan struct{})
+		go func() {
+			defer close(folDone)
+			fol.Run(folCtx)
+		}()
+	}
 
 	if *debugAddr != "" {
 		go func() {
@@ -227,7 +297,17 @@ func main() {
 		}
 	}
 	snap := srv.Snapshot()
-	if dix != nil {
+	switch {
+	case fol != nil:
+		// Stop tailing before closing: Run owns all state transitions, so
+		// once it returns the local index is quiescent and Close can
+		// checkpoint it (the next start resumes from the mark, no replay).
+		folCancel()
+		<-folDone
+		if err := fol.Close(); err != nil {
+			log.Printf("segdbd: close: %v", err)
+		}
+	case dix != nil:
 		// A graceful stop checkpoints: the live state lands in the index
 		// file through the shadow commit and the log rotates empty, so the
 		// next open replays nothing.
@@ -237,7 +317,7 @@ func main() {
 		if err := dix.Close(); err != nil {
 			log.Printf("segdbd: close: %v", err)
 		}
-	} else {
+	default:
 		if err := st.Sync(); err != nil {
 			log.Printf("segdbd: sync: %v", err)
 		}
@@ -251,6 +331,10 @@ func main() {
 	if dix != nil {
 		fmt.Printf("segdbd: served %d inserts, %d deletes; checkpointed %d segments\n",
 			snap.Endpoints["insert"].Requests, snap.Endpoints["delete"].Requests, sx.Len())
+	}
+	if snap.Repl != nil {
+		fmt.Printf("segdbd: follower applied %d records in %d batches, %d re-snapshots\n",
+			snap.Repl.RecordsApplied, snap.Repl.BatchesApplied, snap.Repl.Resnapshots)
 	}
 }
 

@@ -15,6 +15,12 @@
 // — horizontal, each on its own y — so the NCT insert contract holds by
 // construction and deletes always target segments the worker inserted.
 //
+// -replica <url> (repeatable) adds read replicas: queries round-robin
+// across -addr and every replica while writes stay on -addr, and the
+// report adds a per-target row — client latency plus the replica's own
+// /statsz replication lag — so a stale or slow replica is visible next
+// to the leader it trails.
+//
 // -csv derives the query coordinate range from a workload CSV (the one
 // the index was built from); otherwise -span bounds x and y. The report
 // combines client-side latency (merged per-worker histograms) with the
@@ -42,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"segdb/internal/repl"
 	"segdb/internal/server"
 )
 
@@ -69,7 +76,14 @@ func main() {
 	withHits := flag.Bool("hits", false, "transfer full hit payloads instead of counts")
 	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are writes, split insert/delete (requires segdbd -wal)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	var replicas []string
+	flag.Func("replica", "read-replica base URL (repeatable); reads round-robin across -addr and replicas, writes stay on -addr", func(s string) error {
+		replicas = append(replicas, strings.TrimSuffix(s, "/"))
+		return nil
+	})
 	flag.Parse()
+
+	targets := append([]string{strings.TrimSuffix(*addr, "/")}, replicas...)
 
 	xLo, xHi, yLo, yHi := 0.0, *span, 0.0, *span
 	if *csvPath != "" {
@@ -91,22 +105,26 @@ func main() {
 
 	var (
 		cnt   counters
-		hists = make([]*server.Histogram, *c)
+		tcnt  = make([]targetCounters, len(targets))
+		hists = make([][]*server.Histogram, *c)
 		wg    sync.WaitGroup
 	)
 	deadline := time.Now().Add(*duration)
 	for w := 0; w < *c; w++ {
-		hists[w] = &server.Histogram{}
+		hists[w] = make([]*server.Histogram, len(targets))
+		for t := range hists[w] {
+			hists[w][t] = &server.Histogram{}
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(client, *addr, rand.New(rand.NewSource(*seed+int64(w))), workerConfig{
-				deadline: deadline,
-				xLo:      xLo, xHi: xHi, yLo: yLo, yHi: yHi, height: h,
+			runWorker(client, rand.New(rand.NewSource(*seed+int64(w))), workerConfig{
+				deadline: deadline, targets: targets,
+				xLo: xLo, xHi: xHi, yLo: yLo, yHi: yHi, height: h,
 				lineFrac: *lineFrac, rayFrac: *rayFrac,
 				batch: *batch, omitHits: !*withHits,
 				writeFrac: *writeFrac, worker: w,
-			}, &cnt, hists[w])
+			}, &cnt, tcnt, hists[w])
 		}(w)
 	}
 	wg.Wait()
@@ -114,12 +132,17 @@ func main() {
 
 	lat := &server.Histogram{}
 	for _, hw := range hists {
-		lat.Merge(hw)
+		for _, ht := range hw {
+			lat.Merge(ht)
+		}
 	}
 	snap, snapErr := fetchStatsz(client, *addr)
 	prom, promErr := fetchMetricsz(client, *addr)
 
 	report := buildReport(&cnt, lat.Snapshot(), wall, *c, *batch, snap, snapErr, prom, promErr)
+	if len(targets) > 1 {
+		report.Replicas = replicaReports(client, targets, tcnt, hists)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -132,7 +155,10 @@ func main() {
 }
 
 type workerConfig struct {
-	deadline           time.Time
+	deadline time.Time
+	// targets are the read endpoints, round-robined per worker; targets[0]
+	// is the primary and takes every write.
+	targets            []string
 	xLo, xHi, yLo, yHi float64
 	height             float64
 	lineFrac, rayFrac  float64
@@ -140,6 +166,13 @@ type workerConfig struct {
 	omitHits           bool
 	writeFrac          float64
 	worker             int
+}
+
+// targetCounters is one read target's share of the run, summed across
+// workers.
+type targetCounters struct {
+	requests atomic.Int64
+	ok       atomic.Int64
 }
 
 func randQuery(rng *rand.Rand, cfg workerConfig) server.QuerySpec {
@@ -178,7 +211,7 @@ func (u *updaterState) newSegment(cfg workerConfig) server.WireSegment {
 	u.next++
 	// Worker lanes above the data: yHi + height clears the box, each
 	// worker gets a wide band, each insert its own y within it.
-	y := cfg.yHi + (cfg.yHi-cfg.yLo) + 1 + float64(cfg.worker)*1e6 + float64(u.next)*1e-3
+	y := cfg.yHi + (cfg.yHi - cfg.yLo) + 1 + float64(cfg.worker)*1e6 + float64(u.next)*1e-3
 	w := (cfg.xHi-cfg.xLo)/10 + 1
 	return server.WireSegment{
 		// IDs partition by worker, far above any generator-assigned ID.
@@ -237,14 +270,22 @@ func runUpdate(client *http.Client, addr string, rng *rand.Rand, cfg workerConfi
 	}
 }
 
-func runWorker(client *http.Client, addr string, rng *rand.Rand, cfg workerConfig, cnt *counters, hist *server.Histogram) {
-	url := addr + "/v1/query"
+// runWorker is one closed-loop client: queries round-robin across
+// cfg.targets (offset by worker so small runs still touch every
+// target), writes always go to the primary. hists is this worker's
+// per-target latency histogram set.
+func runWorker(client *http.Client, rng *rand.Rand, cfg workerConfig, cnt *counters, tcnt []targetCounters, hists []*server.Histogram) {
 	var upd updaterState
+	next := cfg.worker
 	for time.Now().Before(cfg.deadline) {
 		if cfg.writeFrac > 0 && rng.Float64() < cfg.writeFrac {
-			runUpdate(client, addr, rng, cfg, &upd, cnt, hist)
+			runUpdate(client, cfg.targets[0], rng, cfg, &upd, cnt, hists[0])
 			continue
 		}
+		t := next % len(cfg.targets)
+		next++
+		url := cfg.targets[t] + "/v1/query"
+		hist := hists[t]
 		var req server.QueryRequest
 		req.OmitHits = cfg.omitHits
 		if cfg.batch > 0 {
@@ -260,6 +301,7 @@ func runWorker(client *http.Client, addr string, rng *rand.Rand, cfg workerConfi
 			fatal(err)
 		}
 		cnt.requests.Add(1)
+		tcnt[t].requests.Add(1)
 		start := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -273,6 +315,7 @@ func runWorker(client *http.Client, addr string, rng *rand.Rand, cfg workerConfi
 		switch {
 		case resp.StatusCode == http.StatusOK && decErr == nil:
 			cnt.ok.Add(1)
+			tcnt[t].ok.Add(1)
 			hist.Observe(elapsed)
 			n := int64(qr.Count)
 			for _, r := range qr.Results {
@@ -422,6 +465,19 @@ type ServerIO struct {
 	HitRatio      float64 `json:"hit_ratio"`
 }
 
+// ReplicaReport is one read target's share of a replica-split run:
+// client-side query counts and latency against that target, plus — for
+// followers — the target's own replication position from its /statsz.
+type ReplicaReport struct {
+	Addr     string                   `json:"addr"`
+	Primary  bool                     `json:"primary,omitempty"`
+	Requests int64                    `json:"requests"`
+	OK       int64                    `json:"ok"`
+	Latency  server.HistogramSnapshot `json:"latency"`
+	Repl     *repl.Status             `json:"repl,omitempty"`
+	StatsErr string                   `json:"stats_error,omitempty"`
+}
+
 // Report is the run summary; -json emits it verbatim.
 type Report struct {
 	Clients     int                      `json:"clients"`
@@ -439,6 +495,34 @@ type Report struct {
 	ServerStats *server.Snapshot         `json:"server,omitempty"`
 	ServerIO    []ServerIO               `json:"server_io,omitempty"`
 	HitRatio    float64                  `json:"store_hit_ratio"`
+	Replicas    []ReplicaReport          `json:"read_targets,omitempty"`
+}
+
+// replicaReports assembles the per-target rows: merged client latency
+// against each target and, from each target's /statsz, its replication
+// status (absent on the primary, which leads rather than follows).
+func replicaReports(client *http.Client, targets []string, tcnt []targetCounters, hists [][]*server.Histogram) []ReplicaReport {
+	out := make([]ReplicaReport, len(targets))
+	for t, addr := range targets {
+		merged := &server.Histogram{}
+		for w := range hists {
+			merged.Merge(hists[w][t])
+		}
+		rr := ReplicaReport{
+			Addr:     addr,
+			Primary:  t == 0,
+			Requests: tcnt[t].requests.Load(),
+			OK:       tcnt[t].ok.Load(),
+			Latency:  merged.Snapshot(),
+		}
+		if snap, err := fetchStatsz(client, addr); err != nil {
+			rr.StatsErr = err.Error()
+		} else {
+			rr.Repl = snap.Repl
+		}
+		out[t] = rr
+	}
+	return out
 }
 
 func buildReport(cnt *counters, lat server.HistogramSnapshot, wall time.Duration, clients, batch int, snap server.Snapshot, snapErr error, prom promMetrics, promErr error) Report {
@@ -528,6 +612,22 @@ func printReport(r Report, snapErr, promErr error) {
 			fmt.Printf("  server batch latency ms: p50 %.3f  p99 %.3f (%d served)\n",
 				b.Latency.P50MS, b.Latency.P99MS, b.Latency.Count)
 		}
+	}
+	for _, t := range r.Replicas {
+		role := "replica"
+		if t.Primary {
+			role = "primary"
+		}
+		fmt.Printf("  %s %s: %d ok/%d, p50 %.3fms p99 %.3fms",
+			role, t.Addr, t.OK, t.Requests, t.Latency.P50MS, t.Latency.P99MS)
+		switch {
+		case t.StatsErr != "":
+			fmt.Printf(", statsz unavailable: %s", t.StatsErr)
+		case t.Repl != nil:
+			fmt.Printf(", lag %d bytes (%.1fs, caught_up=%v, applied lsn %d)",
+				t.Repl.LagBytes, t.Repl.LagSeconds, t.Repl.CaughtUp, t.Repl.AppliedLSN)
+		}
+		fmt.Println()
 	}
 	if promErr != nil {
 		fmt.Printf("  metricsz unavailable: %v\n", promErr)

@@ -1,14 +1,26 @@
 package segdb
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"segdb/internal/core"
+	"segdb/internal/pager"
 	"segdb/internal/wal"
 )
+
+// ErrReplica reports a direct write to a follower-mode DurableIndex:
+// replicas change state only through ApplyReplicated, driven by the
+// shipped leader log (internal/repl).
+var ErrReplica = errors.New("segdb: read-only replica")
 
 // DurableIndex is the online read-write form of a persisted index: a
 // Solution-1 index served from memory, with every acknowledged
@@ -45,9 +57,23 @@ import (
 // Theorem 1 structure is fully dynamic, while Solution 2 has no Delete
 // and would break the upsert replay.
 type DurableIndex struct {
-	path string
-	opt  Options // live/checkpoint build configuration
-	wrap deviceWrapper
+	path      string
+	epochPath string // "" = rotation epoch not persisted (injected-WAL tests)
+	replica   bool
+	opt       Options // live/checkpoint build configuration
+	wrap      deviceWrapper
+
+	// epoch counts log rotations, persisted in a sidecar next to the WAL
+	// so it survives restarts. Log shipping pairs every WAL position with
+	// the epoch it belongs to: after a rotation, old positions name bytes
+	// that no longer exist, and the epoch mismatch — not the offset — is
+	// what tells a follower to re-snapshot instead of silently reading a
+	// different log at the same offsets.
+	epoch atomic.Uint64
+
+	// replPos is the replication position recovered from the log's mark
+	// records at open; only follower logs contain marks.
+	replPos replPosition
 
 	// upMu serializes apply+append so the log's record order is the
 	// apply order — without it, two concurrent updates to the same
@@ -59,6 +85,14 @@ type DurableIndex struct {
 	live *SyncIndex
 	mem  *Store
 	log  *wal.Log
+}
+
+// replPosition is a leader position (epoch, LSN) recovered from mark
+// records; ok is false when the log holds none.
+type replPosition struct {
+	epoch uint64
+	lsn   int64
+	ok    bool
 }
 
 // DurableOptions configures OpenDurableIndex.
@@ -73,17 +107,38 @@ type DurableOptions struct {
 	// fsync so concurrent writers can join the batch; 0 syncs
 	// immediately (concurrent commits still coalesce).
 	GroupCommitWindow time.Duration
+	// Replica opens the index in follower mode: Insert and Delete refuse
+	// with ErrReplica, and state changes only through ApplyReplicated —
+	// the shipped leader log stays the single source of mutations.
+	Replica bool
+	// WALFile substitutes the log's backing file — the fault-injection
+	// hook crash tests use. When set, walPath is not opened and the
+	// rotation epoch is not persisted across reopens.
+	WALFile wal.File
+	// CheckpointDevice interposes on the checkpoint file's page device
+	// during Compact — the fault-injection hook checkpoint crash tests
+	// use; nil means none.
+	CheckpointDevice func(pager.Device) pager.Device
+
+	// epochPath is where the rotation epoch persists; OpenDurableIndex
+	// derives it from walPath.
+	epochPath string
 }
 
 // OpenDurableIndex opens (creating if absent) the Solution-1 index file
 // at path and its write-ahead log at walPath, replays the log tail, and
-// returns the index ready to serve reads and durable writes.
+// returns the index ready to serve reads and durable writes. The log's
+// rotation epoch persists in a sidecar at walPath + ".epoch".
 func OpenDurableIndex(path, walPath string, dopt DurableOptions) (*DurableIndex, error) {
+	if dopt.WALFile != nil {
+		return openDurableIndex(path, dopt, dopt.WALFile, deviceWrapper(dopt.CheckpointDevice))
+	}
 	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("segdb: open wal: %w", err)
 	}
-	d, err := openDurableIndex(path, dopt, f, nil)
+	dopt.epochPath = walPath + ".epoch"
+	d, err := openDurableIndex(path, dopt, f, deviceWrapper(dopt.CheckpointDevice))
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -97,9 +152,12 @@ func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap d
 	if dopt.CachePages == 0 {
 		dopt.CachePages = 256
 	}
-	if _, err := os.Stat(path); os.IsNotExist(err) {
-		// First boot: commit an empty checkpoint so every later open —
-		// including recovery — goes through the same path.
+	if fi, err := os.Stat(path); os.IsNotExist(err) || (err == nil && fi.Size() == 0) {
+		// First boot — or a zero-length file, which is what O_CREATE
+		// leaves when a bootstrap or rotation is interrupted before the
+		// first byte. No committed page exists either way, so commit an
+		// empty checkpoint and every later open — including recovery —
+		// goes through the same path.
 		if err := buildIndexFile(path, dopt.Build, 1, nil, wrap); err != nil {
 			return nil, err
 		}
@@ -132,7 +190,15 @@ func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap d
 		return nil, fmt.Errorf("segdb: durable index %s: rebuild live: %w", path, err)
 	}
 
+	var pos replPosition
 	log, err := wal.Open(walFile, dopt.GroupCommitWindow, func(r wal.Record) error {
+		if r.Op == wal.OpMark {
+			// A follower's position marker: the records after it continue
+			// the leader log from this (epoch, LSN). Not an index update.
+			e, lsn := r.Mark()
+			pos = replPosition{epoch: e, lsn: lsn, ok: true}
+			return nil
+		}
 		// Upsert replay: the checkpoint may already hold this record
 		// (crash between checkpoint rename and log rotation), so insert
 		// is delete-then-insert and a delete of an absent segment is a
@@ -141,7 +207,12 @@ func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap d
 			return err
 		}
 		if r.Op == wal.OpInsert {
-			return liveIx.Insert(r.Seg)
+			if err := liveIx.Insert(r.Seg); err != nil {
+				return err
+			}
+		}
+		if pos.ok {
+			pos.lsn += wal.RecordSize
 		}
 		return nil
 	})
@@ -150,14 +221,77 @@ func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap d
 		return nil, fmt.Errorf("segdb: durable index %s: %w", path, err)
 	}
 
-	return &DurableIndex{
-		path: path,
-		opt:  opt,
-		wrap: wrap,
-		live: SynchronizedOn(liveIx, mem),
-		mem:  mem,
-		log:  log,
-	}, nil
+	d := &DurableIndex{
+		path:      path,
+		epochPath: dopt.epochPath,
+		replica:   dopt.Replica,
+		opt:       opt,
+		wrap:      wrap,
+		replPos:   pos,
+		live:      SynchronizedOn(liveIx, mem),
+		mem:       mem,
+		log:       log,
+	}
+	if d.epochPath != "" {
+		epoch, err := loadEpoch(d.epochPath)
+		if err != nil {
+			log.Close()
+			mem.Close()
+			return nil, fmt.Errorf("segdb: durable index %s: %w", path, err)
+		}
+		d.epoch.Store(epoch)
+	}
+	return d, nil
+}
+
+// loadEpoch reads the persisted rotation epoch; a missing sidecar is
+// epoch 0 (the file appears with the first rotation).
+func loadEpoch(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("read epoch: %w", err)
+	}
+	e, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("epoch sidecar %s corrupt: %q", path, b)
+	}
+	return e, nil
+}
+
+// storeEpoch durably replaces the epoch sidecar: tmp write, fsync,
+// rename, directory fsync — same commit shape as the checkpoint itself,
+// so a crash leaves the old epoch or the new one, never garbage.
+func storeEpoch(path string, e uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	if _, err := f.WriteString(strconv.FormatUint(e, 10) + "\n"); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store epoch: %w", err)
+	}
+	return nil
 }
 
 // Index returns the live index for reads: queries, batches and Len run
@@ -175,6 +309,9 @@ func (d *DurableIndex) Store() *Store { return d.mem }
 // applied (validation) or never acknowledged. The caller owns the NCT
 // contract, as with every Insert in this package.
 func (d *DurableIndex) Insert(seg Segment) (UpdateStats, error) {
+	if d.replica {
+		return UpdateStats{}, ErrReplica
+	}
 	st, lsn, err := d.applyInsert(seg)
 	if err != nil {
 		return st, err
@@ -182,11 +319,21 @@ func (d *DurableIndex) Insert(seg Segment) (UpdateStats, error) {
 	return st, d.log.Sync(lsn)
 }
 
-// applyInsert is Insert's apply+append step, atomic under upMu.
+// applyInsert is Insert's apply+append step, atomic under upMu. The
+// apply is an upsert — delete-then-insert, exactly what replay and
+// ApplyReplicated do with the record — so re-inserting an identical
+// segment keeps one copy everywhere. A plain insert would let the live
+// index hold exact duplicates that replay (and every replica) collapses,
+// and the first logged delete of such a segment would then diverge the
+// live state from anything the WAL can reconstruct.
 func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
 	d.upMu.Lock()
 	defer d.upMu.Unlock()
 	if err := d.log.Wedged(); err != nil {
+		return UpdateStats{}, 0, err
+	}
+	had, err := d.live.Delete(seg)
+	if err != nil {
 		return UpdateStats{}, 0, err
 	}
 	st, err := d.live.InsertStats(seg)
@@ -200,9 +347,13 @@ func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
 		// with the rollback. If the rollback itself fails the live index
 		// has permanently diverged from what recovery would rebuild —
 		// poison it so reads refuse too, instead of serving a state the
-		// WAL cannot reconstruct.
-		if _, rerr := d.live.Delete(seg); rerr != nil {
-			d.live.poison(fmt.Errorf("segdb: insert %d: rollback after append failure (%v) failed: %w", seg.ID, err, rerr))
+		// WAL cannot reconstruct. An upserted-over duplicate needs no
+		// reinstating: the delete+insert left the same single copy the
+		// log already reconstructs.
+		if !had {
+			if _, rerr := d.live.Delete(seg); rerr != nil {
+				d.live.poison(fmt.Errorf("segdb: insert %d: rollback after append failure (%v) failed: %w", seg.ID, err, rerr))
+			}
 		}
 		return st, 0, err
 	}
@@ -212,6 +363,9 @@ func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
 // Delete durably removes a segment. A segment that was not present is
 // (false, nil) and writes no record.
 func (d *DurableIndex) Delete(seg Segment) (bool, UpdateStats, error) {
+	if d.replica {
+		return false, UpdateStats{}, ErrReplica
+	}
 	found, st, lsn, err := d.applyDelete(seg)
 	if err != nil || !found {
 		return found, st, err
@@ -263,6 +417,21 @@ func (d *DurableIndex) Compact() error {
 	if err := buildIndexFile(d.path, d.opt, 1, segs, d.wrap); err != nil {
 		return fmt.Errorf("segdb: checkpoint %s: %w", d.path, err)
 	}
+	// The epoch bump commits strictly between the checkpoint and the
+	// rotation, and the in-memory mirror advances before the truncate.
+	// Both orderings matter for log shipping: a crash in either window
+	// leaves a checkpoint that the full surviving log upserts back to
+	// itself, so any (epoch, position) a follower holds stays a true
+	// prefix; and a reader that double-checks the epoch around a WAL read
+	// can never miss a rotation, because the bump is visible before any
+	// old byte is overwritten.
+	next := d.epoch.Load() + 1
+	if d.epochPath != "" {
+		if err := storeEpoch(d.epochPath, next); err != nil {
+			return fmt.Errorf("segdb: checkpoint %s: %w", d.path, err)
+		}
+	}
+	d.epoch.Store(next)
 	return d.log.Reset()
 }
 
@@ -270,6 +439,146 @@ func (d *DurableIndex) Compact() error {
 // durable watermark — the serving layer's observability hook.
 func (d *DurableIndex) WALStats() (records, size, durable int64) {
 	return d.log.Records(), d.log.Size(), d.log.Durable()
+}
+
+// WALWedged reports the log's latched write/sync failure, or nil while
+// writes are healthy — the /statsz wedged gauge.
+func (d *DurableIndex) WALWedged() error { return d.log.Wedged() }
+
+// ReplState reports the current rotation epoch and the log's durability
+// watermark — together, the leader position a fully caught-up follower
+// would hold.
+func (d *DurableIndex) ReplState() (epoch uint64, durable int64) {
+	return d.epoch.Load(), d.log.Durable()
+}
+
+// WALChanged returns a channel closed the next time the log's durability
+// watermark moves; see wal.Log.DurableChanged for the lost-wakeup-safe
+// wait pattern. Log shipping long-polls on it.
+func (d *DurableIndex) WALChanged() <-chan struct{} { return d.log.DurableChanged() }
+
+// ReadWAL copies committed log bytes at byte offset from — which must
+// belong to rotation epoch — into buf, returning how many bytes it
+// copied (whole records; zero means the reader is caught up). A stale
+// epoch, or a rotation overlapping the read, reports wal.ErrLogRotated:
+// the reader's position names bytes that no longer exist and it must
+// re-snapshot. The epoch is checked on both sides of the read; Compact
+// publishes the new epoch before it truncates, so a rotation can never
+// slip new-epoch bytes into an old-epoch read unnoticed.
+func (d *DurableIndex) ReadWAL(epoch uint64, from int64, buf []byte) (int, error) {
+	if cur := d.epoch.Load(); cur != epoch {
+		return 0, fmt.Errorf("segdb: wal epoch %d superseded by %d: %w", epoch, cur, wal.ErrLogRotated)
+	}
+	n, err := d.log.ReadDurable(from, buf)
+	if err != nil {
+		return 0, err
+	}
+	if cur := d.epoch.Load(); cur != epoch {
+		return 0, fmt.Errorf("segdb: wal epoch %d superseded by %d during read: %w", epoch, cur, wal.ErrLogRotated)
+	}
+	return n, nil
+}
+
+// SnapshotInfo pairs a checkpoint's content with the log position that
+// completes it: tailing the leader's WAL of Epoch from LSN and applying
+// every record as an upsert reconstructs the live state exactly.
+type SnapshotInfo struct {
+	Epoch uint64
+	LSN   int64 // where tailing starts: the epoch's first record
+	Size  int64 // checkpoint file bytes
+}
+
+// Snapshot opens the current checkpoint file for a follower bootstrap.
+// The (file, epoch) pairing is taken under the update lock, so the
+// checkpoint plus the epoch's full log is exactly the live state; the
+// returned fd keeps serving the opened inode even if a concurrent
+// Compact renames a fresh checkpoint over the path, so streaming the
+// body needs no lock. A follower whose snapshot's epoch is superseded by
+// the time it tails simply gets ErrLogRotated and snapshots again.
+func (d *DurableIndex) Snapshot() (io.ReadCloser, SnapshotInfo, error) {
+	d.upMu.Lock()
+	defer d.upMu.Unlock()
+	f, err := os.Open(d.path)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("segdb: snapshot %s: %w", d.path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, SnapshotInfo{}, fmt.Errorf("segdb: snapshot %s: %w", d.path, err)
+	}
+	return f, SnapshotInfo{
+		Epoch: d.epoch.Load(),
+		LSN:   wal.HeaderSize,
+		Size:  fi.Size(),
+	}, nil
+}
+
+// ApplyReplicated applies shipped leader records on a follower: each
+// record upserts into the live index — the same delete-then-insert
+// recovery replay uses, so a redelivered prefix converges instead of
+// corrupting — and is appended to the local log; one Sync covers the
+// whole batch. On an apply or append error the live state may have
+// diverged from the local log mid-batch; the follower recovers by
+// reopening, which rebuilds from what the local log durably holds.
+func (d *DurableIndex) ApplyReplicated(recs []wal.Record) error {
+	d.upMu.Lock()
+	var lsn int64
+	err := d.log.Wedged()
+	if err == nil {
+		for _, r := range recs {
+			if r.Op == wal.OpMark {
+				err = fmt.Errorf("segdb: apply replicated: leader stream carries a mark record")
+				break
+			}
+			if _, derr := d.live.Delete(r.Seg); derr != nil {
+				err = derr
+				break
+			}
+			if r.Op == wal.OpInsert {
+				if ierr := d.live.Insert(r.Seg); ierr != nil {
+					err = ierr
+					break
+				}
+			}
+			if lsn, err = d.log.Append(r); err != nil {
+				break
+			}
+		}
+	}
+	d.upMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lsn == 0 {
+		return nil // empty batch
+	}
+	return d.log.Sync(lsn)
+}
+
+// AppendMark durably appends a replication position marker declaring
+// that the local log continues the leader's log from (epoch, lsn). A
+// follower writes one as the first record after every local rotation —
+// bootstrap or compaction — so a restart can recover its position from
+// the log alone; a log with no mark has no trustworthy position and the
+// follower bootstraps afresh.
+func (d *DurableIndex) AppendMark(epoch uint64, lsn int64) error {
+	d.upMu.Lock()
+	at, err := d.log.Append(wal.MarkRecord(epoch, lsn))
+	d.upMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.log.Sync(at)
+}
+
+// ReplPosition reports the leader position the local state corresponds
+// to, recovered at open from the log's last mark record plus the records
+// replayed after it. ok is false when the log holds no mark — the state
+// cannot be positioned against any leader log and a follower must
+// bootstrap from a snapshot.
+func (d *DurableIndex) ReplPosition() (epoch uint64, lsn int64, ok bool) {
+	return d.replPos.epoch, d.replPos.lsn, d.replPos.ok
 }
 
 // Close syncs and closes the log and releases the live store. It does

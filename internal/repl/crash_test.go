@@ -1,0 +1,263 @@
+package repl_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"segdb"
+	"segdb/internal/faultdev"
+	"segdb/internal/pager"
+	"segdb/internal/repl"
+	"segdb/internal/wal"
+)
+
+// crashLeader stands up a leader whose snapshot is non-trivial (first
+// third of the ops checkpointed at epoch 1) and whose live log carries
+// the remaining tail — so a bootstrapping follower exercises both the
+// snapshot and the shipped-record path.
+func crashLeader(t *testing.T, ops []replOp, third int) (*segdb.DurableIndex, *httptest.Server) {
+	t.Helper()
+	d, hs := newLeader(t)
+	for _, op := range ops[:third] {
+		applyOp(t, d, op)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[third:] {
+		applyOp(t, d, op)
+	}
+	return d, hs
+}
+
+// walHook is the follower's local-log fault stage machine. Before the
+// reboot it hands bootstrap a fault-armed log (crash at op k); after the
+// reboot it reopens the crashed log's durable image — exactly what a
+// kill -9 leaves on disk — and hands any re-bootstrap a clean log.
+type walHook struct {
+	k        int64 // op to crash the bootstrap log at; <0 counts only
+	armed    *wal.FaultFile
+	img      []byte
+	rebooted bool
+}
+
+func (h *walHook) file(reset bool) (wal.File, error) {
+	if h.rebooted {
+		if reset {
+			return wal.NewFaultFile(2), nil // markless reboot: fresh log for re-bootstrap
+		}
+		return wal.NewFaultFileFrom(3, h.img), nil
+	}
+	if reset && h.armed == nil {
+		f := wal.NewFaultFile(h.k)
+		if h.k >= 0 {
+			f.CrashAt(h.k)
+		}
+		h.armed = f
+		return f, nil
+	}
+	// The pre-bootstrap probe (and any later reset) gets a clean log.
+	return wal.NewFaultFile(1), nil
+}
+
+// reboot captures the durable image — everything the crashed process
+// had fsynced — and flips the hook into its post-kill stage.
+func (h *walHook) reboot() {
+	h.img = h.armed.DurableImage()
+	h.rebooted = true
+}
+
+// verifyRecovered checks the two recovery invariants after a follower
+// reboot: the recovered live set is exactly the oracle prefix its
+// position mark arithmetic implies (never a torn batch), and further
+// steps converge on the leader's full state.
+func verifyRecovered(t *testing.T, tag string, f *repl.Follower, d *segdb.DurableIndex, ops []replOp, third int) {
+	t.Helper()
+	st := f.Status()
+	n := third + int((st.AppliedLSN-wal.HeaderSize)/wal.RecordSize)
+	if n < third || n > len(ops) {
+		t.Fatalf("%s: recovered position implies %d ops of %d", tag, n, len(ops))
+	}
+	checkSet(t, f.Index(), oracle(ops, n), tag+": recovered prefix")
+	epoch, durable := d.ReplState()
+	if err := stepUntil(context.Background(), f, epoch, durable); err != nil {
+		t.Fatalf("%s: converge after reboot: %v", tag, err)
+	}
+	checkSet(t, f.Index(), oracle(ops, len(ops)), tag+": converged")
+}
+
+// TestReplFollowerCrashMatrixWAL kills the follower's local WAL at every
+// one of its file operations — through bootstrap's position mark, the
+// applied tail batches, and the local checkpoints CompactRecords forces
+// — then reboots from the durable image. Recovery must always land on a
+// position-consistent prefix and converge; a crash that loses the mark
+// must force a clean re-bootstrap, never a wrong pairing.
+func TestReplFollowerCrashMatrixWAL(t *testing.T) {
+	ops := replOps(801, 6, 6)
+	third := len(ops) / 3
+	d, hs := crashLeader(t, ops, third)
+	epoch, durable := d.ReplState()
+	ctx := context.Background()
+
+	mkCfg := func(dir string, h *walHook) repl.Config {
+		return repl.Config{
+			Leader:         hs.URL,
+			DB:             filepath.Join(dir, "replica.db"),
+			WAL:            filepath.Join(dir, "replica.wal"),
+			ID:             "f-crash",
+			Durable:        segdb.DurableOptions{Build: segdb.Options{B: 16}},
+			PollWait:       time.Millisecond,
+			CompactRecords: 10,
+			WALFile:        h.file,
+		}
+	}
+
+	// Fault-free counting run bounds the matrix.
+	h := &walHook{k: -1}
+	f, err := repl.Open(ctx, mkCfg(t.TempDir(), h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stepUntil(ctx, f, epoch, durable); err != nil {
+		t.Fatal(err)
+	}
+	checkSet(t, f.Index(), oracle(ops, len(ops)), "fault-free run")
+	total := h.armed.Ops()
+	f.Close()
+	if total < 20 {
+		t.Fatalf("suspiciously few local WAL ops (%d)", total)
+	}
+
+	for k := int64(0); k < total; k++ {
+		h := &walHook{k: k}
+		cfg := mkCfg(t.TempDir(), h)
+		f, err := repl.Open(ctx, cfg)
+		if err == nil {
+			err = stepUntil(ctx, f, epoch, durable)
+			if err == nil {
+				// Crash op landed after convergence (tail-of-run Close ops in
+				// the count): the run is simply complete.
+				checkSet(t, f.Index(), oracle(ops, len(ops)), "uncrashed run")
+				f.Close()
+				continue
+			}
+			// Crashed mid-run: abandon f without Close — that is what kill -9
+			// does to the process.
+		}
+		if h.armed == nil {
+			t.Fatalf("crash at op %d: bootstrap never opened its log (%v)", k, err)
+		}
+		h.reboot()
+		f2, err := repl.Open(ctx, cfg)
+		if err != nil {
+			t.Fatalf("crash at op %d: reboot open: %v", k, err)
+		}
+		verifyRecovered(t, "crash at op "+strconv.FormatInt(k, 10), f2, d, ops, third)
+		f2.Close()
+	}
+}
+
+// TestReplFollowerCrashMatrixCheckpoint kills the follower's local
+// checkpoint rebuild (the compact CompactRecords triggers while
+// tailing) at every device operation, reboots from the WAL's durable
+// image, and requires the same prefix-then-converge invariants: the old
+// checkpoint plus the unrotated local log must carry the full state
+// through the crash.
+func TestReplFollowerCrashMatrixCheckpoint(t *testing.T) {
+	ops := replOps(901, 20, 20)
+	third := len(ops) / 3
+	d, hs := crashLeader(t, ops, third)
+	epoch, durable := d.ReplState()
+	ctx := context.Background()
+
+	// devHook counts device operations cumulatively across checkpoint
+	// build instances (the first-boot empty build, then each compact the
+	// tailing triggers) and arms the crash at global op k. Once a crash
+	// has fired the reboot's builds run clean.
+	type devHook struct {
+		k      int64
+		used   int64 // ops consumed by completed instances
+		cur    *faultdev.Device
+		halted bool
+	}
+	mkCfg := func(dir string, wh *walHook, dh *devHook) repl.Config {
+		dopt := segdb.DurableOptions{Build: segdb.Options{B: 16}}
+		dopt.CheckpointDevice = func(inner pager.Device) pager.Device {
+			if dh.cur != nil {
+				dh.used += dh.cur.Ops()
+				dh.cur = nil
+			}
+			fd := faultdev.New(inner, dh.k)
+			if dh.k >= 0 && !dh.halted {
+				if rem := dh.k - dh.used; rem >= 0 {
+					fd.CrashAt(rem)
+				}
+			}
+			dh.cur = fd
+			return fd
+		}
+		return repl.Config{
+			Leader:         hs.URL,
+			DB:             filepath.Join(dir, "replica.db"),
+			WAL:            filepath.Join(dir, "replica.wal"),
+			ID:             "f-ckpt",
+			Durable:        dopt,
+			PollWait:       time.Millisecond,
+			CompactRecords: 10,
+			WALFile:        wh.file,
+		}
+	}
+
+	// Fault-free counting run: how many device ops the first-boot build
+	// plus the tailing-triggered local checkpoints cost together.
+	wh := &walHook{k: -1}
+	dh := &devHook{k: -1}
+	f, err := repl.Open(ctx, mkCfg(t.TempDir(), wh, dh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stepUntil(ctx, f, epoch, durable); err != nil {
+		t.Fatal(err)
+	}
+	if dh.used == 0 {
+		t.Fatal("tailing never triggered a local checkpoint; lower CompactRecords")
+	}
+	total := dh.used + dh.cur.Ops()
+	f.Close()
+	if total < 6 {
+		t.Fatalf("suspiciously few checkpoint device ops (%d)", total)
+	}
+
+	for k := int64(0); k < total; k++ {
+		wh := &walHook{k: -1}
+		dh := &devHook{k: k}
+		cfg := mkCfg(t.TempDir(), wh, dh)
+		f, err := repl.Open(ctx, cfg)
+		if err == nil {
+			if err = stepUntil(ctx, f, epoch, durable); err == nil {
+				// Open absorbed the crash itself: a failed local open falls
+				// through to a fresh bootstrap, which is valid recovery.
+				checkSet(t, f.Index(), oracle(ops, len(ops)), "self-healed run")
+				f.Close()
+				continue
+			}
+			// Crashed mid-run: abandon f without Close, as kill -9 would.
+		}
+		// Reboot: the reopened builds run clean; the local log comes back
+		// as its durable image (when bootstrap got far enough to open one).
+		dh.halted = true
+		if wh.armed != nil {
+			wh.reboot()
+		}
+		f2, err := repl.Open(ctx, cfg)
+		if err != nil {
+			t.Fatalf("crash at device op %d: reboot open: %v", k, err)
+		}
+		verifyRecovered(t, "checkpoint crash at op "+strconv.FormatInt(k, 10), f2, d, ops, third)
+		f2.Close()
+	}
+}

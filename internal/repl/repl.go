@@ -1,0 +1,284 @@
+// Package repl is segdb's log-shipping replication: a leader ships its
+// checkpoint file and committed WAL records over HTTP, and followers
+// replay them into live read-only indexes.
+//
+// # Protocol
+//
+// The unit of progress is the leader position (epoch, LSN): the epoch
+// counts the leader's log rotations and the LSN is a byte offset into
+// the current epoch's log file (see internal/wal — records are fixed
+// size, so positions advance in wal.RecordSize steps). A follower
+// bootstraps from GET /v1/repl/snapshot, whose body is the leader's
+// checkpoint file and whose headers carry the (epoch, LSN) the snapshot
+// pairs with; it then long-polls GET /v1/repl/wal?epoch=E&from=L, which
+// returns committed record frames (200), "caught up" (204), or "that
+// log no longer exists" (410 Gone) after a rotation — the signal to
+// snapshot again.
+//
+// The leader never ships past its group-commit durability watermark, so
+// a follower can never apply a record the leader might lose to a crash:
+// every follower position is a durable prefix of the leader's log, and a
+// leader restart — which truncates at most the unacknowledged,
+// unshipped tail — never invalidates one.
+//
+// # Consistency
+//
+// Followers are prefix-consistent: a follower's state is always exactly
+// the leader's state as of some committed LSN, never a reordering or a
+// partial batch (applies are serialized under the follower index's
+// update lock). Reads on a follower are therefore bounded-staleness
+// reads — the bound is the replication lag, which the follower exports
+// and deep health checks enforce.
+package repl
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb"
+	"segdb/internal/wal"
+)
+
+// The replication endpoints and the headers that carry positions.
+const (
+	SnapshotPath = "/v1/repl/snapshot"
+	WALPath      = "/v1/repl/wal"
+
+	// HdrEpoch is the rotation epoch a response's positions belong to; on
+	// 410 Gone it is the leader's current epoch.
+	HdrEpoch = "X-Segdb-Repl-Epoch"
+	// HdrLSN is the position the follower continues from: the tail start
+	// on a snapshot, one past the shipped frames on a WAL response.
+	HdrLSN = "X-Segdb-Repl-Lsn"
+	// HdrDurable is the leader's durability watermark at response time.
+	HdrDurable = "X-Segdb-Repl-Durable"
+)
+
+const (
+	// defaultBatchBytes bounds one WAL response body.
+	defaultBatchBytes = 256 << 10
+	// maxPollWait caps how long one WAL request may long-poll.
+	maxPollWait = 30 * time.Second
+	// staleFollowerAfter prunes followers that stopped polling from the
+	// leader's lag table.
+	staleFollowerAfter = 5 * time.Minute
+)
+
+// Leader serves a DurableIndex's checkpoint and committed WAL records to
+// followers, and tracks each follower's reported position for lag
+// gauges. Handlers are safe for concurrent use.
+type Leader struct {
+	d *segdb.DurableIndex
+
+	snapshots   atomic.Int64
+	walRequests atomic.Int64
+	walBytes    atomic.Int64
+
+	mu        sync.Mutex
+	followers map[string]*followerEntry
+}
+
+type followerEntry struct {
+	epoch    uint64
+	lsn      int64
+	lastSeen time.Time
+}
+
+// NewLeader wraps d for serving replication to followers.
+func NewLeader(d *segdb.DurableIndex) *Leader {
+	return &Leader{d: d, followers: make(map[string]*followerEntry)}
+}
+
+// ServeSnapshot streams the current checkpoint file; the headers carry
+// the (epoch, LSN) a follower must tail from to complete it.
+func (l *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rc, info, err := l.d.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer rc.Close()
+	_, durable := l.d.ReplState()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	w.Header().Set(HdrEpoch, strconv.FormatUint(info.Epoch, 10))
+	w.Header().Set(HdrLSN, strconv.FormatInt(info.LSN, 10))
+	w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
+	l.snapshots.Add(1)
+	// The fd pins the snapshot's inode — committed checkpoints are never
+	// written in place — so the copy is consistent even if a compaction
+	// renames a fresh checkpoint over the path mid-stream. On a copy
+	// error the status is already written; the follower sees a short body
+	// against Content-Length and retries.
+	io.Copy(w, rc)
+}
+
+// ServeWAL ships committed record frames from a follower position. Query
+// parameters: epoch and from (the follower's position, required), id (a
+// stable follower name for the lag table), wait_ms (how long to
+// long-poll when caught up), max (response byte cap). Responses: 200
+// with frames and the next position in HdrLSN; 204 when caught up past
+// wait_ms; 410 Gone when the position's epoch was rotated away — the
+// follower must snapshot again.
+func (l *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	epoch, eerr := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	from, ferr := strconv.ParseInt(q.Get("from"), 10, 64)
+	if eerr != nil || ferr != nil {
+		http.Error(w, "epoch and from are required integers", http.StatusBadRequest)
+		return
+	}
+	id := q.Get("id")
+	if id == "" {
+		id = r.RemoteAddr
+	}
+	wait := time.Duration(0)
+	if ms, err := strconv.ParseInt(q.Get("wait_ms"), 10, 64); err == nil && ms > 0 {
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxPollWait {
+			wait = maxPollWait
+		}
+	}
+	batch := defaultBatchBytes
+	if m, err := strconv.Atoi(q.Get("max")); err == nil && m >= wal.RecordSize && m < batch {
+		batch = m
+	}
+	l.walRequests.Add(1)
+	buf := make([]byte, batch/wal.RecordSize*wal.RecordSize)
+	deadline := time.Now().Add(wait)
+	for {
+		// Take the change channel before reading: a commit landing between
+		// the read and the wait closes this channel, so the wait below can
+		// never sleep through it.
+		ch := l.d.WALChanged()
+		n, err := l.d.ReadWAL(epoch, from, buf)
+		curEpoch, durable := l.d.ReplState()
+		l.note(id, epoch, from)
+		switch {
+		case err == nil && n > 0:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(n))
+			w.Header().Set(HdrEpoch, strconv.FormatUint(epoch, 10))
+			w.Header().Set(HdrLSN, strconv.FormatInt(from+int64(n), 10))
+			w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
+			w.Write(buf[:n])
+			l.walBytes.Add(int64(n))
+			return
+		case err != nil:
+			w.Header().Set(HdrEpoch, strconv.FormatUint(curEpoch, 10))
+			status := http.StatusServiceUnavailable
+			if isRotated(err) {
+				status = http.StatusGone
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		// Caught up: long-poll for the watermark to move, then retry.
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			w.Header().Set(HdrEpoch, strconv.FormatUint(epoch, 10))
+			w.Header().Set(HdrLSN, strconv.FormatInt(from, 10))
+			w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+// note records a follower's reported position for the lag table.
+func (l *Leader) note(id string, epoch uint64, lsn int64) {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.followers[id]
+	if e == nil {
+		e = &followerEntry{}
+		l.followers[id] = e
+	}
+	e.epoch, e.lsn, e.lastSeen = epoch, lsn, now
+	for fid, fe := range l.followers {
+		if now.Sub(fe.lastSeen) > staleFollowerAfter {
+			delete(l.followers, fid)
+		}
+	}
+}
+
+// FollowerLag is one follower's position as the leader last saw it.
+type FollowerLag struct {
+	ID    string `json:"id"`
+	Epoch uint64 `json:"epoch"`
+	LSN   int64  `json:"lsn"`
+	// LagBytes is the committed log the follower has not yet fetched; a
+	// follower on a rotated epoch owes the entire current log (it will
+	// re-snapshot).
+	LagBytes         int64   `json:"lag_bytes"`
+	SecondsSinceSeen float64 `json:"seconds_since_seen"`
+}
+
+// LeaderStats is the leader-side replication snapshot for /statsz.
+type LeaderStats struct {
+	Epoch           uint64        `json:"epoch"`
+	DurableLSN      int64         `json:"durable_lsn"`
+	SnapshotsServed int64         `json:"snapshots_served"`
+	WALRequests     int64         `json:"wal_requests"`
+	WALBytesShipped int64         `json:"wal_bytes_shipped"`
+	Followers       []FollowerLag `json:"followers,omitempty"`
+}
+
+// Stats reports the leader's replication counters and per-follower lag.
+func (l *Leader) Stats() LeaderStats {
+	epoch, durable := l.d.ReplState()
+	s := LeaderStats{
+		Epoch:           epoch,
+		DurableLSN:      durable,
+		SnapshotsServed: l.snapshots.Load(),
+		WALRequests:     l.walRequests.Load(),
+		WALBytesShipped: l.walBytes.Load(),
+	}
+	now := time.Now()
+	l.mu.Lock()
+	for id, e := range l.followers {
+		lag := durable - e.lsn
+		if e.epoch != epoch {
+			lag = durable - wal.HeaderSize
+		}
+		if lag < 0 {
+			lag = 0
+		}
+		s.Followers = append(s.Followers, FollowerLag{
+			ID:               id,
+			Epoch:            e.epoch,
+			LSN:              e.lsn,
+			LagBytes:         lag,
+			SecondsSinceSeen: now.Sub(e.lastSeen).Seconds(),
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(s.Followers, func(i, j int) bool { return s.Followers[i].ID < s.Followers[j].ID })
+	return s
+}
+
+func isRotated(err error) bool { return errors.Is(err, wal.ErrLogRotated) }

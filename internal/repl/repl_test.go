@@ -1,0 +1,380 @@
+package repl_test
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"segdb"
+	"segdb/internal/repl"
+	"segdb/internal/workload"
+)
+
+// replOp is one step of the replicated workload: an NCT-safe insert or a
+// delete of an earlier insert (every 4th segment is deleted shortly
+// after it goes in, so the stream exercises both record kinds).
+type replOp struct {
+	del bool
+	seg segdb.Segment
+}
+
+func replOps(seed int64, cols, rows int) []replOp {
+	segs := workload.Grid(rand.New(rand.NewSource(seed)), cols, rows, 0.9, 0.2)
+	var ops []replOp
+	for i, s := range segs {
+		ops = append(ops, replOp{seg: s})
+		if i%4 == 3 {
+			ops = append(ops, replOp{del: true, seg: segs[i-1]})
+		}
+	}
+	return ops
+}
+
+// oracle returns the segment-ID set after the first n ops.
+func oracle(ops []replOp, n int) map[uint64]bool {
+	state := make(map[uint64]bool)
+	for _, op := range ops[:n] {
+		if op.del {
+			delete(state, op.seg.ID)
+		} else {
+			state[op.seg.ID] = true
+		}
+	}
+	return state
+}
+
+func applyOp(t *testing.T, d *segdb.DurableIndex, op replOp) {
+	t.Helper()
+	if op.del {
+		if found, _, err := d.Delete(op.seg); err != nil || !found {
+			t.Fatalf("leader delete %d: found=%v err=%v", op.seg.ID, found, err)
+		}
+	} else if _, err := d.Insert(op.seg); err != nil {
+		t.Fatalf("leader insert %d: %v", op.seg.ID, err)
+	}
+}
+
+// newLeader opens a read-write DurableIndex on real temp files and
+// serves its replication endpoints — the leader half of segdbd -wal.
+func newLeader(t *testing.T) (*segdb.DurableIndex, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := segdb.OpenDurableIndex(filepath.Join(dir, "leader.db"), filepath.Join(dir, "leader.wal"),
+		segdb.DurableOptions{Build: segdb.Options{B: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	l := repl.NewLeader(d)
+	mux := http.NewServeMux()
+	mux.HandleFunc(repl.SnapshotPath, l.ServeSnapshot)
+	mux.HandleFunc(repl.WALPath, l.ServeWAL)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return d, hs
+}
+
+// checkSet asserts the follower's live index holds exactly the oracle
+// ID set.
+func checkSet(t *testing.T, ix *segdb.SyncIndex, want map[uint64]bool, what string) {
+	t.Helper()
+	got, err := ix.Collect()
+	if err != nil {
+		t.Fatalf("%s: collect: %v", what, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d segments, want %d", what, len(got), len(want))
+	}
+	for _, s := range got {
+		if !want[s.ID] {
+			t.Fatalf("%s: unexpected segment %d", what, s.ID)
+		}
+	}
+}
+
+// stepUntil drives Step until the follower has applied through the
+// given leader position. Waiting on an explicit position (not the
+// CaughtUp flag) avoids the stale-flag race: CaughtUp stays true from a
+// previous barrier until the next poll observes the new writes.
+func stepUntil(ctx context.Context, f *repl.Follower, epoch uint64, durable int64) error {
+	for i := 0; i < 500; i++ {
+		st := f.Status()
+		if st.Epoch == epoch && st.AppliedLSN >= durable {
+			return nil
+		}
+		if err := f.Step(ctx); err != nil {
+			return err
+		}
+	}
+	return context.DeadlineExceeded
+}
+
+// atPosition is the convergence condition for Run-driven tests: the
+// follower has applied through the leader position captured after the
+// writers quiesced.
+func atPosition(f *repl.Follower, epoch uint64, durable int64) func() bool {
+	return func() bool {
+		st := f.Status()
+		return st.Epoch == epoch && st.AppliedLSN >= durable
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplBootstrapAndTail: a follower bootstraps from the leader's
+// snapshot, tails committed records to convergence, keeps converging as
+// the leader keeps writing, and resumes from purely local state after a
+// restart — without contacting the leader.
+func TestReplBootstrapAndTail(t *testing.T) {
+	d, hs := newLeader(t)
+	ops := replOps(501, 6, 6)
+	half := len(ops) / 2
+	for _, op := range ops[:half] {
+		applyOp(t, d, op)
+	}
+
+	dir := t.TempDir()
+	cfg := repl.Config{
+		Leader:         hs.URL,
+		DB:             filepath.Join(dir, "replica.db"),
+		WAL:            filepath.Join(dir, "replica.wal"),
+		ID:             "f1",
+		Durable:        segdb.DurableOptions{Build: segdb.Options{B: 16}},
+		PollWait:       time.Millisecond,
+		CompactRecords: -1,
+	}
+	ctx := context.Background()
+	f, err := repl.Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, durable := d.ReplState()
+	if err := stepUntil(ctx, f, epoch, durable); err != nil {
+		t.Fatalf("tail to first barrier: %v", err)
+	}
+	checkSet(t, f.Index(), oracle(ops, half), "after first tail")
+
+	for _, op := range ops[half:] {
+		applyOp(t, d, op)
+	}
+	epoch, durable = d.ReplState()
+	if err := stepUntil(ctx, f, epoch, durable); err != nil {
+		t.Fatalf("tail to second barrier: %v", err)
+	}
+	checkSet(t, f.Index(), oracle(ops, len(ops)), "after second tail")
+
+	st := f.Status()
+	if !st.CaughtUp || st.LagBytes != 0 || st.RecordsApplied == 0 {
+		t.Fatalf("caught-up status: %+v", st)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the leader unreachable: local state carries a position
+	// mark, so the follower resumes and serves stale reads on its own.
+	hs.Close()
+	f2, err := repl.Open(ctx, cfg)
+	if err != nil {
+		t.Fatalf("offline resume: %v", err)
+	}
+	defer f2.Close()
+	checkSet(t, f2.Index(), oracle(ops, len(ops)), "offline resume")
+	if st := f2.Status(); st.AppliedLSN == 0 {
+		t.Fatalf("offline resume lost its position: %+v", st)
+	}
+}
+
+// TestReplRotationResnapshot: a leader checkpoint rotates its log away
+// from under the follower's position; the follower must detect 410,
+// re-snapshot, and converge on the post-rotation state.
+func TestReplRotationResnapshot(t *testing.T) {
+	d, hs := newLeader(t)
+	ops := replOps(601, 6, 6)
+	third := len(ops) / 3
+	for _, op := range ops[:third] {
+		applyOp(t, d, op)
+	}
+
+	dir := t.TempDir()
+	var (
+		mu    sync.Mutex
+		swaps int
+	)
+	f, err := repl.Open(context.Background(), repl.Config{
+		Leader:         hs.URL,
+		DB:             filepath.Join(dir, "replica.db"),
+		WAL:            filepath.Join(dir, "replica.wal"),
+		ID:             "f-rot",
+		Durable:        segdb.DurableOptions{Build: segdb.Options{B: 16}},
+		PollWait:       20 * time.Millisecond,
+		CompactRecords: -1,
+		OnSwap: func(*segdb.SyncIndex, *segdb.Store) {
+			mu.Lock()
+			swaps++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+
+	epoch, durable := d.ReplState()
+	waitFor(t, 10*time.Second, "initial catch-up", atPosition(f, epoch, durable))
+
+	// Rotate: the follower's epoch-0 position now names a log that no
+	// longer exists, and everything after the rotation rides epoch 1.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops[third:] {
+		applyOp(t, d, op)
+	}
+	epoch, durable = d.ReplState()
+	waitFor(t, 10*time.Second, "post-rotation convergence", atPosition(f, epoch, durable))
+	checkSet(t, f.Index(), oracle(ops, len(ops)), "after rotation")
+	st := f.Status()
+	if st.Epoch != 1 {
+		t.Fatalf("follower epoch = %d, want 1 after one rotation", st.Epoch)
+	}
+	mu.Lock()
+	if swaps < 1 {
+		t.Fatalf("OnSwap fired %d times, want >= 1 (re-snapshot must swap the index)", swaps)
+	}
+	mu.Unlock()
+
+	cancel()
+	<-done
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplDifferentialConvergence is the replication differential: a
+// random NCT insert/delete stream applied to the leader by concurrent
+// writers, with the follower tailing live. At each LSN barrier (writers
+// quiesced, follower caught up) the same QueryBatch must answer
+// identically on both nodes — counts and ID sets. A mid-run leader
+// checkpoint forces a rotation through the same comparison. Run under
+// -race: it exercises the leader's group commit against the shipping
+// reader and the follower's applies against its readers.
+func TestReplDifferentialConvergence(t *testing.T) {
+	d, hs := newLeader(t)
+	ops := replOps(701, 8, 8)
+
+	dir := t.TempDir()
+	f, err := repl.Open(context.Background(), repl.Config{
+		Leader:         hs.URL,
+		DB:             filepath.Join(dir, "replica.db"),
+		WAL:            filepath.Join(dir, "replica.wal"),
+		ID:             "f-diff",
+		Durable:        segdb.DurableOptions{Build: segdb.Options{B: 16}},
+		PollWait:       20 * time.Millisecond,
+		CompactRecords: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-done
+		f.Close()
+	}()
+
+	rng := rand.New(rand.NewSource(703))
+	compare := func(barrier int) {
+		t.Helper()
+		epoch, durable := d.ReplState()
+		waitFor(t, 10*time.Second, "follower catch-up at barrier", atPosition(f, epoch, durable))
+		box := workload.BBox(workload.Grid(rand.New(rand.NewSource(701)), 8, 8, 0.9, 0.2))
+		queries := workload.RandomVS(rng, 24, box, 4)
+		lead := segdb.QueryBatchContext(context.Background(), d.Index(), queries, 4)
+		fol := segdb.QueryBatchContext(context.Background(), f.Index(), queries, 4)
+		for i := range queries {
+			if lead[i].Err != nil || fol[i].Err != nil {
+				t.Fatalf("barrier %d query %d: leader err %v, follower err %v",
+					barrier, i, lead[i].Err, fol[i].Err)
+			}
+			if len(lead[i].Hits) != len(fol[i].Hits) {
+				t.Fatalf("barrier %d query %d: leader %d hits, follower %d",
+					barrier, i, len(lead[i].Hits), len(fol[i].Hits))
+			}
+			ids := make(map[uint64]bool, len(lead[i].Hits))
+			for _, s := range lead[i].Hits {
+				ids[s.ID] = true
+			}
+			for _, s := range fol[i].Hits {
+				if !ids[s.ID] {
+					t.Fatalf("barrier %d query %d: follower answered %d, leader did not",
+						barrier, i, s.ID)
+				}
+			}
+		}
+	}
+
+	chunks := 3
+	per := len(ops) / chunks
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*per, (c+1)*per
+		if c == chunks-1 {
+			hi = len(ops)
+		}
+		// Deletes depend on their insert being applied; partition the
+		// chunk's inserts across writers and run the deletes after.
+		var ins []replOp
+		var dels []replOp
+		for _, op := range ops[lo:hi] {
+			if op.del {
+				dels = append(dels, op)
+			} else {
+				ins = append(ins, op)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(ins); i += 4 {
+					applyOp(t, d, ins[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, op := range dels {
+			applyOp(t, d, op)
+		}
+		compare(c)
+		if c == 0 {
+			// Rotation in the middle of the stream: the follower must
+			// re-snapshot and the differential must still hold after.
+			if err := d.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := f.Status(); st.Resnapshots < 1 {
+		t.Fatalf("rotation never forced a re-snapshot: %+v", st)
+	}
+}

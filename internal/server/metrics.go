@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"segdb"
+	"segdb/internal/repl"
 )
 
 // Endpoint identifies a served endpoint for metric attribution.
@@ -52,10 +53,10 @@ func (io *QueryIO) AddUpdate(st segdb.UpdateStats) {
 
 // endpointCounters is one endpoint's lock-free counter block.
 type endpointCounters struct {
-	requests  atomic.Int64 // requests that reached the handler
-	errors    atomic.Int64 // 4xx responses other than sheds
-	failures  atomic.Int64 // 5xx responses
-	shed      atomic.Int64 // 429/503 shed by admission
+	requests     atomic.Int64 // requests that reached the handler
+	errors       atomic.Int64 // 4xx responses other than sheds
+	failures     atomic.Int64 // 5xx responses
+	shed         atomic.Int64 // 429/503 shed by admission
 	answers      atomic.Int64 // segments reported
 	pagesIO      atomic.Int64 // physical pages read, total
 	hitsIO       atomic.Int64 // pool hits, total
@@ -140,16 +141,22 @@ type StoreSnapshot struct {
 
 // WALSnapshot is the write-ahead log's view for a read-write server:
 // how many records the live log holds, its size, and the durable
-// watermark (bytes acknowledged as fsynced).
+// watermark (bytes acknowledged as fsynced). Wedged is the log's
+// fail-stop latch: once a commit write or fsync fails, the log refuses
+// further writes until restart, and this gauge is how operators see it
+// without waiting for the next write to 500.
 type WALSnapshot struct {
-	Records      int64 `json:"records"`
-	SizeBytes    int64 `json:"size_bytes"`
-	DurableBytes int64 `json:"durable_bytes"`
+	Records      int64  `json:"records"`
+	SizeBytes    int64  `json:"size_bytes"`
+	DurableBytes int64  `json:"durable_bytes"`
+	Wedged       bool   `json:"wedged"`
+	WedgedError  string `json:"wedged_error,omitempty"`
 }
 
 // Snapshot is the full /statsz document. segload decodes it to fold
 // server-side stats into its report, so every field round-trips JSON.
-// WriteAdmission and WAL are present only on a read-write server.
+// WriteAdmission and WAL are present only on a read-write server;
+// ReplLeader only on a leader, Repl only on a follower.
 type Snapshot struct {
 	UptimeSeconds  float64                     `json:"uptime_seconds"`
 	Segments       int                         `json:"segments"`
@@ -158,6 +165,8 @@ type Snapshot struct {
 	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
 	Store          StoreSnapshot               `json:"store"`
 	WAL            *WALSnapshot                `json:"wal,omitempty"`
+	ReplLeader     *repl.LeaderStats           `json:"repl_leader,omitempty"`
+	Repl           *repl.Status                `json:"repl,omitempty"`
 	SlowLog        *SlowLogSnapshot            `json:"slow_log,omitempty"`
 }
 

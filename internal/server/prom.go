@@ -115,6 +115,54 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		p.sample("segdb_wal_size_bytes", "", float64(s.WAL.SizeBytes))
 		p.family("segdb_wal_durable_bytes", "Fsync-covered prefix of the write-ahead log.", "gauge")
 		p.sample("segdb_wal_durable_bytes", "", float64(s.WAL.DurableBytes))
+		p.family("segdb_wal_wedged", "1 once the WAL latched a write/fsync failure and refuses writes, else 0.", "gauge")
+		p.sample("segdb_wal_wedged", "", boolGauge(s.WAL.Wedged))
+	}
+
+	// Replication, leader side: shipping counters and per-follower lag.
+	if s.ReplLeader != nil {
+		p.family("segdb_repl_epoch", "Replication epoch: count of WAL rotations at this node.", "gauge")
+		p.sample("segdb_repl_epoch", "", float64(s.ReplLeader.Epoch))
+		p.family("segdb_repl_snapshots_served_total", "Checkpoint snapshots served to bootstrapping followers.", "counter")
+		p.sample("segdb_repl_snapshots_served_total", "", float64(s.ReplLeader.SnapshotsServed))
+		p.family("segdb_repl_wal_requests_total", "WAL shipping requests served.", "counter")
+		p.sample("segdb_repl_wal_requests_total", "", float64(s.ReplLeader.WALRequests))
+		p.family("segdb_repl_wal_bytes_shipped_total", "Committed WAL bytes shipped to followers.", "counter")
+		p.sample("segdb_repl_wal_bytes_shipped_total", "", float64(s.ReplLeader.WALBytesShipped))
+		p.family("segdb_repl_followers", "Followers seen polling within the staleness window.", "gauge")
+		p.sample("segdb_repl_followers", "", float64(len(s.ReplLeader.Followers)))
+		p.family("segdb_repl_follower_lag_bytes", "Committed log each follower has not yet fetched.", "gauge")
+		for _, f := range s.ReplLeader.Followers {
+			p.sample("segdb_repl_follower_lag_bytes", followerLabel(f.ID), float64(f.LagBytes))
+		}
+		p.family("segdb_repl_follower_seconds_since_seen", "Seconds since each follower last polled.", "gauge")
+		for _, f := range s.ReplLeader.Followers {
+			p.sample("segdb_repl_follower_seconds_since_seen", followerLabel(f.ID), f.SecondsSinceSeen)
+		}
+	}
+
+	// Replication, follower side: position and lag against the leader.
+	if s.Repl != nil {
+		if s.ReplLeader == nil { // don't duplicate the family on a node serving both roles
+			p.family("segdb_repl_epoch", "Replication epoch: count of WAL rotations at this node.", "gauge")
+			p.sample("segdb_repl_epoch", "", float64(s.Repl.Epoch))
+		}
+		p.family("segdb_repl_applied_lsn", "Leader log position this follower has applied through.", "gauge")
+		p.sample("segdb_repl_applied_lsn", "", float64(s.Repl.AppliedLSN))
+		p.family("segdb_repl_leader_durable_lsn", "Leader durability watermark as of the last poll.", "gauge")
+		p.sample("segdb_repl_leader_durable_lsn", "", float64(s.Repl.LeaderDurableLSN))
+		p.family("segdb_repl_lag_bytes", "Committed leader log not yet applied locally.", "gauge")
+		p.sample("segdb_repl_lag_bytes", "", float64(s.Repl.LagBytes))
+		p.family("segdb_repl_lag_seconds", "Seconds since this follower was last caught up.", "gauge")
+		p.sample("segdb_repl_lag_seconds", "", s.Repl.LagSeconds)
+		p.family("segdb_repl_caught_up", "1 while applied through the leader's watermark, else 0.", "gauge")
+		p.sample("segdb_repl_caught_up", "", boolGauge(s.Repl.CaughtUp))
+		p.family("segdb_repl_records_applied_total", "Replicated records applied into the live index.", "counter")
+		p.sample("segdb_repl_records_applied_total", "", float64(s.Repl.RecordsApplied))
+		p.family("segdb_repl_resnapshots_total", "Full re-bootstraps forced by leader log rotation.", "counter")
+		p.sample("segdb_repl_resnapshots_total", "", float64(s.Repl.Resnapshots))
+		p.family("segdb_repl_local_wal_records", "Records in the follower's local WAL since its last checkpoint.", "gauge")
+		p.sample("segdb_repl_local_wal_records", "", float64(s.Repl.LocalWALRecords))
 	}
 
 	// Store: totals plus the per-shard read-path breakdown (pool load
@@ -160,6 +208,14 @@ func latencySecondsBounds() []float64 {
 func endpointLabel(name string) string { return `endpoint="` + name + `"` }
 
 func shardLabel(i int) string { return `shard="` + strconv.Itoa(i) + `"` }
+
+// followerLabel escapes a follower ID for use as a label value —
+// follower names come off the wire, so quote/backslash/newline must be
+// escaped per the exposition format.
+func followerLabel(id string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `follower="` + r.Replace(id) + `"`
+}
 
 func boolGauge(b bool) float64 {
 	if b {

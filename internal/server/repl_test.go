@@ -1,0 +1,177 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"segdb"
+	"segdb/internal/repl"
+	"segdb/internal/server"
+	"segdb/internal/workload"
+)
+
+// wedgedUpdater is an Updater whose WAL has hit a permanent write error:
+// updates fail, stats freeze, WALWedged reports the cause.
+type wedgedUpdater struct {
+	err error
+}
+
+func (u *wedgedUpdater) Insert(segdb.Segment) (segdb.UpdateStats, error) {
+	return segdb.UpdateStats{}, u.err
+}
+
+func (u *wedgedUpdater) Delete(segdb.Segment) (bool, segdb.UpdateStats, error) {
+	return false, segdb.UpdateStats{}, u.err
+}
+
+func (u *wedgedUpdater) WALStats() (records, size, durable int64) { return 3, 196, 196 }
+
+func (u *wedgedUpdater) WALWedged() error { return u.err }
+
+// stubFollower serves a canned replication status and health verdict.
+type stubFollower struct {
+	st      repl.Status
+	healthy error
+}
+
+func (f *stubFollower) Status() repl.Status         { return f.st }
+func (f *stubFollower) Healthy(time.Duration) error { return f.healthy }
+
+// TestServeWALWedgedGauge checks the wedged WAL surfaces on every
+// observability channel: the /statsz snapshot carries the flag and the
+// error string, and /metricsz exports segdb_wal_wedged as a gauge.
+func TestServeWALWedgedGauge(t *testing.T) {
+	up := &wedgedUpdater{err: errors.New("disk on fire")}
+	hs, srv, _ := testServer(t, server.Config{Updater: up})
+
+	snap := srv.Snapshot()
+	if !snap.WAL.Wedged || !strings.Contains(snap.WAL.WedgedError, "disk on fire") {
+		t.Fatalf("snapshot WAL = %+v, want wedged with cause", snap.WAL)
+	}
+	resp, err := http.Get(hs.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "segdb_wal_wedged 1") {
+		t.Fatalf("/metricsz missing segdb_wal_wedged 1:\n%s", buf.String())
+	}
+
+	// A healthy updater exports 0.
+	hs2, _, _ := testServer(t, server.Config{Updater: &wedgedUpdater{}})
+	resp2, err := http.Get(hs2.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf.Reset()
+	buf.ReadFrom(resp2.Body)
+	if !strings.Contains(buf.String(), "segdb_wal_wedged 0") {
+		t.Fatalf("/metricsz missing segdb_wal_wedged 0 on healthy server")
+	}
+}
+
+// TestServeFollowerMode checks the read-replica serving contract: writes
+// are refused with 503 plus a leader hint, the replication status rides
+// /statsz and /metricsz, and deep /healthz turns unhealthy when the
+// follower reports excessive lag.
+func TestServeFollowerMode(t *testing.T) {
+	fol := &stubFollower{st: repl.Status{
+		Leader:     "http://leader:8080",
+		ID:         "replica-1",
+		Epoch:      2,
+		AppliedLSN: 4096,
+		LagBytes:   128,
+		CaughtUp:   false,
+	}}
+	hs, srv, _ := testServer(t, server.Config{Follower: fol, MaxReplicaLag: time.Second})
+
+	// Writes bounce with the leader hint.
+	resp, _ := postUpdate(t, hs.URL, "/v1/insert", server.WireSegment{ID: 1, BX: 1, BY: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower insert status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Segdb-Leader"); got != "http://leader:8080" {
+		t.Fatalf("X-Segdb-Leader = %q", got)
+	}
+
+	// Reads keep working.
+	qresp, qr := postQuery(t, hs.URL, server.QueryRequest{Queries: []server.QuerySpec{{X: 0.5}}})
+	if qresp.StatusCode != http.StatusOK || len(qr.Results) != 1 {
+		t.Fatalf("follower query status = %d results = %d", qresp.StatusCode, len(qr.Results))
+	}
+
+	// Replication status rides the snapshot and the Prom export.
+	snap := srv.Snapshot()
+	if snap.Repl == nil || snap.Repl.ID != "replica-1" || snap.Repl.LagBytes != 128 {
+		t.Fatalf("snapshot repl = %+v", snap.Repl)
+	}
+	prom := server.PromText(snap)
+	for _, want := range []string{"segdb_repl_lag_bytes 128", "segdb_repl_applied_lsn 4096", "segdb_repl_caught_up 0"} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metricsz missing %q:\n%s", want, prom)
+		}
+	}
+
+	// Shallow health stays fine; deep health fails once the follower
+	// reports itself lagged.
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{hs.URL + "/healthz", http.StatusOK},
+		{hs.URL + "/healthz?deep=1", http.StatusOK},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET %s = %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+	fol.healthy = errors.New("replica lag 5s exceeds 1s")
+	resp, err := http.Get(hs.URL + "/healthz?deep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("deep healthz with lagged follower = %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestServeSwapIndex checks the atomic index swap a follower performs
+// after re-bootstrapping: queries before the swap answer from the old
+// index, queries after answer from the new one, with no downtime.
+func TestServeSwapIndex(t *testing.T) {
+	hs, srv, segs := testServer(t, server.Config{})
+	box := workload.BBox(segs)
+	x := box.MinX + (box.MaxX-box.MinX)/2
+
+	_, before := postQuery(t, hs.URL, server.QueryRequest{Queries: []server.QuerySpec{{X: x}}})
+
+	// Build a replacement index holding a single known segment at x.
+	seg := segdb.NewSegment(999001, box.MinX, 1, box.MaxX, 1)
+	st := segdb.NewMemStore(16, 64)
+	ix, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, []segdb.Segment{seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SwapIndex(segdb.SynchronizedOn(ix, st), st)
+
+	_, after := postQuery(t, hs.URL, server.QueryRequest{Queries: []server.QuerySpec{{X: x}}})
+	if after.Results[0].Count != 1 || after.Results[0].Hits[0].ID != 999001 {
+		t.Fatalf("post-swap query = %+v, want the single swapped-in segment", after.Results[0])
+	}
+	if before.Results[0].Count == after.Results[0].Count && before.Results[0].Count == 1 {
+		t.Fatalf("pre-swap query already saw the new index")
+	}
+}

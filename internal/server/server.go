@@ -8,22 +8,40 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"segdb"
+	"segdb/internal/repl"
 )
 
 // Updater is the write path a read-write server serves: durable inserts
-// and deletes with per-update I/O attribution, plus the WAL's state for
-// /statsz. *segdb.DurableIndex satisfies it; a nil Updater keeps the
-// server read-only (update endpoints answer 501).
+// and deletes with per-update I/O attribution, plus the WAL's state
+// (counters and the wedged gauge) for /statsz. *segdb.DurableIndex
+// satisfies it; a nil Updater keeps the server read-only (update
+// endpoints answer 501).
 type Updater interface {
 	Insert(seg segdb.Segment) (segdb.UpdateStats, error)
 	Delete(seg segdb.Segment) (bool, segdb.UpdateStats, error)
 	WALStats() (records, size, durable int64)
+	WALWedged() error
 }
 
 var _ Updater = (*segdb.DurableIndex)(nil)
+
+// Compacter is the optional checkpoint hook: an Updater that also
+// compacts gets POST /v1/admin/compact, the online log-rotation trigger.
+type Compacter interface {
+	Compact() error
+}
+
+// Follower is what the serving layer needs from a read replica: its
+// replication status for /statsz and /metricsz, and the lag health
+// check for deep /healthz. *repl.Follower satisfies it.
+type Follower interface {
+	Status() repl.Status
+	Healthy(maxLag time.Duration) error
+}
 
 // Config tunes a Server. The zero value selects sane defaults.
 type Config struct {
@@ -70,6 +88,17 @@ type Config struct {
 	// separate admission class from queries, so a write burst cannot
 	// starve reads of admission slots (and vice versa). 0 selects 16.
 	MaxInflightUpdates int
+	// Repl, if set, serves the replication endpoints (snapshot + WAL
+	// shipping) and the leader's per-follower lag gauges — leader mode.
+	Repl *repl.Leader
+	// Follower, if set, marks the server a read replica: writes answer
+	// 503 with the leader's URL in X-Segdb-Leader, replication status
+	// rides /statsz and /metricsz, and deep /healthz enforces
+	// MaxReplicaLag.
+	Follower Follower
+	// MaxReplicaLag is how stale a follower may run before deep /healthz
+	// reports it unhealthy; <= 0 disables the lag check.
+	MaxReplicaLag time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,13 +136,20 @@ func (c Config) withDefaults() Config {
 // segdb.SyncIndex, so queries run concurrently under its shared lock on
 // the sharded store; admission bounds that concurrency explicitly.
 type Server struct {
-	ix      *segdb.SyncIndex
-	st      *segdb.Store
+	state   atomic.Pointer[serveState] // the served index + store, swappable
 	cfg     Config
 	gate    *Gate
 	wgate   *Gate // write admission; nil on a read-only server
 	metrics *Metrics
 	slow    *SlowLog
+}
+
+// serveState pairs the served index with its store so a swap replaces
+// both atomically — a snapshot can never attribute one index's queries
+// to another index's store.
+type serveState struct {
+	ix *segdb.SyncIndex
+	st *segdb.Store
 }
 
 // New assembles a server over a synchronized index. st may be nil (no
@@ -124,17 +160,30 @@ type Server struct {
 func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		ix:      ix,
-		st:      st,
 		cfg:     cfg,
 		gate:    NewGate(cfg.MaxInflight),
 		metrics: NewMetrics(),
 		slow:    NewSlowLog(cfg.SlowLogSize, cfg.SlowLatency, cfg.SlowIOPages, cfg.SlowSink),
 	}
+	s.state.Store(&serveState{ix: ix, st: st})
 	if cfg.Updater != nil {
 		s.wgate = NewGate(cfg.MaxInflightUpdates)
 	}
 	return s
+}
+
+// cur returns the currently served index/store pair. A handler reads it
+// once and uses that pair throughout, so a concurrent swap never mixes
+// two indexes inside one request.
+func (s *Server) cur() *serveState { return s.state.Load() }
+
+// SwapIndex atomically repoints the server at a new index/store pair —
+// how a follower publishes a re-bootstrapped index without a restart.
+// Requests already running keep the old pair; the caller owns retiring
+// it (repl.Follower holds superseded indexes through a grace window
+// longer than any request deadline before closing them).
+func (s *Server) SwapIndex(ix *segdb.SyncIndex, st *segdb.Store) {
+	s.state.Store(&serveState{ix: ix, st: st})
 }
 
 // Metrics exposes the registry, e.g. for tests.
@@ -148,14 +197,29 @@ func (s *Server) SlowLog() *SlowLog { return s.slow }
 
 // Snapshot returns the same document /statsz serves, programmatically.
 // On a read-write server it carries the write-admission gate and the
-// WAL's records/size/durable watermark next to the read-path registry.
+// WAL's records/size/durable watermark (plus the wedged gauge) next to
+// the read-path registry; replication adds the leader's follower-lag
+// table or the follower's position, whichever role this server runs.
 func (s *Server) Snapshot() Snapshot {
-	snap := SnapshotFrom(s.metrics, s.gate, s.st, s.ix.Len())
+	cur := s.cur()
+	snap := SnapshotFrom(s.metrics, s.gate, cur.st, cur.ix.Len())
 	if s.wgate != nil {
 		ws := s.wgate.Stats()
 		snap.WriteAdmission = &ws
 		records, size, durable := s.cfg.Updater.WALStats()
 		snap.WAL = &WALSnapshot{Records: records, SizeBytes: size, DurableBytes: durable}
+		if werr := s.cfg.Updater.WALWedged(); werr != nil {
+			snap.WAL.Wedged = true
+			snap.WAL.WedgedError = werr.Error()
+		}
+	}
+	if s.cfg.Repl != nil {
+		ls := s.cfg.Repl.Stats()
+		snap.ReplLeader = &ls
+	}
+	if s.cfg.Follower != nil {
+		fs := s.cfg.Follower.Status()
+		snap.Repl = &fs
 	}
 	return snap
 }
@@ -192,12 +256,15 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Handler returns the HTTP surface:
 //
-//	POST /v1/query   single or batch VS query (JSON)
-//	POST /v1/insert  durable insert (501 on a read-only server)
-//	POST /v1/delete  durable delete (501 on a read-only server)
-//	GET  /statsz     metrics snapshot (JSON); ?slow=1 adds the slow-query ring
-//	GET  /metricsz   the same registry in Prometheus text format
-//	GET  /healthz    liveness; 503 once draining
+//	POST /v1/query          single or batch VS query (JSON)
+//	POST /v1/insert         durable insert (501 read-only; 503 + leader hint on a replica)
+//	POST /v1/delete         durable delete (same)
+//	POST /v1/admin/compact  checkpoint + WAL rotation (leader mode)
+//	GET  /v1/repl/snapshot  checkpoint download for followers (leader mode)
+//	GET  /v1/repl/wal       committed-frame shipping for followers (leader mode)
+//	GET  /statsz            metrics snapshot (JSON); ?slow=1 adds the slow-query ring
+//	GET  /metricsz          the same registry in Prometheus text format
+//	GET  /healthz           liveness; 503 once draining; ?deep=1 adds probe + replica lag
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -207,10 +274,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/delete", func(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdate(w, r, EPDelete)
 	})
+	if s.cfg.Repl != nil {
+		mux.HandleFunc(repl.SnapshotPath, s.cfg.Repl.ServeSnapshot)
+		mux.HandleFunc(repl.WALPath, s.cfg.Repl.ServeWAL)
+	}
+	if _, ok := s.cfg.Updater.(Compacter); ok {
+		mux.HandleFunc("/v1/admin/compact", s.handleCompact)
+	}
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleCompact checkpoints the served index online: the live state is
+// rebuilt into the index file and the WAL rotates. On a leader this
+// advances the replication epoch — tailing followers get 410 and
+// re-snapshot.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	if err := s.cfg.Updater.(Compacter).Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, "compact: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"elapsed_ms": float64(time.Since(start)) / 1e6,
+	})
 }
 
 // QuerySpec is one query on the wire. Omitted bounds are open: no ylo
@@ -332,6 +426,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
+	cur := s.cur()
 	var resp QueryResponse
 	var answers int
 	var io QueryIO
@@ -348,7 +443,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// start nothing new once ctx is done and abort queries already
 		// emitting, so a timed-out batch sheds its load promptly instead
 		// of burning a worker pool on answers nobody will receive.
-		results := segdb.QueryBatchContext(ctx, s.ix, queries, par)
+		results := segdb.QueryBatchContext(ctx, cur.ix, queries, par)
 		resp.Results = make([]QueryResult, len(results))
 		for i, br := range results {
 			qr := QueryResult{Count: len(br.Hits)}
@@ -370,7 +465,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		var hits []segdb.Segment
-		st, err := s.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
+		st, err := cur.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
 			hits = append(hits, sg)
 		})
 		io.Add(st)
@@ -430,6 +525,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 		return
 	}
 	if s.cfg.Updater == nil {
+		if s.cfg.Follower != nil {
+			// A replica knows where writes go: point the client at the
+			// leader instead of claiming writes are unimplemented.
+			w.Header().Set("X-Segdb-Leader", s.cfg.Follower.Status().Leader)
+			httpError(w, http.StatusServiceUnavailable, "read replica: send writes to the leader")
+			return
+		}
 		httpError(w, http.StatusNotImplemented, "read-only server: restart segdbd with -wal to enable updates")
 		return
 	}
@@ -489,7 +591,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 	s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "ok")
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Found:        found,
-		Segments:     s.ix.Len(),
+		Segments:     s.cur().ix.Len(),
 		PagesRead:    ust.PagesRead,
 		PagesWritten: ust.PagesWritten,
 		ElapsedMS:    float64(elapsed) / 1e6,
@@ -552,9 +654,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("deep") != "" {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DeepTimeout)
 		defer cancel()
-		if _, err := s.ix.QueryContext(ctx, segdb.VLine(s.cfg.DeepProbeX), func(segdb.Segment) {}); err != nil {
+		if _, err := s.cur().ix.QueryContext(ctx, segdb.VLine(s.cfg.DeepProbeX), func(segdb.Segment) {}); err != nil {
 			httpError(w, http.StatusInternalServerError, "deep check failed: "+err.Error())
 			return
+		}
+		// A replica that has fallen too far behind is serving answers staler
+		// than the operator allows: stop routing to it until it catches up.
+		if s.cfg.Follower != nil {
+			if err := s.cfg.Follower.Healthy(s.cfg.MaxReplicaLag); err != nil {
+				httpError(w, http.StatusInternalServerError, "deep check failed: "+err.Error())
+				return
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

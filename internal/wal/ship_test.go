@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestReadDurableShipsOnlyCommitted: ReadDurable never returns bytes the
+// group-commit fsync has not covered — an appended-but-unsynced record is
+// invisible to a shipping reader, exactly like to crash recovery.
+func TestReadDurableShipsOnlyCommitted(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(rec(OpInsert, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*RecordSize)
+	if n, err := l.ReadDurable(HeaderSize, buf); err != nil || n != 0 {
+		t.Fatalf("read before sync = (%d, %v), want (0, nil)", n, err)
+	}
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(rec(OpDelete, 2)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := l.ReadDurable(HeaderSize, buf)
+	if err != nil || n != 2*RecordSize {
+		t.Fatalf("read after sync = (%d, %v), want (%d, nil)", n, err, 2*RecordSize)
+	}
+	recs, err := DecodeFrames(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0] != rec(OpInsert, 1) || recs[1] != rec(OpDelete, 2) {
+		t.Fatalf("decoded frames = %+v", recs)
+	}
+
+	// A buffer holding one and a half records ships exactly one.
+	small := make([]byte, RecordSize+RecordSize/2)
+	if n, err := l.ReadDurable(HeaderSize, small); err != nil || n != RecordSize {
+		t.Fatalf("clamped read = (%d, %v), want (%d, nil)", n, err, RecordSize)
+	}
+	// Reading from the watermark itself: caught up, nothing to ship.
+	if n, err := l.ReadDurable(l.Durable(), buf); err != nil || n != 0 {
+		t.Fatalf("read at watermark = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestReadDurableRotation: a reader position that survives a Reset names
+// bytes the log no longer holds, and must be told ErrLogRotated rather
+// than handed the new epoch's bytes.
+func TestReadDurableRotation(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Commit(rec(OpInsert, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := l.Durable()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*RecordSize)
+	if _, err := l.ReadDurable(pos, buf); !errors.Is(err, ErrLogRotated) {
+		t.Fatalf("read past rotated tail: %v, want ErrLogRotated", err)
+	}
+	if _, err := l.ReadDurable(HeaderSize+1, buf); err == nil {
+		t.Fatal("unaligned read position accepted")
+	}
+	if _, err := l.ReadDurable(0, buf); err == nil {
+		t.Fatal("read inside the header accepted")
+	}
+}
+
+// TestDurableChangedNotifies: the take-channel-then-read pattern sees
+// every watermark move — a commit and a rotation both wake a parked
+// waiter.
+func TestDurableChangedNotifies(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := func(ch <-chan struct{}) {
+		t.Helper()
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatal("DurableChanged never fired")
+		}
+	}
+	ch := l.DurableChanged()
+	if err := l.Commit(rec(OpInsert, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wait(ch)
+	ch = l.DurableChanged()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	wait(ch)
+	// A wedge is also a watermark event: waiters must wake to observe the
+	// latched error instead of parking forever.
+	ch = l.DurableChanged()
+	f.Crash()
+	l.Commit(rec(OpInsert, 2))
+	wait(ch)
+	if err := l.Wedged(); err == nil {
+		t.Fatal("log not wedged after crash")
+	}
+}
+
+// TestMarkRecordRoundTrip: a mark survives the full append → fsync →
+// replay cycle with its epoch and LSN intact, including LSN bit patterns
+// that are denormal floats in the segment-field encoding.
+func TestMarkRecordRoundTrip(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := []struct {
+		epoch uint64
+		lsn   int64
+	}{{0, HeaderSize}, {7, 123456789}, {1 << 40, HeaderSize + 999*RecordSize}}
+	for _, p := range positions {
+		if err := l.Commit(MarkRecord(p.epoch, p.lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := replayAll(t, imageFile(f.DurableImage()))
+	if len(got) != len(positions) {
+		t.Fatalf("replayed %d marks, want %d", len(got), len(positions))
+	}
+	for i, r := range got {
+		if r.Op != OpMark {
+			t.Fatalf("mark %d replayed as op %d", i, r.Op)
+		}
+		e, lsn := r.Mark()
+		if e != positions[i].epoch || lsn != positions[i].lsn {
+			t.Fatalf("mark %d = (%d, %d), want (%d, %d)", i, e, lsn, positions[i].epoch, positions[i].lsn)
+		}
+	}
+}
+
+// TestDecodeFramesRejectsDamage: shipped frames with a bad length, a bad
+// checksum, or a ragged byte count are format errors, never silently
+// dropped records.
+func TestDecodeFramesRejectsDamage(t *testing.T) {
+	f := NewFaultFile(1)
+	l, err := Open(f, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(rec(OpInsert, 1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, RecordSize)
+	if _, err := l.ReadDurable(HeaderSize, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrames(buf[:RecordSize-1]); err == nil {
+		t.Fatal("ragged frame buffer accepted")
+	}
+	rot := append([]byte(nil), buf...)
+	rot[frameSize+3] ^= 0x01
+	if _, err := DecodeFrames(rot); err == nil {
+		t.Fatal("checksum-damaged frame accepted")
+	}
+	rot = append([]byte(nil), buf...)
+	rot[0] ^= 0x01 // length field
+	if _, err := DecodeFrames(rot); err == nil {
+		t.Fatal("length-damaged frame accepted")
+	}
+}
+
+// TestOpenZeroLengthFileCleanTail is the regression test for
+// follower-bound reuse: a zero-length log file — what O_CREATE leaves
+// when a rotation or bootstrap is interrupted before the first byte —
+// must open as a clean empty tail, not report corruption. Same for a
+// header torn partway through creation.
+func TestOpenZeroLengthFileCleanTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		img  []byte
+	}{
+		{"zero-length", nil},
+		{"torn header", []byte{0x53, 0x47, 0x57}},
+	} {
+		f := imageFile(tc.img)
+		l, err := Open(f, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: Open = %v, want clean empty log", tc.name, err)
+		}
+		if n := l.Records(); n != 0 {
+			t.Fatalf("%s: Records = %d, want 0", tc.name, n)
+		}
+		if err := l.Commit(rec(OpInsert, 1)); err != nil {
+			t.Fatalf("%s: commit after reinit: %v", tc.name, err)
+		}
+		got := replayAll(t, imageFile(f.DurableImage()))
+		if len(got) != 1 || got[0] != rec(OpInsert, 1) {
+			t.Fatalf("%s: replay = %+v, want just insert 1", tc.name, got)
+		}
+	}
+}

@@ -74,6 +74,15 @@ const (
 	recordSize  = frameSize + payloadSize
 )
 
+// The log's byte layout, exported for log shipping: an LSN is a byte
+// offset into the log file, the first record starts at HeaderSize, and
+// every record occupies exactly RecordSize bytes — so shipped byte
+// ranges frame whole records and positions advance in RecordSize steps.
+const (
+	HeaderSize = headerSize
+	RecordSize = recordSize
+)
+
 // Op is a logged index operation.
 type Op uint8
 
@@ -81,12 +90,32 @@ type Op uint8
 const (
 	OpInsert Op = 1
 	OpDelete Op = 2
+	// OpMark is a replication position marker, never an index update: a
+	// follower's local log opens with one to declare which leader
+	// position (epoch, LSN) the local state continues from. A leader's
+	// log never contains marks.
+	OpMark Op = 3
 )
 
 // Record is one logical index update.
 type Record struct {
 	Op  Op
 	Seg geom.Segment
+}
+
+// MarkRecord builds an OpMark record carrying a leader position. The
+// epoch and LSN ride in the segment fields (ID and the bit pattern of
+// A.X) so marks share the fixed record layout; Mark reads them back.
+func MarkRecord(epoch uint64, lsn int64) Record {
+	return Record{Op: OpMark, Seg: geom.Segment{
+		ID: epoch,
+		A:  geom.Point{X: math.Float64frombits(uint64(lsn))},
+	}}
+}
+
+// Mark returns the leader position an OpMark record carries.
+func (r Record) Mark() (epoch uint64, lsn int64) {
+	return r.Seg.ID, int64(math.Float64bits(r.Seg.A.X))
 }
 
 var (
@@ -97,6 +126,11 @@ var (
 	// ErrBadRecord reports a record that is framed and checksummed
 	// correctly but does not decode — a format error, not a torn tail.
 	ErrBadRecord = errors.New("wal: malformed record")
+	// ErrLogRotated reports a read at a position this log no longer
+	// holds: the log was reset (checkpoint rotation) since the reader's
+	// position was valid. A log-shipping reader recovers by taking a
+	// fresh snapshot, not by retrying the read.
+	ErrLogRotated = errors.New("wal: log rotated")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -109,9 +143,10 @@ type Log struct {
 	f      File
 	window time.Duration
 
-	mu      sync.Mutex // guards size and err
-	size    int64      // file tail: offset of the next append
-	err     error      // latched first write/sync failure; wedges the log
+	mu      sync.Mutex    // guards size, err and notify
+	size    int64         // file tail: offset of the next append
+	err     error         // latched first write/sync failure; wedges the log
+	notify  chan struct{} // closed and replaced when durable moves or the log wedges
 	durable atomic.Int64
 
 	syncMu sync.Mutex // group commit: one fsync in flight at a time
@@ -127,7 +162,7 @@ type Log struct {
 // committers still batch behind the sync mutex). apply may be nil to skip replay (tests); an apply error aborts
 // the open.
 func Open(f File, window time.Duration, apply func(Record) error) (*Log, error) {
-	l := &Log{f: f, window: window}
+	l := &Log{f: f, window: window, notify: make(chan struct{})}
 
 	var hdr [headerSize]byte
 	n, err := f.ReadAt(hdr[:], 0)
@@ -227,7 +262,7 @@ func encodeRecord(rec Record, buf []byte) {
 
 func decodeRecord(p []byte) (Record, error) {
 	op := Op(p[0])
-	if op != OpInsert && op != OpDelete {
+	if op != OpInsert && op != OpDelete && op != OpMark {
 		return Record{}, fmt.Errorf("%w: unknown op %d", ErrBadRecord, op)
 	}
 	var rec Record
@@ -255,6 +290,7 @@ func (l *Log) Append(rec Record) (int64, error) {
 	}
 	if _, err := l.f.WriteAt(buf[:], l.size); err != nil {
 		l.err = fmt.Errorf("wal: append: %w", err)
+		l.bump()
 		return 0, l.err
 	}
 	l.size += recordSize
@@ -299,10 +335,14 @@ func (l *Log) Sync(lsn int64) error {
 			l.err = fmt.Errorf("wal: sync: %w", err)
 		}
 		err = l.err
+		l.bump()
 		l.mu.Unlock()
 		return err
 	}
 	l.durable.Store(target)
+	l.mu.Lock()
+	l.bump()
+	l.mu.Unlock()
 	return nil
 }
 
@@ -338,14 +378,17 @@ func (l *Log) Reset() error {
 	}
 	if err := l.f.Truncate(headerSize); err != nil {
 		l.err = fmt.Errorf("wal: reset: %w", err)
+		l.bump()
 		return l.err
 	}
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: reset sync: %w", err)
+		l.bump()
 		return l.err
 	}
 	l.size = headerSize
 	l.durable.Store(headerSize)
+	l.bump()
 	return nil
 }
 
@@ -370,6 +413,95 @@ func (l *Log) Wedged() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
+}
+
+// bump wakes everyone waiting on DurableChanged. Requires l.mu.
+func (l *Log) bump() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// DurableChanged returns a channel that is closed the next time the
+// durability watermark moves — a completed fsync, a rotation, or the log
+// wedging. To wait for new committed records without a lost-wakeup race,
+// take the channel first, then read; if the read comes up empty, wait on
+// the channel taken before the read.
+func (l *Log) DurableChanged() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}
+
+// ReadDurable copies committed record bytes starting at byte offset from
+// into buf and returns how many bytes it copied — always a whole number
+// of records, and zero when from is at the durability watermark (nothing
+// committed yet past the reader) or buf cannot hold one record. from
+// must be record-aligned; a position past the log's tail reports
+// ErrLogRotated — the log was reset under the reader, whose position now
+// names bytes that no longer exist.
+//
+// The copied range sits below the durability watermark of an append-only
+// file, so no later append mutates it — but a concurrent Reset can
+// truncate and start overwriting it mid-read. ReadDurable itself reports
+// ErrLogRotated when it observes the truncation; a caller pairing the
+// bytes with a rotation epoch must re-validate the epoch after the read
+// (segdb.DurableIndex.ReadWAL does).
+func (l *Log) ReadDurable(from int64, buf []byte) (int, error) {
+	if from < headerSize || (from-headerSize)%recordSize != 0 {
+		return 0, fmt.Errorf("wal: read at unaligned position %d", from)
+	}
+	l.mu.Lock()
+	size, err := l.size, l.err
+	l.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if from > size {
+		return 0, fmt.Errorf("wal: position %d past tail %d: %w", from, size, ErrLogRotated)
+	}
+	n := l.durable.Load() - from
+	if max := int64(len(buf)) / recordSize * recordSize; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	rn, rerr := l.f.ReadAt(buf[:n], from)
+	if int64(rn) < n {
+		// A full read below the watermark can only come up short if a
+		// Reset truncated the range mid-read.
+		if rerr != nil && rerr != io.EOF {
+			return 0, fmt.Errorf("wal: read at %d: %w", from, rerr)
+		}
+		return 0, fmt.Errorf("wal: read at %d truncated under reader: %w", from, ErrLogRotated)
+	}
+	return int(n), nil
+}
+
+// DecodeFrames parses a buffer of shipped record frames — the bytes
+// ReadDurable returns — verifying each frame's length and checksum. The
+// buffer must hold whole records.
+func DecodeFrames(buf []byte) ([]Record, error) {
+	if len(buf)%recordSize != 0 {
+		return nil, fmt.Errorf("wal: frame buffer of %d bytes is not whole records", len(buf))
+	}
+	recs := make([]Record, 0, len(buf)/recordSize)
+	for off := 0; off < len(buf); off += recordSize {
+		b := buf[off : off+recordSize]
+		if plen := binary.LittleEndian.Uint32(b[0:4]); plen != payloadSize {
+			return nil, fmt.Errorf("wal: frame at %d: bad payload length %d", off, plen)
+		}
+		p := b[frameSize : frameSize+payloadSize]
+		if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+			return nil, fmt.Errorf("wal: frame at %d: checksum mismatch", off)
+		}
+		rec, err := decodeRecord(p)
+		if err != nil {
+			return nil, fmt.Errorf("wal: frame at %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
 }
 
 // Close syncs outstanding appends and closes the file. A wedged log

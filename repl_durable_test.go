@@ -1,0 +1,197 @@
+package segdb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segdb/internal/wal"
+)
+
+// TestDurableEpochPersistence checks the replication epoch contract:
+// every Compact bumps the epoch, the bump survives close/reopen via the
+// sidecar file, and a reader presenting a stale epoch gets ErrLogRotated
+// rather than bytes from the wrong log generation.
+func TestDurableEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), DurableOptions{Build: Options{B: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := durableOps(301, 6, 6)
+	for _, op := range ops {
+		if op.del {
+			if _, _, err := d.Delete(op.seg); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := d.Insert(op.seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if epoch, _ := d.ReplState(); epoch != 0 {
+		t.Fatalf("fresh index epoch = %d, want 0", epoch)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, _ := d.ReplState(); epoch != 1 {
+		t.Fatalf("epoch after first compact = %d, want 1", epoch)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, _ := d.ReplState(); epoch != 2 {
+		t.Fatalf("epoch after second compact = %d, want 2", epoch)
+	}
+
+	// A reader still tailing epoch 1 must learn the log rotated away.
+	buf := make([]byte, 4096)
+	if _, err := d.ReadWAL(1, wal.HeaderSize, buf); !errors.Is(err, wal.ErrLogRotated) {
+		t.Fatalf("ReadWAL with stale epoch: %v, want ErrLogRotated", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), DurableOptions{Build: Options{B: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if epoch, _ := d.ReplState(); epoch != 2 {
+		t.Fatalf("epoch after reopen = %d, want 2", epoch)
+	}
+	checkLive(t, d, applyOps(ops, len(ops)))
+}
+
+// TestReplicaRefusesWrites checks the replica gate: a DurableIndex
+// opened with Replica set rejects direct Insert/Delete with ErrReplica,
+// accepts the replication apply path, and round-trips its position mark
+// across a reopen.
+func TestReplicaRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	dopt := DurableOptions{Build: Options{B: 16}, Replica: true}
+	d, err := OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSegment(1, 0, 0, 1, 1)
+	if _, err := d.Insert(s); !errors.Is(err, ErrReplica) {
+		t.Fatalf("replica Insert: %v, want ErrReplica", err)
+	}
+	if _, _, err := d.Delete(s); !errors.Is(err, ErrReplica) {
+		t.Fatalf("replica Delete: %v, want ErrReplica", err)
+	}
+
+	if err := d.AppendMark(3, 12345); err != nil {
+		t.Fatal(err)
+	}
+	ops := durableOps(302, 4, 4)
+	recs := make([]wal.Record, 0, len(ops))
+	for _, op := range ops {
+		r := wal.Record{Op: wal.OpInsert, Seg: op.seg}
+		if op.del {
+			r.Op = wal.OpDelete
+		}
+		recs = append(recs, r)
+	}
+	if err := d.ApplyReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+	want := applyOps(ops, len(ops))
+	checkLive(t, d, want)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay must skip the mark, rebuild the applied state, and
+	// report the position as the mark plus the records replayed after it
+	// (each applied record advanced the leader log by one record).
+	d, err = OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	checkLive(t, d, want)
+	wantLSN := int64(12345) + int64(len(recs))*wal.RecordSize
+	if epoch, lsn, ok := d.ReplPosition(); !ok || epoch != 3 || lsn != wantLSN {
+		t.Fatalf("ReplPosition after reopen = (%d, %d, %v), want (3, %d, true)", epoch, lsn, ok, wantLSN)
+	}
+}
+
+// TestDurableInsertUpsertsDuplicates is the regression for live/replay
+// divergence on duplicate inserts: re-inserting an identical segment
+// must keep exactly one live copy (matching what replay and replicas
+// rebuild from the log), so that one logged delete then empties it
+// everywhere.
+func TestDurableInsertUpsertsDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	dopt := DurableOptions{Build: Options{B: 16}}
+	d, err := OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSegment(42, 0, 5, 10, 5)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Insert(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.Index().Len(); n != 1 {
+		t.Fatalf("live copies after triple insert = %d, want 1", n)
+	}
+	if found, _, err := d.Delete(s); err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if n := d.Index().Len(); n != 0 {
+		t.Fatalf("live copies after delete = %d, want 0", n)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of insert×3 + delete must agree: empty.
+	d, err = OpenDurableIndex(filepath.Join(dir, "ix.db"), filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if n := d.Index().Len(); n != 0 {
+		t.Fatalf("replayed copies = %d, want 0", n)
+	}
+}
+
+// TestOpenZeroLengthCheckpointFile is the regression for an interrupted
+// first bootstrap: a crash between creating the checkpoint file and
+// writing its first byte leaves a zero-length file, which Open must
+// treat as a first boot (rebuild an empty checkpoint) rather than fail
+// on a truncated catalog.
+func TestOpenZeroLengthCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.db")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dopt := DurableOptions{Build: Options{B: 16}}
+	d, err := OpenDurableIndex(path, filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatalf("open over zero-length checkpoint: %v", err)
+	}
+	s := NewSegment(7, 1, 1, 2, 2)
+	if _, err := d.Insert(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenDurableIndex(path, filepath.Join(dir, "ix.wal"), dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	checkLive(t, d, []Segment{s})
+}

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# repl-smoke: end-to-end check of WAL-shipping replication. Starts a
+# read-write leader and a follower bootstrapped over HTTP, splits load
+# across them with segload -replica, proves the follower answers
+# QueryBatch identically to the leader once caught up, kill -9s the
+# follower mid-stream and restarts it, rotates the leader's WAL with an
+# online checkpoint (forcing a re-snapshot), and asserts the lag series
+# ride /metricsz on both sides.
+set -euo pipefail
+
+laddr=127.0.0.1:18080
+faddr=127.0.0.1:18081
+dir=$(mktemp -d)
+lpid=""
+fpid=""
+cleanup() {
+    [ -n "$fpid" ] && kill "$fpid" 2>/dev/null || true
+    [ -n "$lpid" ] && kill "$lpid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir" ./cmd/segdb ./cmd/segdbd ./cmd/segload
+
+"$dir/segdb" gen -kind layers -n 4000 -out "$dir/segs.csv" >/dev/null
+# The leader serves writes, so it needs the fully dynamic Solution 1.
+"$dir/segdb" build -in "$dir/segs.csv" -db "$dir/leader.db" -b 32 -sol 1 >/dev/null
+
+wait_healthy() { # addr pid logfile
+    for _ in $(seq 1 200); do
+        curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$2" 2>/dev/null || { echo "repl-smoke: daemon died:"; cat "$3"; exit 1; }
+        sleep 0.1
+    done
+    echo "repl-smoke: $1 never became healthy"; cat "$3"; exit 1
+}
+
+"$dir/segdbd" -db "$dir/leader.db" -wal "$dir/leader.wal" -addr "$laddr" \
+    -group-commit-window 1ms >"$dir/leader.log" 2>&1 &
+lpid=$!
+wait_healthy "$laddr" "$lpid" "$dir/leader.log"
+
+start_follower() {
+    "$dir/segdbd" -follow "http://$laddr" -db "$dir/f1.db" -addr "$faddr" \
+        -follower-id f1 -max-replica-lag 30s -replica-compact-records 2000 \
+        >>"$dir/follower.log" 2>&1 &
+    fpid=$!
+    wait_healthy "$faddr" "$fpid" "$dir/follower.log"
+}
+start_follower
+
+# The follower refuses writes and points the client at the leader.
+probe='{"id":900000001,"ax":100,"ay":900001,"bx":200,"by":900001}'
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$faddr/v1/insert" -d "$probe")
+[ "$code" = 503 ] || { echo "repl-smoke: follower insert answered $code, want 503"; exit 1; }
+curl -sSi -X POST "http://$faddr/v1/insert" -d "$probe" | grep -qi "^X-Segdb-Leader: http://$laddr" \
+    || { echo "repl-smoke: follower 503 missing the X-Segdb-Leader hint"; exit 1; }
+
+# converged: the follower is on the leader's epoch with every durable
+# byte applied. caught_up alone is not enough — it can be a verdict about
+# an older durable watermark.
+converged() {
+    local lsnap fsnap
+    lsnap=$(curl -fsS "http://$laddr/statsz") || return 1
+    fsnap=$(curl -fsS "http://$faddr/statsz") || return 1
+    jq -en --argjson l "$lsnap" --argjson f "$fsnap" '
+        $f.repl.epoch == $l.repl_leader.epoch
+        and $f.repl.applied_lsn >= $l.repl_leader.durable_lsn' >/dev/null
+}
+wait_converged() {
+    for _ in $(seq 1 300); do
+        converged && return 0
+        sleep 0.1
+    done
+    echo "repl-smoke: follower never converged:"
+    curl -fsS "http://$faddr/statsz" | jq .repl || true
+    exit 1
+}
+
+# differential: the same QueryBatch must answer identically — counts and
+# ID sets — on leader and follower.
+batch=$(jq -cn '{queries: [range(12) | {x: (200 + . * 300)}]}')
+differential() {
+    local a b
+    a=$(curl -fsS -X POST "http://$laddr/v1/query" -d "$batch" \
+        | jq -cS '[.results[] | {c: .count, ids: (.hits | map(.id) | sort)}]')
+    b=$(curl -fsS -X POST "http://$faddr/v1/query" -d "$batch" \
+        | jq -cS '[.results[] | {c: .count, ids: (.hits | map(.id) | sort)}]')
+    [ "$a" = "$b" ] || { echo "repl-smoke: leader/follower differential mismatch:"; \
+        echo "leader:   $a"; echo "follower: $b"; exit 1; }
+}
+
+# Mixed load split across both targets: writes pin to the leader, reads
+# round-robin, and the report carries each target's replication status.
+"$dir/segload" -addr "http://$laddr" -replica "http://$faddr" -csv "$dir/segs.csv" \
+    -c 4 -duration 2s -write-frac 0.2 -json >"$dir/segload.json"
+jq -e '.errors == 0 and .inserts > 0
+    and (.read_targets | length) == 2
+    and .read_targets[0].primary == true
+    and .read_targets[1].requests > 0
+    and .read_targets[1].repl.leader != null' "$dir/segload.json" >/dev/null \
+    || { echo "repl-smoke: segload replica report failed:"; jq . "$dir/segload.json"; exit 1; }
+
+wait_converged
+differential
+
+# An acknowledged leader write becomes visible on the follower.
+curl -fsS -X POST "http://$laddr/v1/insert" -d "$probe" | jq -e '.found == true' >/dev/null \
+    || { echo "repl-smoke: leader insert not acknowledged"; exit 1; }
+wait_converged
+curl -fsS -X POST "http://$faddr/v1/query" -d '{"x":150,"ylo":900000,"yhi":900002}' \
+    | jq -e '.count == 1 and .hits[0].id == 900000001' >/dev/null \
+    || { echo "repl-smoke: replicated insert not served by the follower"; exit 1; }
+
+# kill -9 the follower mid-stream: more writes land while it is down, and
+# the restarted process must resume from its own durable state (or
+# re-bootstrap) and converge — nothing acknowledged may be missing.
+"$dir/segload" -addr "http://$laddr" -csv "$dir/segs.csv" -c 4 -duration 1s \
+    -write-frac 0.5 -json >"$dir/segload-kill.json" &
+loadpid=$!
+sleep 0.3
+kill -9 "$fpid"
+wait "$fpid" 2>/dev/null || true
+fpid=""
+wait "$loadpid"
+jq -e '.errors == 0' "$dir/segload-kill.json" >/dev/null \
+    || { echo "repl-smoke: leader-side load failed during follower kill"; exit 1; }
+start_follower
+wait_converged
+differential
+
+# Online checkpoint rotates the leader's WAL out from under the tailing
+# follower: the stream answers 410 Gone and the follower re-bootstraps
+# from a fresh snapshot, then converges again.
+curl -fsS -X POST "http://$laddr/v1/admin/compact" | jq -e '.ok == true' >/dev/null \
+    || { echo "repl-smoke: leader online compact failed"; exit 1; }
+"$dir/segload" -addr "http://$laddr" -csv "$dir/segs.csv" -c 2 -duration 1s \
+    -write-frac 0.5 -json >"$dir/segload-rot.json"
+for _ in $(seq 1 300); do
+    curl -fsS "http://$faddr/statsz" | jq -e '.repl.resnapshots >= 1' >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$faddr/statsz" | jq -e '.repl.resnapshots >= 1' >/dev/null \
+    || { echo "repl-smoke: follower never re-snapshotted after WAL rotation:"; \
+        curl -fsS "http://$faddr/statsz" | jq .repl; exit 1; }
+wait_converged
+differential
+
+# Replication series ride /metricsz on both sides.
+lmetrics=$(curl -fsS "http://$laddr/metricsz")
+for want in 'segdb_repl_followers' \
+            'segdb_repl_follower_lag_bytes{follower="f1"}' \
+            'segdb_repl_wal_bytes_shipped_total' \
+            'segdb_repl_snapshots_served_total' \
+            'segdb_wal_wedged 0'; do
+    echo "$lmetrics" | grep -qF "$want" \
+        || { echo "repl-smoke: leader /metricsz missing $want"; exit 1; }
+done
+fmetrics=$(curl -fsS "http://$faddr/metricsz")
+for want in 'segdb_repl_applied_lsn' \
+            'segdb_repl_lag_bytes' \
+            'segdb_repl_caught_up 1' \
+            'segdb_repl_resnapshots_total'; do
+    echo "$fmetrics" | grep -qF "$want" \
+        || { echo "repl-smoke: follower /metricsz missing $want"; exit 1; }
+done
+
+# Deep health on a caught-up follower passes its lag budget.
+curl -fsS "http://$faddr/healthz?deep=1" >/dev/null \
+    || { echo "repl-smoke: caught-up follower failed deep health"; exit 1; }
+
+kill -TERM "$fpid"; wait "$fpid"; fpid=""
+kill -TERM "$lpid"; wait "$lpid"; lpid=""
+"$dir/segdb" verify -db "$dir/leader.db" >/dev/null \
+    || { echo "repl-smoke: leader checkpoint corrupt after graceful stop"; exit 1; }
+
+echo "repl-smoke: OK"
