@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke serve-smoke repl-smoke wal-crash ci
+.PHONY: all build vet test race bench fuzz-smoke serve-smoke repl-smoke shard-smoke wal-crash ci
 
 all: ci
 
@@ -17,7 +17,7 @@ test:
 # singleflight, QueryBatch, SyncIndex stress, server admission/drain,
 # crash matrix) must pass under -race.
 race:
-	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash|Repl' ./internal/pager ./internal/server ./...
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash|Repl|Shard' ./internal/pager ./internal/server ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzBuildQuery -fuzztime 20s -run '^$$' .
 	$(GO) test -fuzz FuzzRelateSymmetry -fuzztime 20s -run '^$$' ./internal/geom
 	$(GO) test -fuzz FuzzPlanarize -fuzztime 20s -run '^$$' ./internal/geom
+	$(GO) test -fuzz FuzzShardRoute -fuzztime 20s -run '^$$' .
 
 # End-to-end serving gate: gen → build → segdbd → segload → /statsz.
 serve-smoke:
@@ -39,9 +40,15 @@ serve-smoke:
 repl-smoke:
 	./scripts/repl_smoke.sh
 
-# WAL crash-matrix gate: kill the log at every record boundary and the
-# checkpoint at every step, then recover and verify — under -race.
-wal-crash:
-	$(GO) test -race -run 'DurableCrash|DurableCheckpoint|WALCrash|TornTail' . ./internal/wal
+# End-to-end sharding gate: segdb shard → segdbd -shards=4 → mixed
+# segload run → kill -9 mid-write → restart → differential vs unsharded.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
-ci: vet build test race wal-crash serve-smoke repl-smoke
+# WAL crash-matrix gate: kill the log at every record boundary and the
+# checkpoint at every step, then recover and verify — under -race. The
+# shard matrices kill one shard's WAL/checkpoint while the others commit.
+wal-crash:
+	$(GO) test -race -run 'DurableCrash|DurableCheckpoint|WALCrash|TornTail|ShardCrash' . ./internal/wal ./internal/shard
+
+ci: vet build test race wal-crash serve-smoke repl-smoke shard-smoke

@@ -78,6 +78,41 @@ func QueryBatchContext(ctx context.Context, ix Index, queries []Query, paralleli
 	return out
 }
 
+// QueryBatch answers queries through the synchronized index with up to
+// parallelism concurrent workers — the method form of the package-level
+// QueryBatch, so every batch-serving index (a lone SyncIndex, a sharded
+// store) exposes the same surface.
+func (s *SyncIndex) QueryBatch(queries []Query, parallelism int) []BatchResult {
+	return QueryBatch(s, queries, parallelism)
+}
+
+// QueryBatchContext is QueryBatch honouring ctx, with the package-level
+// function's partial-results contract.
+func (s *SyncIndex) QueryBatchContext(ctx context.Context, queries []Query, parallelism int) []BatchResult {
+	return QueryBatchContext(ctx, s, queries, parallelism)
+}
+
+// MergeBatchStats defines the merged QueryStats of a batch fan-out:
+// every counter sums across the per-query stats. In particular
+// PagesRead and PoolHits sum across whichever stores the queries touched
+// — for a sharded store, across shards — so the merged PagesRead remains
+// the batch's total cost in the paper's I/O model no matter how the work
+// was scattered. Queries that errored (including ones cancelled by ctx)
+// still contribute the work they did before stopping.
+func MergeBatchStats(results []BatchResult) QueryStats {
+	var t QueryStats
+	for _, r := range results {
+		t.FirstLevelNodes += r.Stats.FirstLevelNodes
+		t.Reported += r.Stats.Reported
+		t.GListSearches += r.Stats.GListSearches
+		t.GBridgeJumps += r.Stats.GBridgeJumps
+		t.GFallbacks += r.Stats.GFallbacks
+		t.PagesRead += r.Stats.PagesRead
+		t.PoolHits += r.Stats.PoolHits
+	}
+	return t
+}
+
 func runBatchQuery(ctx context.Context, ix Index, q Query) BatchResult {
 	var r BatchResult
 	// A done context fails the remaining queries immediately — a worker

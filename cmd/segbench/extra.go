@@ -3,12 +3,16 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"segdb"
 	"segdb/internal/geom"
 	"segdb/internal/pager"
+	"segdb/internal/shard"
 	"segdb/internal/sol1"
 	"segdb/internal/sol2"
 	"segdb/internal/workload"
@@ -216,4 +220,108 @@ func init() {
 		fmt.Printf("\nshard balance over %d shards (last run): min %d / max %d page accesses\n",
 			len(shards), minA, maxA)
 	})
+
+	register("E21", "scatter-gather sharding: QueryBatch wall-clock and I/O vs K (large layered map)", func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 240000
+		segs := workload.Layers(rng, n/100, 100, float64(n))
+		box := workload.BBox(segs)
+		queries := workload.RandomVS(rng, 4096, box, 5)
+
+		root, err := os.MkdirTemp("", "segdb-e21-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(root)
+
+		// Scale-out configuration: every shard is provisioned like the
+		// original single node (same per-shard pool), so the aggregate
+		// pool grows with K and the per-query pool-miss count falls — the
+		// production win of sharding across machines. The testbed's files
+		// are RAM-cached, so a raw wall-clock would price those misses at
+		// ~1us; E15 already counts them as physical reads, and here each
+		// one is charged a modeled NVMe read (missLatency, deterministic
+		// spin) so the measured miss reduction is visible in wall-clock.
+		// The timed batch runs at parallelism 1 — a single client, whose
+		// wall-clock is per-query latency; on a multicore host the
+		// cross-shard fan-out stacks a parallel speedup on top (E19).
+		const perShardCache = 1 << 11
+		const missLatency = 50 * time.Microsecond
+		var gate atomic.Bool
+		var base float64
+		fmt.Printf("modeled miss cost %v; per-shard pool %d pages; timed at parallelism 1\n\n",
+			missLatency, perShardCache)
+		fmt.Println("| K | build | queries/sec | speedup | page accesses/query | pool misses/query | spanner entries |")
+		fmt.Println("|---|-------|-------------|---------|---------------------|--------------------|------------------|")
+		for _, k := range []int{1, 2, 4, 8} {
+			cfg := shard.Config{
+				Shards:  k,
+				Durable: segdb.DurableOptions{Build: segdb.Options{B: benchB}, CachePages: perShardCache},
+			}
+			cfg.PerShard = func(_ int, dopt *segdb.DurableOptions) {
+				dopt.LiveDevice = func(dev pager.Device) pager.Device {
+					return slowDev{Device: dev, gate: &gate, latency: missLatency}
+				}
+			}
+			gate.Store(false)
+			t0 := time.Now()
+			st, err := shard.Create(filepath.Join(root, fmt.Sprintf("k%d", k)), cfg, segs)
+			if err != nil {
+				panic(err)
+			}
+			buildT := time.Since(t0)
+			st.QueryBatch(queries, 8) // warm to steady state, miss cost off
+			gate.Store(true)
+			start := time.Now()
+			results := st.QueryBatch(queries, 1)
+			elapsed := time.Since(start)
+			gate.Store(false)
+			for _, r := range results {
+				if r.Err != nil {
+					panic(r.Err)
+				}
+			}
+			qps := float64(len(queries)) / elapsed.Seconds()
+			if k == 1 {
+				base = qps
+			}
+			m := segdb.MergeBatchStats(results)
+			spanners := 0
+			for _, row := range st.ShardStatus() {
+				spanners += row.Spanners
+			}
+			fmt.Printf("| %d | %.1fs | %.0f | %.2fx | %.2f | %.2f | %d |\n",
+				k, buildT.Seconds(), qps, qps/base,
+				float64(m.PagesRead+m.PoolHits)/float64(len(queries)),
+				float64(m.PagesRead)/float64(len(queries)), spanners)
+			if err := st.Close(); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Println("\npage accesses/query falls slowly with K (each query hits one slab's")
+		fmt.Println("shallower tree; boundary crossers answer from the RAM spanner lists, the")
+		fmt.Println("'spanner-list constant'); misses/query falls because each shard's pool")
+		fmt.Println("covers a growing fraction of its slab — at K=8 the whole store is")
+		fmt.Println("pool-resident and the speedup is the full modeled-I/O elimination.")
+	})
+}
+
+// slowDev charges a modeled storage read latency on every page read that
+// falls through to the device — E21's stand-in for an NVMe-class disk on
+// a testbed whose files are RAM-cached. The wait is a monotonic-clock
+// spin, not a sleep: deterministic at microsecond scale, and equivalent
+// for a single-client measurement where the core would otherwise idle.
+// The gate keeps builds and warmups fast.
+type slowDev struct {
+	pager.Device
+	gate    *atomic.Bool
+	latency time.Duration
+}
+
+func (d slowDev) ReadPage(idx uint32, p []byte) error {
+	if d.gate.Load() {
+		for start := time.Now(); time.Since(start) < d.latency; {
+		}
+	}
+	return d.Device.ReadPage(idx, p)
 }

@@ -6,8 +6,9 @@
 //
 //	segdb gen     -kind layers|grid|levels|stacks -n 10000 -out segs.csv
 //	segdb build   -in segs.csv -db index.db -b 32 [-sol 1|2]
+//	segdb shard   -in segs.csv -out storedir -shards 4 -b 32
 //	segdb query   -db index.db -x 10 -ylo 0 -yhi 5 [-check segs.csv]
-//	segdb verify  -db index.db
+//	segdb verify  -db index.db|storedir
 //	segdb compact -db index.db
 //
 // build persists the index with a catalog page, atomically: it writes
@@ -32,6 +33,7 @@ import (
 	"strings"
 
 	"segdb"
+	"segdb/internal/shard"
 	"segdb/internal/workload"
 )
 
@@ -44,6 +46,8 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "build":
 		cmdBuild(os.Args[2:])
+	case "shard":
+		cmdShard(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
 	case "stats":
@@ -58,14 +62,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: segdb gen|build|query|stats|verify|compact [flags]")
+	fmt.Fprintln(os.Stderr, "usage: segdb gen|build|shard|query|stats|verify|compact [flags]")
 	os.Exit(2)
 }
 
 func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	db := fs.String("db", "index.db", "store file")
+	db := fs.String("db", "index.db", "store file, or a sharded store directory")
 	fs.Parse(args)
+
+	// A directory is a sharded store: verify every shard's checkpoint.
+	if fi, err := os.Stat(*db); err == nil && fi.IsDir() {
+		if err := shard.Verify(*db); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok (every shard's page checksums and structural walk verified)\n", *db)
+		return
+	}
 
 	if err := segdb.VerifyIndexFile(*db); err != nil {
 		fatal(err)
@@ -232,6 +245,35 @@ func cmdBuild(args []string) {
 	defer st.Close()
 	fmt.Printf("built solution %d over %d segments: %d pages (%s, checksummed v3)\n",
 		*sol, ix.Len(), st.PagesInUse(), *db)
+}
+
+// cmdShard builds a sharded store directory: K-1 left-endpoint-quantile
+// cuts, one crash-safe per-shard index build (in parallel), a manifest
+// committed last as the atomic creation point. Serve it with
+// `segdbd -shards=K -db <dir>`.
+func cmdShard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	in := fs.String("in", "segs.csv", "segment CSV")
+	out := fs.String("out", "shards", "output store directory")
+	k := fs.Int("shards", 4, "shard count K")
+	b := fs.Int("b", 32, "block capacity in segments")
+	fs.Parse(args)
+
+	segs := loadSegs(*in)
+	s, err := shard.Create(*out, shard.Config{
+		Shards:  *k,
+		Durable: segdb.DurableOptions{Build: segdb.Options{B: *b}},
+	}, segs)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("built %d shards over %d segments in %s (cuts %v)\n",
+		s.Shards(), s.Len(), *out, s.Cuts())
+	for _, row := range s.ShardStatus() {
+		fmt.Printf("  shard %d: %d segments, %d spanners, %d pages\n",
+			row.Shard, row.Segments, row.Spanners, row.PagesInUse)
+	}
 }
 
 func cmdQuery(args []string) {

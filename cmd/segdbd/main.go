@@ -61,6 +61,13 @@
 // X-Segdb-Leader. /healthz?deep=1 turns red when replication lag
 // exceeds -max-replica-lag.
 //
+// Sharding: `segdbd -shards=K -db <dir>` serves a sharded store built by
+// `segdb shard` — K x-range slabs, each with its own index, checkpoint
+// and write-ahead log. Queries route to the slab owning their x plus its
+// left-cut spanner list, batches scatter-gather across shards, updates
+// route to the owning shard's WAL, and /statsz//metricsz grow per-shard
+// rows. -shards is exclusive with -wal and -follow.
+//
 // SIGINT/SIGTERM drains gracefully: stop admitting, finish in-flight
 // requests, flush the slow log, then checkpoint (WAL mode) or fsync and
 // close the store.
@@ -85,6 +92,7 @@ import (
 	"segdb"
 	"segdb/internal/repl"
 	"segdb/internal/server"
+	"segdb/internal/shard"
 )
 
 func main() {
@@ -108,6 +116,7 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log path; enables POST /v1/insert and /v1/delete (requires a Solution 1 index)")
 	groupCommit := flag.Duration("group-commit-window", 0, "group-commit window: how long an update fsync lingers for concurrent writers to share it")
 	maxInflightUpdates := flag.Int("max-inflight-updates", 16, "write-admission limit; excess update load is shed with 429")
+	shards := flag.Int("shards", 0, "serve a sharded store directory built by `segdb shard` (-db names the directory, value must match its manifest); 0 serves a single index file")
 	follow := flag.String("follow", "", "leader base URL; serve as a read replica tailing its WAL (writes answer 503)")
 	followerID := flag.String("follower-id", "", "name reported to the leader's lag table; defaults to the hostname")
 	maxReplicaLag := flag.Duration("max-replica-lag", 10*time.Second, "replica staleness budget: /healthz?deep=1 fails beyond it; <=0 disables")
@@ -115,25 +124,59 @@ func main() {
 	flag.Parse()
 
 	if *verify {
-		if err := segdb.VerifyIndexFile(*db); err != nil {
-			log.Fatalf("segdbd: refusing to serve: %v", err)
+		if *shards != 0 {
+			if err := shard.Verify(*db); err != nil {
+				log.Fatalf("segdbd: refusing to serve: %v", err)
+			}
+			log.Printf("segdbd: %s verified (every shard: checksums + structural walk)", *db)
+		} else {
+			if err := segdb.VerifyIndexFile(*db); err != nil {
+				log.Fatalf("segdbd: refusing to serve: %v", err)
+			}
+			log.Printf("segdbd: %s verified (checksums + structural walk)", *db)
 		}
-		log.Printf("segdbd: %s verified (checksums + structural walk)", *db)
 	}
 
-	// Three serving modes: -follow tails a leader as a read replica, -wal
-	// serves the index read-write (checkpoint file + write-ahead log,
-	// replayed at open) and doubles as a replication leader, and the
-	// default serves the file read-only straight off its store.
+	// Four serving modes: -shards scatter-gathers over a sharded store
+	// directory (read-write, per-shard WALs), -follow tails a leader as a
+	// read replica, -wal serves a single index read-write (checkpoint file
+	// + write-ahead log, replayed at open) and doubles as a replication
+	// leader, and the default serves the file read-only straight off its
+	// store.
 	var (
 		sx  *segdb.SyncIndex
 		st  *segdb.Store
 		dix *segdb.DurableIndex
+		shs *shard.Store
 		fol *repl.Follower
 		srv *server.Server
 		err error
 	)
-	if *follow != "" {
+	if *shards != 0 {
+		if *follow != "" || *walPath != "" {
+			log.Fatalf("segdbd: -shards is exclusive with -follow and -wal (each shard has its own WAL in the store directory)")
+		}
+		// Split the pool budget so a sharded store uses the same total
+		// memory a single index would with the same -cache.
+		perShardCache := *cache / *shards
+		if perShardCache < 16 {
+			perShardCache = 16
+		}
+		shs, err = shard.Open(*db, shard.Config{
+			Shards: *shards,
+			Durable: segdb.DurableOptions{
+				Build:             segdb.Options{B: *b},
+				CachePages:        perShardCache,
+				GroupCommitWindow: *groupCommit,
+			},
+		})
+		if err != nil {
+			log.Fatalf("segdbd: %v", err)
+		}
+		records, _, _ := shs.WALStats()
+		log.Printf("segdbd: %s: %d segments across %d shards (cuts %v, %d wal records, %d pool pages/shard), read-write",
+			*db, shs.Len(), shs.Shards(), shs.Cuts(), records, perShardCache)
+	} else if *follow != "" {
 		localWAL := *walPath
 		if localWAL == "" {
 			localWAL = *db + ".wal"
@@ -227,11 +270,22 @@ func main() {
 		// from its checkpoint and tail its committed log.
 		cfg.Repl = repl.NewLeader(dix)
 	}
+	if shs != nil {
+		// A sharded store is read-write through the same Updater surface;
+		// its Compact (every shard in parallel) backs /v1/admin/compact.
+		// WAL shipping is a single-log protocol, so no replication leader.
+		cfg.Updater = shs
+		cfg.MaxInflightUpdates = *maxInflightUpdates
+	}
 	if fol != nil {
 		cfg.Follower = fol
 		cfg.MaxReplicaLag = *maxReplicaLag
 	}
-	srv = server.New(sx, st, cfg)
+	var served server.Index = sx
+	if shs != nil {
+		served = shs
+	}
+	srv = server.New(served, st, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// The follower tails the leader until shutdown; srv is already
@@ -298,6 +352,15 @@ func main() {
 	}
 	snap := srv.Snapshot()
 	switch {
+	case shs != nil:
+		// A graceful stop checkpoints every shard in parallel and rotates
+		// every per-shard log, so the next open replays nothing.
+		if err := shs.Compact(); err != nil {
+			log.Printf("segdbd: checkpoint: %v", err)
+		}
+		if err := shs.Close(); err != nil {
+			log.Printf("segdbd: close: %v", err)
+		}
 	case fol != nil:
 		// Stop tailing before closing: Run owns all state transitions, so
 		// once it returns the local index is quiescent and Close can
@@ -331,6 +394,11 @@ func main() {
 	if dix != nil {
 		fmt.Printf("segdbd: served %d inserts, %d deletes; checkpointed %d segments\n",
 			snap.Endpoints["insert"].Requests, snap.Endpoints["delete"].Requests, sx.Len())
+	}
+	if shs != nil {
+		fmt.Printf("segdbd: served %d inserts, %d deletes; checkpointed %d segments across %d shards\n",
+			snap.Endpoints["insert"].Requests, snap.Endpoints["delete"].Requests,
+			shs.Len(), shs.Shards())
 	}
 	if snap.Repl != nil {
 		fmt.Printf("segdbd: follower applied %d records in %d batches, %d re-snapshots\n",

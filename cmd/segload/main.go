@@ -612,6 +612,16 @@ func printReport(r Report, snapErr, promErr error) {
 			fmt.Printf("  server batch latency ms: p50 %.3f  p99 %.3f (%d served)\n",
 				b.Latency.P50MS, b.Latency.P99MS, b.Latency.Count)
 		}
+		// A sharded server (-shards) reports one row per slab: ownership
+		// balance, spanner registrations, per-shard WAL and pool state.
+		for _, sh := range s.Shards {
+			fmt.Printf("  server shard %d: %d segments, %d spanners, %d wal records, hit ratio %.3f (%d reads)",
+				sh.Shard, sh.Segments, sh.Spanners, sh.WALRecords, sh.HitRatio, sh.IO.Reads)
+			if sh.WALWedged {
+				fmt.Printf(", WEDGED")
+			}
+			fmt.Println()
+		}
 	}
 	for _, t := range r.Replicas {
 		role := "replica"

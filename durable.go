@@ -119,6 +119,11 @@ type DurableOptions struct {
 	// during Compact — the fault-injection hook checkpoint crash tests
 	// use; nil means none.
 	CheckpointDevice func(pager.Device) pager.Device
+	// LiveDevice interposes on the live serving store's page device, the
+	// one pool misses (PagesRead) fall through to. Benchmarks use it to
+	// charge a modeled storage latency per miss on testbeds whose files
+	// are RAM-cached (E21); nil means none.
+	LiveDevice func(pager.Device) pager.Device
 
 	// epochPath is where the rotation epoch persists; OpenDurableIndex
 	// derives it from walPath.
@@ -183,7 +188,14 @@ func openDurableIndex(path string, dopt DurableOptions, walFile wal.File, wrap d
 		return nil, fmt.Errorf("segdb: durable index %s: close: %w", path, err)
 	}
 
-	mem := NewMemStore(opt.B, dopt.CachePages)
+	memdev := pager.Device(pager.NewMemDevice(PageSizeFor(opt.B)))
+	if dopt.LiveDevice != nil {
+		memdev = dopt.LiveDevice(memdev)
+	}
+	mem, err := pager.Open(memdev, PageSizeFor(opt.B), dopt.CachePages)
+	if err != nil {
+		return nil, fmt.Errorf("segdb: durable index %s: live store: %w", path, err)
+	}
 	liveIx, err := BuildSolution1(mem, opt, segs)
 	if err != nil {
 		mem.Close()

@@ -1,11 +1,13 @@
 package segdb_test
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"segdb"
+	"segdb/internal/shard"
 )
 
 // FuzzBuildQuery fuzzes the whole public pipeline: an arbitrary segment
@@ -95,6 +97,112 @@ func FuzzBuildQuery(f *testing.F) {
 					t.Fatalf("%s query %v: spurious hit %d (soup %v)", name, q, s.ID, soup)
 				}
 			}
+		}
+	})
+}
+
+// FuzzShardRoute fuzzes the sharded store's routing invariant: over an
+// arbitrary planarized NCT soup split into K slabs, every query — probed
+// exactly on each cut, one ulp to either side of it, and at a
+// fuzz-chosen x — must report each hit segment EXACTLY once against the
+// linear-scan oracle. A segment with endpoints on a cut or spanning
+// several cuts lives in exactly one slab index (its left endpoint's) and
+// must still surface, via the boundary spanner list, for queries routed
+// to the slabs it reaches; double-registration shows up here as a
+// duplicate hit, a routing hole as a missing one. A live insert/delete
+// of a cut-spanning segment exercises the same invariant on the update
+// path.
+func FuzzShardRoute(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(2), 5.0)
+	f.Add(int64(2), uint8(30), uint8(4), 0.0)
+	f.Add(int64(3), uint8(40), uint8(3), 15.0) // x at the grid's right edge
+	f.Add(int64(4), uint8(25), uint8(8), 7.5)
+	f.Fuzz(func(t *testing.T, seed int64, n, kSel uint8, qx float64) {
+		if math.IsNaN(qx) || math.IsInf(qx, 0) {
+			t.Skip()
+		}
+		if n == 0 || n > 48 {
+			t.Skip()
+		}
+		k := 1 + int(kSel)%4
+		rng := rand.New(rand.NewSource(seed))
+		soup := make([]segdb.Segment, n)
+		for i := range soup {
+			s := segdb.NewSegment(uint64(i+1),
+				float64(rng.Intn(16)), float64(rng.Intn(16)),
+				float64(rng.Intn(16)), float64(rng.Intn(16)))
+			if s.IsPoint() {
+				s.B.X++
+			}
+			soup[i] = s
+		}
+		pieces := segdb.Planarize(soup, 1000)
+		segs := make([]segdb.Segment, len(pieces))
+		for i, p := range pieces {
+			segs[i] = p.Seg
+			segs[i].ID = uint64(i + 1) // planar pieces share source IDs; routing needs unique ones
+		}
+
+		st, err := shard.Create(t.TempDir(), shard.Config{
+			Shards:  k,
+			Durable: segdb.DurableOptions{Build: segdb.Options{B: 8}, CachePages: 32},
+		}, segs)
+		if errors.Is(err, shard.ErrCuts) {
+			t.Skip() // fewer distinct left endpoints than slabs
+		}
+		if err != nil {
+			t.Fatalf("Create K=%d over %d pieces: %v", k, len(segs), err)
+		}
+		defer st.Close()
+
+		// A long horizontal spanning every cut (y=50 clears the 16x16
+		// grid, so the set stays NCT), driven through the live update path.
+		span := segdb.NewSegment(9000, -1, 50, 17, 50)
+		if _, err := st.Insert(span); err != nil {
+			t.Fatalf("insert spanning segment: %v", err)
+		}
+		segs = append(segs, span)
+
+		check := func(q segdb.Query) {
+			counts := map[uint64]int{}
+			if _, err := st.Query(q, func(s segdb.Segment) { counts[s.ID]++ }); err != nil {
+				t.Fatalf("K=%d query %v: %v", k, q, err)
+			}
+			want := segdb.FilterHits(q, segs)
+			for _, s := range want {
+				switch counts[s.ID] {
+				case 1:
+				case 0:
+					t.Fatalf("K=%d query %v: segment %d missing (cuts %v)", k, q, s.ID, st.Cuts())
+				default:
+					t.Fatalf("K=%d query %v: segment %d reported %d times (cuts %v)",
+						k, q, s.ID, counts[s.ID], st.Cuts())
+				}
+			}
+			if len(counts) != len(want) {
+				t.Fatalf("K=%d query %v: %d distinct hits, oracle says %d (cuts %v)",
+					k, q, len(counts), len(want), st.Cuts())
+			}
+		}
+
+		xs := []float64{qx}
+		for _, c := range st.Cuts() {
+			xs = append(xs, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+		}
+		for _, x := range xs {
+			check(segdb.VLine(x))
+			check(segdb.VSeg(x, 0, 8))
+			check(segdb.VRayUp(x, 49)) // clips to the spanner plus the grid's top
+		}
+
+		// Delete the spanner: it must vanish from every slab's answers.
+		found, _, err := st.Delete(span)
+		if err != nil || !found {
+			t.Fatalf("delete spanning segment: found=%v err=%v", found, err)
+		}
+		segs = segs[:len(segs)-1]
+		for _, x := range xs {
+			check(segdb.VLine(x))
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"segdb"
 	"segdb/internal/repl"
+	"segdb/internal/shard"
 )
 
 // Endpoint identifies a served endpoint for metric attribution.
@@ -164,6 +165,7 @@ type Snapshot struct {
 	WriteAdmission *GateStats                  `json:"write_admission,omitempty"`
 	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
 	Store          StoreSnapshot               `json:"store"`
+	Shards         []shard.Status              `json:"shards,omitempty"`
 	WAL            *WALSnapshot                `json:"wal,omitempty"`
 	ReplLeader     *repl.LeaderStats           `json:"repl_leader,omitempty"`
 	Repl           *repl.Status                `json:"repl,omitempty"`
@@ -211,4 +213,25 @@ func SnapshotFrom(m *Metrics, g *Gate, st *segdb.Store, segments int) Snapshot {
 		}
 	}
 	return s
+}
+
+// storeFromShards synthesizes the store section of a sharded server,
+// which has K pagers instead of one: pages in use and I/O counters sum,
+// the hit ratio is recomputed from the summed counters, and the per-row
+// breakdown is the per-shard pagers' (one pool per shard — sharding
+// replaces the single pool's internal sharding as the balance view).
+func storeFromShards(shards []shard.Status) StoreSnapshot {
+	var out StoreSnapshot
+	for _, sh := range shards {
+		out.PagesInUse += sh.PagesInUse
+		out.PageSize = sh.PageSize
+		out.Total.Reads += sh.IO.Reads
+		out.Total.Writes += sh.IO.Writes
+		out.Total.CacheHits += sh.IO.CacheHits
+		out.Total.Allocs += sh.IO.Allocs
+		out.Total.Frees += sh.IO.Frees
+		out.Shards = append(out.Shards, sh.IO)
+	}
+	out.HitRatio = out.Total.HitRatio()
+	return out
 }

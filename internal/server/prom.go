@@ -188,6 +188,51 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		p.sample("segdb_store_shard_cache_hits_total", shardLabel(i), float64(sh.CacheHits))
 	}
 
+	// Index shards: one labelled row per slab of a sharded store. Absent
+	// on a single-index server (no slabs, no rows).
+	if len(s.Shards) > 0 {
+		p.family("segdb_index_shard_segments", "Segments owned by each index shard (left endpoint inside its slab).", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_segments", shardLabel(sh.Shard), float64(sh.Segments))
+		}
+		p.family("segdb_index_shard_spanners", "Segments registered on each shard's left-cut spanner list.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_spanners", shardLabel(sh.Shard), float64(sh.Spanners))
+		}
+		p.family("segdb_index_shard_wal_records", "Records in each shard's live write-ahead log.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_wal_records", shardLabel(sh.Shard), float64(sh.WALRecords))
+		}
+		p.family("segdb_index_shard_wal_size_bytes", "Size of each shard's live write-ahead log.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_wal_size_bytes", shardLabel(sh.Shard), float64(sh.WALSize))
+		}
+		p.family("segdb_index_shard_wal_durable_bytes", "Fsync-covered prefix of each shard's write-ahead log.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_wal_durable_bytes", shardLabel(sh.Shard), float64(sh.WALDurable))
+		}
+		p.family("segdb_index_shard_wal_wedged", "1 once a shard's WAL latched a failure and refuses writes, else 0.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_wal_wedged", shardLabel(sh.Shard), boolGauge(sh.WALWedged))
+		}
+		p.family("segdb_index_shard_pages_in_use", "Pages allocated in each shard's store.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_pages_in_use", shardLabel(sh.Shard), float64(sh.PagesInUse))
+		}
+		p.family("segdb_index_shard_reads_total", "Physical page reads of each shard's store.", "counter")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_reads_total", shardLabel(sh.Shard), float64(sh.IO.Reads))
+		}
+		p.family("segdb_index_shard_cache_hits_total", "Buffer-pool hits of each shard's store.", "counter")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_cache_hits_total", shardLabel(sh.Shard), float64(sh.IO.CacheHits))
+		}
+		p.family("segdb_index_shard_hit_ratio", "Fraction of each shard's page reads served by its pool.", "gauge")
+		for _, sh := range s.Shards {
+			p.sample("segdb_index_shard_hit_ratio", shardLabel(sh.Shard), sh.HitRatio)
+		}
+	}
+
 	if s.SlowLog != nil {
 		p.family("segdb_slow_requests_total", "Requests that crossed a slow-query threshold.", "counter")
 		p.sample("segdb_slow_requests_total", "", float64(s.SlowLog.Total))

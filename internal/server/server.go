@@ -13,7 +13,30 @@ import (
 
 	"segdb"
 	"segdb/internal/repl"
+	"segdb/internal/shard"
 )
+
+// Index is the read surface the server serves: cancellable single
+// queries, batches with the partial-results contract, and the live
+// segment count. *segdb.SyncIndex satisfies it for a single index,
+// *shard.Store for a sharded store — the handlers cannot tell them
+// apart, which is the point.
+type Index interface {
+	QueryContext(ctx context.Context, q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error)
+	QueryBatchContext(ctx context.Context, queries []segdb.Query, parallelism int) []segdb.BatchResult
+	Len() int
+}
+
+var (
+	_ Index = (*segdb.SyncIndex)(nil)
+	_ Index = (*shard.Store)(nil)
+)
+
+// ShardStatuser is the optional interface of a sharded index: its
+// per-shard rows ride /statsz and /metricsz.
+type ShardStatuser interface {
+	ShardStatus() []shard.Status
+}
 
 // Updater is the write path a read-write server serves: durable inserts
 // and deletes with per-update I/O attribution, plus the WAL's state
@@ -148,7 +171,7 @@ type Server struct {
 // both atomically — a snapshot can never attribute one index's queries
 // to another index's store.
 type serveState struct {
-	ix *segdb.SyncIndex
+	ix Index
 	st *segdb.Store
 }
 
@@ -157,7 +180,7 @@ type serveState struct {
 // adds shard stats and the pool hit ratio. For per-query I/O attribution
 // (the pages-read histograms and the slow log's I/O column), wrap the
 // index with segdb.SynchronizedOn so its QueryStats carry I/O windows.
-func New(ix *segdb.SyncIndex, st *segdb.Store, cfg Config) *Server {
+func New(ix Index, st *segdb.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -182,7 +205,7 @@ func (s *Server) cur() *serveState { return s.state.Load() }
 // Requests already running keep the old pair; the caller owns retiring
 // it (repl.Follower holds superseded indexes through a grace window
 // longer than any request deadline before closing them).
-func (s *Server) SwapIndex(ix *segdb.SyncIndex, st *segdb.Store) {
+func (s *Server) SwapIndex(ix Index, st *segdb.Store) {
 	s.state.Store(&serveState{ix: ix, st: st})
 }
 
@@ -203,6 +226,14 @@ func (s *Server) SlowLog() *SlowLog { return s.slow }
 func (s *Server) Snapshot() Snapshot {
 	cur := s.cur()
 	snap := SnapshotFrom(s.metrics, s.gate, cur.st, cur.ix.Len())
+	if ss, ok := cur.ix.(ShardStatuser); ok {
+		snap.Shards = ss.ShardStatus()
+		if cur.st == nil {
+			// A sharded store has no single pager; synthesize the store
+			// section from the per-shard rows so dashboards keep working.
+			snap.Store = storeFromShards(snap.Shards)
+		}
+	}
 	if s.wgate != nil {
 		ws := s.wgate.Stats()
 		snap.WriteAdmission = &ws
@@ -443,7 +474,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// start nothing new once ctx is done and abort queries already
 		// emitting, so a timed-out batch sheds its load promptly instead
 		// of burning a worker pool on answers nobody will receive.
-		results := segdb.QueryBatchContext(ctx, cur.ix, queries, par)
+		results := cur.ix.QueryBatchContext(ctx, queries, par)
 		resp.Results = make([]QueryResult, len(results))
 		for i, br := range results {
 			qr := QueryResult{Count: len(br.Hits)}

@@ -1,0 +1,377 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"segdb"
+	"segdb/internal/faultdev"
+	"segdb/internal/pager"
+	"segdb/internal/wal"
+	"segdb/internal/workload"
+)
+
+// The crash matrices run with K=3 and fixed cuts so op routing is known
+// a priori; the victim is the middle shard, which has spanner lists on
+// both of its boundaries. Every shard's WAL is an in-memory
+// wal.FaultFile (fault-configured only for the victim) so each matrix
+// iteration avoids real fsyncs and reboots replay from DurableImage —
+// exactly the root TestDurableCrashMatrix* discipline, per shard.
+const crashK = 3
+const victim = 1
+
+// crashWorkload returns cuts splitting a 12x12 grid into three slabs
+// plus the mixed op tail, and the per-op owning shard.
+func crashWorkload(seed int64) (cuts []float64, ops []shardOp, owners []int) {
+	rng := rand.New(rand.NewSource(seed))
+	segs := workload.Grid(rng, 12, 12, 0.9, 0.2)
+	var err error
+	cuts, err = ChooseCuts(segs, crashK)
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range segs {
+		ops = append(ops, shardOp{seg: s})
+		if i%4 == 3 {
+			ops = append(ops, shardOp{del: true, seg: segs[i-1]})
+		}
+	}
+	for _, op := range ops {
+		owners = append(owners, slabOf(cuts, op.seg.MinX()))
+	}
+	return cuts, ops, owners
+}
+
+// applyShardOps is the oracle: a map replay of every non-victim op plus
+// the first ackedVictim victim-routed ops.
+func applyShardOps(ops []shardOp, owners []int, ackedVictim int) []segdb.Segment {
+	live := map[uint64]segdb.Segment{}
+	seen := 0
+	for i, op := range ops {
+		if owners[i] == victim {
+			if seen == ackedVictim {
+				continue
+			}
+			seen++
+		}
+		if op.del {
+			delete(live, op.seg.ID)
+		} else {
+			live[op.seg.ID] = op.seg
+		}
+	}
+	var segs []segdb.Segment
+	for _, s := range live {
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+// crashCreate builds a fresh empty store over the fixed cuts with every
+// shard's WAL on the given FaultFiles.
+func crashCreate(t *testing.T, dir string, cuts []float64, wals []*wal.FaultFile) *Store {
+	t.Helper()
+	s, err := Create(dir, crashConfig(cuts, wals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func crashConfig(cuts []float64, wals []*wal.FaultFile) Config {
+	return Config{
+		Shards:  crashK,
+		Cuts:    cuts,
+		Durable: segdb.DurableOptions{Build: segdb.Options{B: 16}},
+		PerShard: func(k int, dopt *segdb.DurableOptions) {
+			dopt.WALFile = wals[k]
+		},
+	}
+}
+
+func healthyWALs(seed int64) []*wal.FaultFile {
+	wals := make([]*wal.FaultFile, crashK)
+	for i := range wals {
+		wals[i] = wal.NewFaultFile(seed)
+	}
+	return wals
+}
+
+// rebootWALs rebuilds each shard's WAL file from the durable image of
+// the crashed run — the per-shard power-cut.
+func rebootWALs(seed int64, wals []*wal.FaultFile) []*wal.FaultFile {
+	out := make([]*wal.FaultFile, len(wals))
+	for i, f := range wals {
+		out[i] = wal.NewFaultFileFrom(seed, f.DurableImage())
+	}
+	return out
+}
+
+// TestShardCrashMatrixWAL kills ONE shard's WAL file at every one of its
+// operations, with torn writes, while the other shards keep committing
+// the rest of the workload. The victim must wedge rather than lie, every
+// non-victim op must still be acknowledged, and the rebooted store must
+// hold exactly the non-victim ops plus the victim's acked prefix —
+// equal to an unsharded replay of that surviving op sequence.
+func TestShardCrashMatrixWAL(t *testing.T) {
+	cuts, ops, owners := crashWorkload(501)
+
+	// run applies the workload; victim ops may fail once the victim's
+	// WAL dies, ops owned by healthy shards must never fail.
+	run := func(t *testing.T, s *Store) (ackedVictim int) {
+		t.Helper()
+		victimDown := false
+		for i, op := range ops {
+			var err error
+			if op.del {
+				_, _, err = s.Delete(op.seg)
+			} else {
+				_, err = s.Insert(op.seg)
+			}
+			if owners[i] != victim {
+				if err != nil {
+					t.Fatalf("op %d (shard %d): healthy shard refused while victim crashed: %v",
+						i, owners[i], err)
+				}
+				continue
+			}
+			if err != nil {
+				victimDown = true
+			} else if victimDown {
+				t.Fatalf("op %d: victim acked an op after wedging", i)
+			} else {
+				ackedVictim++
+			}
+		}
+		return ackedVictim
+	}
+
+	// Fault-free counting run bounds the matrix.
+	wals := healthyWALs(0)
+	s := crashCreate(t, t.TempDir(), cuts, wals)
+	if got := run(t, s); got != countOwned(owners, victim) {
+		t.Fatalf("fault-free run acked %d victim ops, want %d", got, countOwned(owners, victim))
+	}
+	s.Close()
+	walOps := wals[victim].Ops()
+	if walOps < 20 {
+		t.Fatalf("suspiciously few victim WAL ops (%d)", walOps)
+	}
+
+	for k := int64(0); k < walOps; k++ {
+		dir := t.TempDir()
+		wals := healthyWALs(k)
+		f := wal.NewFaultFile(k)
+		f.TornWrites(0.7)
+		f.CrashAt(k)
+		wals[victim] = f
+		// An early crash can kill Create's own Open (the WAL header read
+		// is the victim's first op): the manifest is already committed,
+		// but no op of ANY shard ran, so the oracle is the empty store.
+		acked, opened := 0, false
+		if s, err := Create(dir, crashConfig(cuts, wals), nil); err == nil {
+			opened = true
+			acked = run(t, s)
+			s.Close()
+		}
+
+		// Reboot every shard from its durable image. The victim replays
+		// its surviving WAL prefix; the healthy shards replay everything.
+		s2, err := Open(dir, crashConfig(cuts, rebootWALs(k, wals)))
+		if err != nil {
+			t.Fatalf("crash at victim WAL op %d: recovery open failed: %v", k, err)
+		}
+		var want []segdb.Segment
+		if opened {
+			want = applyShardOps(ops, owners, acked)
+		}
+		got, err := s2.Collect()
+		if err != nil {
+			t.Fatalf("crash at victim WAL op %d: collect: %v", k, err)
+		}
+		if !sameIDSet(got, want) {
+			t.Fatalf("crash at victim WAL op %d: recovered %d segments, want %d (victim acked %d)",
+				k, len(got), len(want), acked)
+		}
+		// The recovered store answers queries, including across the
+		// victim's boundaries, identically to a scan of the oracle.
+		for _, c := range cuts {
+			q := segdb.VLine(c)
+			if !sameIDSet(collectStore(t, s2, q), segdb.FilterHits(q, want)) {
+				t.Fatalf("crash at victim WAL op %d: boundary query at x=%v diverged", k, c)
+			}
+		}
+		s2.Close()
+		if err := Verify(dir); err != nil {
+			t.Fatalf("crash at victim WAL op %d: checkpoint files damaged: %v", k, err)
+		}
+	}
+}
+
+func countOwned(owners []int, k int) int {
+	n := 0
+	for _, o := range owners {
+		if o == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestShardCrashMatrixCheckpoint kills ONE shard's checkpoint shadow
+// rebuild at every device operation during a store-wide Compact: the
+// Compact must report failure, and a reboot must recover the complete
+// pre-compact state — the victim from its old checkpoint plus unrotated
+// log, the healthy shards from their new checkpoints.
+func TestShardCrashMatrixCheckpoint(t *testing.T) {
+	cuts, ops, owners := crashWorkload(601)
+	want := applyShardOps(ops, owners, countOwned(owners, victim))
+
+	apply := func(t *testing.T, s *Store) {
+		t.Helper()
+		for i, op := range ops {
+			var err error
+			if op.del {
+				_, _, err = s.Delete(op.seg)
+			} else {
+				_, err = s.Insert(op.seg)
+			}
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+
+	// Fault-free counting run: a pass-through counting device on the
+	// victim's checkpoint bounds the matrix.
+	var ctr *faultdev.Device
+	cfg := crashConfig(cuts, healthyWALs(0))
+	base := cfg.PerShard
+	cfg.PerShard = func(k int, dopt *segdb.DurableOptions) {
+		base(k, dopt)
+		if k == victim {
+			dopt.CheckpointDevice = func(dev pager.Device) pager.Device {
+				ctr = faultdev.New(dev, 0)
+				return ctr
+			}
+		}
+	}
+	s, err := Create(t.TempDir(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, s)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if ctr == nil {
+		t.Fatal("victim checkpoint device never interposed")
+	}
+	devOps := ctr.Ops()
+	if devOps < 10 {
+		t.Fatalf("suspiciously few checkpoint device ops (%d)", devOps)
+	}
+
+	for k := int64(0); k < devOps; k++ {
+		dir := t.TempDir()
+		wals := healthyWALs(k)
+		cfg := crashConfig(cuts, wals)
+		base := cfg.PerShard
+		cfg.PerShard = func(sh int, dopt *segdb.DurableOptions) {
+			base(sh, dopt)
+			if sh == victim {
+				dopt.CheckpointDevice = func(dev pager.Device) pager.Device {
+					fd := faultdev.New(dev, k)
+					fd.CrashAt(k)
+					return fd
+				}
+			}
+		}
+		s, err := Create(dir, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(t, s)
+		if err := s.Compact(); err == nil {
+			t.Fatalf("crash at checkpoint device op %d: Compact reported success", k)
+		}
+		s.Close()
+
+		// Reboot with no checkpoint faults: whatever the crash left on
+		// disk plus every shard's durable WAL image.
+		s2, err := Open(dir, crashConfig(cuts, rebootWALs(k, wals)))
+		if err != nil {
+			t.Fatalf("crash at checkpoint device op %d: recovery open failed: %v", k, err)
+		}
+		got, err := s2.Collect()
+		if err != nil {
+			t.Fatalf("crash at checkpoint device op %d: collect: %v", k, err)
+		}
+		if !sameIDSet(got, want) {
+			t.Fatalf("crash at checkpoint device op %d: recovered %d segments, want %d",
+				k, len(got), len(want))
+		}
+		s2.Close()
+	}
+
+	// Past the matrix: a healthy Compact, then recovery equal to the
+	// full workload with every checkpoint verifying clean.
+	dir := t.TempDir()
+	wals := healthyWALs(7)
+	s3, err := Create(dir, crashConfig(cuts, wals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, s3)
+	if err := s3.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	if err := Verify(dir); err != nil {
+		t.Fatalf("post-compact verify: %v", err)
+	}
+	s4, err := Open(dir, crashConfig(cuts, rebootWALs(7, wals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	got, err := s4.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(got, want) {
+		t.Fatalf("post-compact recovery: %d segments, want %d", len(got), len(want))
+	}
+}
+
+// TestShardOpenRefusesPartial pins the half-recovered refusal: a
+// manifest that names shard files which are gone is ErrPartial, for
+// both the checkpoint and the WAL side.
+func TestShardOpenRefusesPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+
+	for _, missing := range []func(dir string) string{
+		func(dir string) string { return shardDBPath(dir, 1) },
+		func(dir string) string { return shardWALPath(dir, 2) },
+	} {
+		dir := t.TempDir()
+		s, err := Create(dir, testConfig(3), segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path := missing(dir)
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, testConfig(3)); !errors.Is(err, ErrPartial) {
+			t.Fatalf("Open with %s missing: got %v, want ErrPartial", path, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"context"
+
+	"segdb"
+)
+
+// Query answers a VS query through the sharded store. It is QueryContext
+// without a deadline.
+func (s *Store) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	return s.QueryContext(context.Background(), q, emit)
+}
+
+// QueryContext answers a VS query: it routes to the single slab index
+// owning q.X (one O(log_B n + t') tree search there, under that shard's
+// shared lock with its own I/O attribution window), then scans the
+// slab's left-cut spanner list for segments owned further left that
+// reach into the slab. The spanner scan is pure in-memory filtering over
+// an immutable copy-on-write slice — it touches no pages, so the
+// query's PagesRead/PoolHits are exactly the owning shard's, and the
+// only extra cost of sharding is that list's length (the "spanner-list
+// constant"). Results need no deduplication: the slab index holds only
+// segments whose left endpoint is inside the slab, the spanner list only
+// segments whose left endpoint is strictly left of it.
+//
+// Cancellation mirrors SyncIndex.QueryContext: segments already emitted
+// stay delivered, the error is ctx.Err(), and the spanner scan checks
+// the context at the same 64-answer stride.
+func (s *Store) QueryContext(ctx context.Context, q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	k := slabOf(s.cuts, q.X)
+	st, err := s.shards[k].Index().QueryContext(ctx, q, emit)
+	if err != nil {
+		return st, err
+	}
+	if k > 0 {
+		for i, sg := range s.spanners(k - 1) {
+			// Descending-MaxX order: once a spanner ends left of the
+			// query, every later one does too.
+			if sg.MaxX() < q.X {
+				break
+			}
+			if i&0x3f == 0x3f && ctx.Err() != nil {
+				return st, ctx.Err()
+			}
+			if q.Hits(sg) {
+				emit(sg)
+				st.Reported++
+			}
+		}
+	}
+	return st, nil
+}
+
+// indexAdapter presents the sharded store as a segdb.Index (plus the
+// contextQuerier extension), so segdb.QueryBatchContext's worker pool
+// and cancellation contract drive the cross-shard fan-out unchanged.
+type indexAdapter struct{ s *Store }
+
+func (a indexAdapter) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	return a.s.Query(q, emit)
+}
+
+func (a indexAdapter) QueryContext(ctx context.Context, q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
+	return a.s.QueryContext(ctx, q, emit)
+}
+
+func (a indexAdapter) Insert(seg segdb.Segment) error {
+	_, err := a.s.Insert(seg)
+	return err
+}
+
+func (a indexAdapter) Delete(seg segdb.Segment) (bool, error) {
+	found, _, err := a.s.Delete(seg)
+	return found, err
+}
+
+func (a indexAdapter) Len() int { return a.s.Len() }
+
+func (a indexAdapter) Collect() ([]segdb.Segment, error) { return a.s.Collect() }
+
+func (a indexAdapter) Drop() error { return segdb.ErrUnsupported }
+
+var _ segdb.Index = indexAdapter{}
+
+// QueryBatch answers queries concurrently across the shards. It is
+// QueryBatchContext without a deadline.
+func (s *Store) QueryBatch(queries []segdb.Query, parallelism int) []segdb.BatchResult {
+	return s.QueryBatchContext(context.Background(), queries, parallelism)
+}
+
+// QueryBatchContext scatter-gathers a batch: segdb.QueryBatchContext's
+// bounded worker pool pulls queries off a shared cursor and each lands
+// on its owning shard, so queries of different slabs proceed on
+// different locks, different buffer pools and different counter cache
+// lines — the parallel speedup sharding buys. The single-index contract
+// carries over verbatim: len(queries) results in order, per-query Stats
+// (whose merge across a fan-out segdb.MergeBatchStats defines), and on
+// cancellation partial results with ctx's error on the queries that did
+// not finish.
+func (s *Store) QueryBatchContext(ctx context.Context, queries []segdb.Query, parallelism int) []segdb.BatchResult {
+	return segdb.QueryBatchContext(ctx, indexAdapter{s}, queries, parallelism)
+}

@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"segdb"
+	"segdb/internal/workload"
+)
+
+// testConfig is the shard configuration the tests build stores with:
+// small blocks and pools so structures have real depth at test sizes.
+func testConfig(k int) Config {
+	return Config{
+		Shards:  k,
+		Durable: segdb.DurableOptions{Build: segdb.Options{B: 16}, CachePages: 64},
+	}
+}
+
+func sortedIDs(segs []segdb.Segment) []uint64 {
+	ids := make([]uint64, len(segs))
+	for i, s := range segs {
+		ids[i] = s.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func sameIDSet(a, b []segdb.Segment) bool {
+	x, y := sortedIDs(a), sortedIDs(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batteryQueries builds the boundary-heavy query set the differential
+// tests probe with: every cut exactly, ε-adjacent on both sides, slab
+// interiors, the extremes past all data, and random positions — each x
+// probed as a segment, both rays, and a line.
+func batteryQueries(cuts []float64, segs []segdb.Segment, seed int64) []segdb.Query {
+	rng := rand.New(rand.NewSource(seed))
+	box := workload.BBox(segs)
+	xs := []float64{box.MinX - 1, box.MaxX + 1, (box.MinX + box.MaxX) / 2}
+	for _, c := range cuts {
+		xs = append(xs, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)), c-0.25, c+0.25)
+	}
+	for i := 0; i < 24; i++ {
+		xs = append(xs, box.MinX+rng.Float64()*(box.MaxX-box.MinX))
+	}
+	var qs []segdb.Query
+	for _, x := range xs {
+		yMid := box.MinY + (box.MaxY-box.MinY)*rng.Float64()
+		qs = append(qs,
+			segdb.VSeg(x, yMid-2, yMid+2),
+			segdb.VRayUp(x, yMid),
+			segdb.VRayDown(x, yMid),
+			segdb.VLine(x),
+		)
+	}
+	return qs
+}
+
+// collectStore runs q through the sharded store, gathering hits.
+func collectStore(t *testing.T, s *Store, q segdb.Query) []segdb.Segment {
+	t.Helper()
+	var hits []segdb.Segment
+	if _, err := s.Query(q, func(sg segdb.Segment) { hits = append(hits, sg) }); err != nil {
+		t.Fatalf("query %v: %v", q, err)
+	}
+	return hits
+}
+
+func TestShardRouting(t *testing.T) {
+	cuts := []float64{0, 10, 20}
+	slabCases := []struct {
+		x    float64
+		want int
+	}{
+		{math.Inf(-1), 0}, {-5, 0}, {math.Nextafter(0, -1), 0},
+		{0, 1}, // x exactly on a cut belongs to the slab starting there
+		{5, 1}, {10, 2}, {15, 2}, {20, 3}, {1e9, 3},
+	}
+	for _, c := range slabCases {
+		if got := slabOf(cuts, c.x); got != c.want {
+			t.Errorf("slabOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+
+	crossCases := []struct {
+		x1, x2    float64
+		owner, hi int
+	}{
+		{-5, -1, 0, 0}, // inside slab 0, crosses nothing
+		{-5, 0, 0, 1},  // touches cut 0: registered there (queries at x=0 route to slab 1)
+		{-5, 15, 0, 2}, // crosses cuts 0 and 1
+		{-5, 25, 0, 3}, // crosses all three cuts
+		{0, 5, 1, 1},   // left endpoint ON cut 0: owned right of it, crosses nothing
+		{10, 20, 2, 3}, // owned by slab 2, touches cut 2
+		{25, 30, 3, 3}, // inside the last slab
+	}
+	for _, c := range crossCases {
+		seg := segdb.NewSegment(1, c.x1, 0, c.x2, 1)
+		owner, hi := crossRange(cuts, seg)
+		if owner != c.owner || hi != c.hi {
+			t.Errorf("crossRange(%v..%v) = (%d,%d), want (%d,%d)", c.x1, c.x2, owner, hi, c.owner, c.hi)
+		}
+	}
+}
+
+func TestShardChooseCuts(t *testing.T) {
+	segs := []segdb.Segment{
+		segdb.NewSegment(1, 0, 0, 3, 0),
+		segdb.NewSegment(2, 1, 1, 4, 1),
+		segdb.NewSegment(3, 2, 2, 5, 2),
+		segdb.NewSegment(4, 3, 3, 6, 3),
+	}
+	cuts, err := ChooseCuts(segs, 2)
+	if err != nil || len(cuts) != 1 {
+		t.Fatalf("ChooseCuts K=2: %v %v", cuts, err)
+	}
+	if _, err := ChooseCuts(segs, 5); !errors.Is(err, ErrCuts) {
+		t.Fatalf("K > distinct left endpoints: got %v, want ErrCuts", err)
+	}
+	if cuts, err := ChooseCuts(segs, 1); err != nil || cuts != nil {
+		t.Fatalf("K=1: %v %v", cuts, err)
+	}
+	// Duplicated left endpoints collapse; cuts must stay strictly
+	// increasing whatever the multiplicities.
+	var dup []segdb.Segment
+	for i := 0; i < 40; i++ {
+		dup = append(dup, segdb.NewSegment(uint64(i+1), float64(i%5), float64(i), float64(i%5)+2, float64(i)))
+	}
+	cuts, err = ChooseCuts(dup, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i-1] >= cuts[i] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+}
+
+func TestShardManifestLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	segs := workload.Grid(rng, 8, 8, 0.9, 0.2)
+
+	s, err := Create(dir, testConfig(3), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 3 || s.Len() != len(segs) {
+		t.Fatalf("created %d shards, %d segments; want 3, %d", s.Shards(), s.Len(), len(segs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Create(dir, testConfig(3), segs); !errors.Is(err, ErrExists) {
+		t.Fatalf("re-Create: got %v, want ErrExists", err)
+	}
+	if _, err := Open(dir, testConfig(4)); err == nil {
+		t.Fatal("Open with mismatched -shards succeeded")
+	}
+
+	// Open(Shards: 0) takes K from the manifest.
+	s2, err := Open(dir, Config{Durable: testConfig(3).Durable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Shards() != 3 || s2.Len() != len(segs) {
+		t.Fatalf("reopened %d shards, %d segments; want 3, %d", s2.Shards(), s2.Len(), len(segs))
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestShardSpannerMaintenance pins the side-index invariants through the
+// update path: a segment crossing cuts is reported by queries in every
+// slab it reaches, re-inserting it keeps one copy (upsert), deleting it
+// removes it everywhere, and exactly-on-cut endpoints stay visible.
+func TestShardSpannerMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	// Seed segments fix the cuts; spread left endpoints over [0, 40).
+	var segs []segdb.Segment
+	for i := 0; i < 40; i++ {
+		x := float64(i)
+		segs = append(segs, segdb.NewSegment(uint64(i+1), x, 50+float64(i), x+0.5, 50+float64(i)))
+	}
+	s, err := Create(dir, testConfig(4), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cuts := s.Cuts()
+	if len(cuts) != 3 {
+		t.Fatalf("cuts = %v", cuts)
+	}
+
+	// A long segment crossing every cut, inserted live.
+	span := segdb.NewSegment(1000, cuts[0]-1, 200, cuts[2]+1, 201)
+	if _, err := s.Insert(span); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{cuts[0] - 1, cuts[0], cuts[1], cuts[2], cuts[2] + 1} {
+		hits := collectStore(t, s, segdb.VLine(x))
+		found := false
+		for _, h := range hits {
+			if h.ID == span.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("spanning segment not reported at x=%v (cuts %v)", x, cuts)
+		}
+	}
+
+	// Upsert: the identical insert again must not duplicate it anywhere.
+	if _, err := s.Insert(span); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectStore(t, s, segdb.VLine(cuts[1]))
+	n := 0
+	for _, h := range hits {
+		if h.ID == span.ID {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("after re-insert: spanning segment reported %d times, want 1", n)
+	}
+
+	// A right endpoint exactly ON a cut: a query at the cut routes to the
+	// right slab and must still see it via the spanner list.
+	touch := segdb.NewSegment(1001, cuts[1]-2, 300, cuts[1], 301)
+	if _, err := s.Insert(touch); err != nil {
+		t.Fatal(err)
+	}
+	hits = collectStore(t, s, segdb.VLine(cuts[1]))
+	found := false
+	for _, h := range hits {
+		if h.ID == touch.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cut-touching segment not reported at x=%v", cuts[1])
+	}
+
+	// Delete removes from the index and every spanner list.
+	for _, seg := range []segdb.Segment{span, touch} {
+		found, _, err := s.Delete(seg)
+		if err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", seg.ID, found, err)
+		}
+	}
+	for _, x := range []float64{cuts[0], cuts[1], cuts[2]} {
+		for _, h := range collectStore(t, s, segdb.VLine(x)) {
+			if h.ID == span.ID || h.ID == touch.ID {
+				t.Fatalf("deleted segment %d still reported at x=%v", h.ID, x)
+			}
+		}
+	}
+	// Deleting again is an idempotent no-op.
+	if found, _, err := s.Delete(span); err != nil || found {
+		t.Fatalf("double delete: found=%v err=%v", found, err)
+	}
+}
+
+// TestShardStatusRows sanity-checks the observability surface: one row
+// per shard, cut bounds open at the edges, segment counts summing to
+// Len, and JSON round-tripping (segload decodes these off /statsz).
+func TestShardStatusRows(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	segs := workload.Grid(rng, 10, 10, 0.9, 0.2)
+	s, err := Create(dir, testConfig(4), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rows := s.ShardStatus()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	total := 0
+	for i, r := range rows {
+		if r.Shard != i {
+			t.Fatalf("row %d has shard %d", i, r.Shard)
+		}
+		total += r.Segments
+		if (i == 0) != (r.CutLo == nil) {
+			t.Fatalf("row %d: CutLo nil-ness wrong", i)
+		}
+		if (i == len(rows)-1) != (r.CutHi == nil) {
+			t.Fatalf("row %d: CutHi nil-ness wrong", i)
+		}
+		if i == 0 && r.Spanners != 0 {
+			t.Fatalf("shard 0 has no left cut but %d spanners", r.Spanners)
+		}
+	}
+	if total != s.Len() {
+		t.Fatalf("status rows sum to %d segments, store has %d", total, s.Len())
+	}
+}
+
+// TestShardCreateAbortedIsRetryable pins the manifest-as-commit-point
+// contract: a Create that died before writing the manifest left no
+// store, and a later Create over the same directory succeeds.
+func TestShardCreateAbortedIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(13))
+	segs := workload.Grid(rng, 6, 6, 0.9, 0.2)
+
+	// Simulate the aborted creation: shard files exist, no manifest.
+	s, err := Create(dir, testConfig(2), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testConfig(2)); err == nil {
+		t.Fatal("Open without a manifest succeeded")
+	}
+	s2, err := Create(dir, testConfig(2), segs)
+	if err != nil {
+		t.Fatalf("re-Create after aborted creation: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(segs) {
+		t.Fatalf("recreated store has %d segments, want %d", s2.Len(), len(segs))
+	}
+}
