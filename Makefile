@@ -15,9 +15,9 @@ test:
 
 # Race-detector gate: every concurrency-sensitive test (pager races,
 # singleflight, QueryBatch, SyncIndex stress, server admission/drain,
-# crash matrix) must pass under -race.
+# crash matrix, compaction vs concurrent commits) must pass under -race.
 race:
-	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash|Repl|Shard' ./internal/pager ./internal/server ./...
+	$(GO) test -race -run 'Concurrent|Race|Sync|Singleflight|Batch|Admission|Drain|Gate|Histogram|Serve|Crash|Repl|Shard|Compact' ./internal/pager ./internal/server ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

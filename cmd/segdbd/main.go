@@ -121,6 +121,12 @@ func main() {
 	followerID := flag.String("follower-id", "", "name reported to the leader's lag table; defaults to the hostname")
 	maxReplicaLag := flag.Duration("max-replica-lag", 10*time.Second, "replica staleness budget: /healthz?deep=1 fails beyond it; <=0 disables")
 	replicaCompact := flag.Int64("replica-compact-records", 65536, "local WAL records that trigger a replica checkpoint; <0 disables")
+	autoCompactBytes := flag.Int64("auto-compact-bytes", 0, "WAL record bytes that trigger a background compaction (per shard in -shards mode); 0 disables the byte trigger")
+	autoCompactRecords := flag.Int64("auto-compact-records", 0, "WAL records that trigger a background compaction (per shard in -shards mode); 0 disables the record trigger")
+	autoCompactInterval := flag.Duration("auto-compact-interval", time.Second, "how often the compaction governor polls the WAL thresholds")
+	autoCompactMinInterval := flag.Duration("auto-compact-min-interval", 0, "minimum time between background compactions of one index; 0 uses -auto-compact-interval")
+	compactLagGuard := flag.Int64("compact-lag-guard", 1<<20, "defer auto-compaction while a follower is actively tailing within this many bytes of the tip (it would be forced to re-bootstrap); 0 disables, and a WAL at twice a trigger threshold overrides the guard")
+	slowCompact := flag.Duration("slow-compact", time.Second, "compaction latency budget: longer compactions land in the slow log; <0 disables")
 	flag.Parse()
 
 	if *verify {
@@ -259,6 +265,7 @@ func main() {
 		SlowLatency:      slowLat,
 		SlowIOPages:      *slowIO,
 		SlowLogSize:      *slowRing,
+		SlowCompact:      *slowCompact,
 	}
 	if sink != nil {
 		cfg.SlowSink = sink.record
@@ -287,6 +294,59 @@ func main() {
 	}
 	srv = server.New(served, st, cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Background compaction: a governor watching each writable index's
+	// WAL against the -auto-compact thresholds, so an unattended leader's
+	// log (and restart-replay time) stays bounded without an operator
+	// POSTing /v1/admin/compact. In -shards mode each slab is its own
+	// unit, compacted only when its own WAL trips, staggered under the
+	// store's worker bound; in -wal (leader) mode the lag guard defers
+	// rotation while a follower is actively tailing close to the tip.
+	var gov *segdb.Governor
+	if (dix != nil || shs != nil) && (*autoCompactBytes > 0 || *autoCompactRecords > 0) {
+		gcfg := segdb.GovernorConfig{
+			Bytes:       *autoCompactBytes,
+			Records:     *autoCompactRecords,
+			Interval:    *autoCompactInterval,
+			MinInterval: *autoCompactMinInterval,
+			Logf:        log.Printf,
+			OnCompact: func(unit int, took time.Duration, err error) {
+				srv.ObserveCompaction(true, took, err)
+			},
+			OnDefer: func(unit int, reason string) {
+				srv.ObserveCompactDeferral()
+			},
+		}
+		var units []segdb.CompactUnit
+		if shs != nil {
+			units = shs.CompactUnits()
+			gcfg.Parallel = shs.Workers()
+		} else {
+			units = []segdb.CompactUnit{dix}
+			if leader := cfg.Repl; leader != nil && *compactLagGuard > 0 {
+				guard := *compactLagGuard
+				gcfg.Defer = func() (string, bool) {
+					if lag, id, ok := leader.ActiveTailLag(); ok && lag <= guard {
+						return fmt.Sprintf("follower %q tailing %d bytes behind (guard %d)", id, lag, guard), true
+					}
+					return "", false
+				}
+			}
+		}
+		gov = segdb.NewGovernor(units, gcfg)
+		log.Printf("segdbd: auto-compact on (bytes %d, records %d, poll %v, units %d)",
+			*autoCompactBytes, *autoCompactRecords, *autoCompactInterval, len(units))
+	}
+	govCtx, govCancel := context.WithCancel(context.Background())
+	defer govCancel()
+	var govDone chan struct{}
+	if gov != nil {
+		govDone = make(chan struct{})
+		go func() {
+			defer close(govDone)
+			gov.Run(govCtx)
+		}()
+	}
 
 	// The follower tails the leader until shutdown; srv is already
 	// assigned, so re-snapshot swaps repoint it.
@@ -350,6 +410,15 @@ func main() {
 			log.Printf("segdbd: slow log: %v", err)
 		}
 	}
+	// Stop the governor before the shutdown checkpoint closes anything:
+	// Run finishes its in-flight poll (and any compaction it started)
+	// before returning, so no background Compact can race Close. The
+	// shutdown Compact below coalesces with a just-finished auto-compact
+	// through the single-flight guard at worst.
+	govCancel()
+	if govDone != nil {
+		<-govDone
+	}
 	snap := srv.Snapshot()
 	switch {
 	case shs != nil:
@@ -403,6 +472,10 @@ func main() {
 	if snap.Repl != nil {
 		fmt.Printf("segdbd: follower applied %d records in %d batches, %d re-snapshots\n",
 			snap.Repl.RecordsApplied, snap.Repl.BatchesApplied, snap.Repl.Resnapshots)
+	}
+	if snap.Compact != nil && snap.Compact.Total > 0 {
+		fmt.Printf("segdbd: %d compactions (%d auto, %d failed, %d deferred)\n",
+			snap.Compact.Total, snap.Compact.Auto, snap.Compact.Failures, snap.Compact.Deferred)
 	}
 }
 

@@ -622,6 +622,18 @@ func printReport(r Report, snapErr, promErr error) {
 			}
 			fmt.Println()
 		}
+		if s.WAL != nil {
+			fmt.Printf("  server wal: %d records, %d bytes (%d durable)",
+				s.WAL.Records, s.WAL.SizeBytes, s.WAL.DurableBytes)
+			if s.WAL.Wedged {
+				fmt.Printf(", WEDGED")
+			}
+			fmt.Println()
+		}
+		if c := s.Compact; c != nil && c.Total > 0 {
+			fmt.Printf("  server compactions: %d (%d auto, %d failed, %d deferred), last %.1fms, %.1fs ago\n",
+				c.Total, c.Auto, c.Failures, c.Deferred, c.LastDurationMS, c.LastAgeSeconds)
+		}
 	}
 	for _, t := range r.Replicas {
 		role := "replica"

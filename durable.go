@@ -85,6 +85,26 @@ type DurableIndex struct {
 	live *SyncIndex
 	mem  *Store
 	log  *wal.Log
+
+	// cfMu guards cf, the in-flight compaction; concurrent Compact
+	// callers coalesce onto it instead of queueing a second rotation.
+	cfMu sync.Mutex
+	cf   *compactFlight
+
+	// statsMu pairs the rotation epoch with the log's counters for
+	// observers: Compact holds it across the epoch bump and the log
+	// rotation, and WALStatus/ReplState read under it, so a stats
+	// snapshot can never carry a pre-rotation size with a post-rotation
+	// epoch (or vice versa). It is never held across I/O other than the
+	// rotation truncate itself.
+	statsMu sync.Mutex
+}
+
+// compactFlight is one in-flight Compact that concurrent callers wait
+// on: done closes after err is set.
+type compactFlight struct {
+	done chan struct{}
+	err  error
 }
 
 // replPosition is a leader position (epoch, LSN) recovered from mark
@@ -412,7 +432,40 @@ func (d *DurableIndex) applyDelete(seg Segment) (bool, UpdateStats, int64, error
 // for the duration; queries keep running until the final state swap. A
 // crash after the commit rename but before the rotation is benign — the
 // stale records replay as upserts over the new checkpoint.
+//
+// Compact is single-flight: concurrent callers coalesce onto the
+// rotation already in progress and return its error, instead of queueing
+// a second checkpoint behind it. Nothing in the system wants
+// back-to-back rotations — an admin call racing a SIGTERM checkpoint, or
+// the background governor racing either, means the same WAL records; the
+// joiner's writes committed after the leader's Collect simply stay in
+// the post-rotation log, where replay finds them. A caller that needs a
+// checkpoint covering a specific write must call again after the
+// in-flight one returns.
 func (d *DurableIndex) Compact() error {
+	d.cfMu.Lock()
+	if f := d.cf; f != nil {
+		d.cfMu.Unlock()
+		<-f.done
+		return f.err
+	}
+	f := &compactFlight{done: make(chan struct{})}
+	d.cf = f
+	d.cfMu.Unlock()
+
+	err := d.compact()
+
+	d.cfMu.Lock()
+	f.err = err
+	d.cf = nil
+	d.cfMu.Unlock()
+	close(f.done)
+	return err
+}
+
+// compact is the checkpoint+rotation body, running with the
+// single-flight slot held.
+func (d *DurableIndex) compact() error {
 	// upMu holds updates off from Collect through Reset: a write landing
 	// between the collect and the rotation would be in neither the new
 	// checkpoint nor the surviving log. Queries only pause during
@@ -436,21 +489,46 @@ func (d *DurableIndex) Compact() error {
 	// itself, so any (epoch, position) a follower holds stays a true
 	// prefix; and a reader that double-checks the epoch around a WAL read
 	// can never miss a rotation, because the bump is visible before any
-	// old byte is overwritten.
+	// old byte is overwritten. statsMu spans both so a stats observer
+	// sees the epoch and the log counters move together.
 	next := d.epoch.Load() + 1
 	if d.epochPath != "" {
 		if err := storeEpoch(d.epochPath, next); err != nil {
 			return fmt.Errorf("segdb: checkpoint %s: %w", d.path, err)
 		}
 	}
+	d.statsMu.Lock()
 	d.epoch.Store(next)
-	return d.log.Reset()
+	err = d.log.Reset()
+	d.statsMu.Unlock()
+	return err
+}
+
+// WALStatus is a consistent observability snapshot: the rotation epoch
+// and the log counters that belong to it, taken together under the
+// stats mutex so a rotation cannot tear the pairing (a new epoch with
+// the old log's size, or a reset size under the old epoch).
+type WALStatus struct {
+	Epoch   uint64
+	Records int64
+	Size    int64
+	Durable int64
+}
+
+// WALStatus reports the epoch-consistent WAL snapshot. Within one
+// observed epoch, Size never decreases across successive calls.
+func (d *DurableIndex) WALStatus() WALStatus {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	records, size, durable := d.log.Stats()
+	return WALStatus{Epoch: d.epoch.Load(), Records: records, Size: size, Durable: durable}
 }
 
 // WALStats reports the log's size in records, bytes appended, and the
 // durable watermark — the serving layer's observability hook.
 func (d *DurableIndex) WALStats() (records, size, durable int64) {
-	return d.log.Records(), d.log.Size(), d.log.Durable()
+	st := d.WALStatus()
+	return st.Records, st.Size, st.Durable
 }
 
 // WALWedged reports the log's latched write/sync failure, or nil while
@@ -459,8 +537,11 @@ func (d *DurableIndex) WALWedged() error { return d.log.Wedged() }
 
 // ReplState reports the current rotation epoch and the log's durability
 // watermark — together, the leader position a fully caught-up follower
-// would hold.
+// would hold. The pair is taken under the stats mutex so a concurrent
+// rotation cannot hand out a new epoch with the old log's watermark.
 func (d *DurableIndex) ReplState() (epoch uint64, durable int64) {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
 	return d.epoch.Load(), d.log.Durable()
 }
 
@@ -495,9 +576,10 @@ func (d *DurableIndex) ReadWAL(epoch uint64, from int64, buf []byte) (int, error
 // completes it: tailing the leader's WAL of Epoch from LSN and applying
 // every record as an upsert reconstructs the live state exactly.
 type SnapshotInfo struct {
-	Epoch uint64
-	LSN   int64 // where tailing starts: the epoch's first record
-	Size  int64 // checkpoint file bytes
+	Epoch   uint64
+	LSN     int64 // where tailing starts: the epoch's first record
+	Size    int64 // checkpoint file bytes
+	Durable int64 // log durability watermark at snapshot time, same epoch
 }
 
 // Snapshot opens the current checkpoint file for a follower bootstrap.
@@ -520,9 +602,10 @@ func (d *DurableIndex) Snapshot() (io.ReadCloser, SnapshotInfo, error) {
 		return nil, SnapshotInfo{}, fmt.Errorf("segdb: snapshot %s: %w", d.path, err)
 	}
 	return f, SnapshotInfo{
-		Epoch: d.epoch.Load(),
-		LSN:   wal.HeaderSize,
-		Size:  fi.Size(),
+		Epoch:   d.epoch.Load(),
+		LSN:     wal.HeaderSize,
+		Size:    fi.Size(),
+		Durable: d.log.Durable(),
 	}, nil
 }
 

@@ -68,6 +68,11 @@ const (
 	// staleFollowerAfter prunes followers that stopped polling from the
 	// leader's lag table.
 	staleFollowerAfter = 5 * time.Minute
+	// activeTailWindow is how recently a follower must have polled to
+	// count as actively tailing for the compaction lag guard: long
+	// enough to span a long-poll cycle, far shorter than the stale
+	// prune, so a dead follower cannot hold compaction back.
+	activeTailWindow = 2 * maxPollWait
 )
 
 // Leader serves a DurableIndex's checkpoint and committed WAL records to
@@ -108,12 +113,16 @@ func (l *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rc.Close()
-	_, durable := l.d.ReplState()
+	// info.Durable was taken with the snapshot under the update lock, so
+	// the advertised watermark always belongs to the snapshot's epoch — a
+	// separate ReplState read here could land after a concurrent
+	// compaction rotated the log and pair the old epoch with the new,
+	// reset watermark.
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
 	w.Header().Set(HdrEpoch, strconv.FormatUint(info.Epoch, 10))
 	w.Header().Set(HdrLSN, strconv.FormatInt(info.LSN, 10))
-	w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
+	w.Header().Set(HdrDurable, strconv.FormatInt(info.Durable, 10))
 	l.snapshots.Add(1)
 	// The fd pins the snapshot's inode — committed checkpoints are never
 	// written in place — so the copy is consistent even if a compaction
@@ -279,6 +288,35 @@ func (l *Leader) Stats() LeaderStats {
 	l.mu.Unlock()
 	sort.Slice(s.Followers, func(i, j int) bool { return s.Followers[i].ID < s.Followers[j].ID })
 	return s
+}
+
+// ActiveTailLag reports the smallest positive lag among followers that
+// are actively tailing the current epoch — seen within activeTailWindow
+// and not yet caught up — and which follower holds it. ok is false when
+// no follower qualifies: every follower is caught up, silent, or on a
+// rotated epoch (already owed a re-snapshot, so a further rotation
+// costs it nothing). The compaction governor's lag guard defers
+// rotation while the returned lag is positive but within its byte
+// budget: that follower is mid-stream and close to done, and rotating
+// now would force an avoidable 410 re-bootstrap.
+func (l *Leader) ActiveTailLag() (lag int64, id string, ok bool) {
+	epoch, durable := l.d.ReplState()
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for fid, e := range l.followers {
+		if e.epoch != epoch || now.Sub(e.lastSeen) > activeTailWindow {
+			continue
+		}
+		fl := durable - e.lsn
+		if fl <= 0 {
+			continue
+		}
+		if !ok || fl < lag {
+			lag, id, ok = fl, fid, true
+		}
+	}
+	return lag, id, ok
 }
 
 func isRotated(err error) bool { return errors.Is(err, wal.ErrLogRotated) }

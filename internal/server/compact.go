@@ -1,0 +1,107 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// CompactStats is the serving layer's compaction registry: one per
+// Server, fed by the admin endpoint and by the background governor
+// through ObserveCompaction/ObserveCompactDeferral. All methods are
+// safe for concurrent use.
+type CompactStats struct {
+	mu       sync.Mutex
+	total    int64
+	failures int64
+	auto     int64
+	deferred int64
+	lastEnd  time.Time
+	lastDur  time.Duration
+}
+
+// CompactSnapshot is the /statsz compaction section. LastAgeSeconds is
+// negative when no compaction has completed yet (the age is unknown,
+// not zero — a freshly compacted store would read zero).
+type CompactSnapshot struct {
+	Total          int64   `json:"total"`
+	Failures       int64   `json:"failures"`
+	Auto           int64   `json:"auto"`
+	Deferred       int64   `json:"deferred"`
+	LastAgeSeconds float64 `json:"last_age_seconds"`
+	LastDurationMS float64 `json:"last_duration_ms"`
+}
+
+func (c *CompactStats) observe(auto bool, took time.Duration, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if failed {
+		c.failures++
+	}
+	if auto {
+		c.auto++
+	}
+	c.lastEnd = time.Now()
+	c.lastDur = took
+}
+
+func (c *CompactStats) deferral() {
+	c.mu.Lock()
+	c.deferred++
+	c.mu.Unlock()
+}
+
+// Snapshot reads the registry at a point in time.
+func (c *CompactStats) Snapshot() CompactSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CompactSnapshot{
+		Total:          c.total,
+		Failures:       c.failures,
+		Auto:           c.auto,
+		Deferred:       c.deferred,
+		LastAgeSeconds: -1,
+		LastDurationMS: float64(c.lastDur) / 1e6,
+	}
+	if !c.lastEnd.IsZero() {
+		s.LastAgeSeconds = time.Since(c.lastEnd).Seconds()
+	}
+	return s
+}
+
+// ObserveCompaction records one completed compaction attempt — auto
+// marks the background governor's, as opposed to the admin endpoint's
+// or shutdown's — and slow-logs it when it ran longer than the
+// SlowCompact budget. Compactions hold the update path's lock for
+// their duration, so a slow one is exactly the kind of tail-latency
+// cause the slow log exists to explain.
+func (s *Server) ObserveCompaction(auto bool, took time.Duration, err error) {
+	s.compacts.observe(auto, took, err != nil)
+	if s.cfg.SlowCompact < 0 || took < s.cfg.SlowCompact {
+		return
+	}
+	status := "ok"
+	if err != nil {
+		status = "failure"
+	}
+	kind := "admin"
+	if auto {
+		kind = "auto"
+	}
+	s.slow.Record(SlowEntry{
+		Time:      time.Now(),
+		Endpoint:  "compact",
+		Query:     kind,
+		Status:    status,
+		ElapsedMS: float64(took) / 1e6,
+		Inflight:  s.gate.Inflight(),
+		Draining:  s.gate.Draining(),
+	})
+}
+
+// ObserveCompactDeferral records the governor deferring a due
+// compaction (the replication lag guard).
+func (s *Server) ObserveCompactDeferral() { s.compacts.deferral() }
+
+// CompactStats exposes the compaction registry, e.g. for tests.
+func (s *Server) CompactStats() CompactSnapshot { return s.compacts.Snapshot() }

@@ -167,6 +167,7 @@ type Snapshot struct {
 	Store          StoreSnapshot               `json:"store"`
 	Shards         []shard.Status              `json:"shards,omitempty"`
 	WAL            *WALSnapshot                `json:"wal,omitempty"`
+	Compact        *CompactSnapshot            `json:"compact,omitempty"`
 	ReplLeader     *repl.LeaderStats           `json:"repl_leader,omitempty"`
 	Repl           *repl.Status                `json:"repl,omitempty"`
 	SlowLog        *SlowLogSnapshot            `json:"slow_log,omitempty"`

@@ -119,6 +119,22 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		p.sample("segdb_wal_wedged", "", boolGauge(s.WAL.Wedged))
 	}
 
+	// Compaction: present on any server whose Updater can checkpoint.
+	if s.Compact != nil {
+		p.family("segdb_compact_total", "Completed compaction attempts (admin, shutdown and auto).", "counter")
+		p.sample("segdb_compact_total", "", float64(s.Compact.Total))
+		p.family("segdb_compact_failures_total", "Compaction attempts that returned an error.", "counter")
+		p.sample("segdb_compact_failures_total", "", float64(s.Compact.Failures))
+		p.family("segdb_compact_auto_total", "Compactions fired by the background governor.", "counter")
+		p.sample("segdb_compact_auto_total", "", float64(s.Compact.Auto))
+		p.family("segdb_compact_deferred_total", "Due compactions the governor deferred (replication lag guard).", "counter")
+		p.sample("segdb_compact_deferred_total", "", float64(s.Compact.Deferred))
+		p.family("segdb_compact_last_age_seconds", "Seconds since the last compaction finished; -1 before the first.", "gauge")
+		p.sample("segdb_compact_last_age_seconds", "", s.Compact.LastAgeSeconds)
+		p.family("segdb_compact_last_duration_seconds", "Duration of the last compaction.", "gauge")
+		p.sample("segdb_compact_last_duration_seconds", "", s.Compact.LastDurationMS/1e3)
+	}
+
 	// Replication, leader side: shipping counters and per-follower lag.
 	if s.ReplLeader != nil {
 		p.family("segdb_repl_epoch", "Replication epoch: count of WAL rotations at this node.", "gauge")

@@ -103,6 +103,10 @@ type Config struct {
 	// is ringed — segdbd points it at a buffered JSONL writer. Keep it
 	// fast; it runs on the request goroutine.
 	SlowSink func(SlowEntry)
+	// SlowCompact is the compaction latency budget: compactions observed
+	// through ObserveCompaction that run at least this long are slow-
+	// logged. 0 selects 1s; negative disables.
+	SlowCompact time.Duration
 	// Updater, if set, enables the write path: POST /v1/insert and
 	// /v1/delete apply durable updates through it. Nil keeps the server
 	// read-only.
@@ -152,6 +156,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflightUpdates <= 0 {
 		c.MaxInflightUpdates = 16
 	}
+	if c.SlowCompact == 0 {
+		c.SlowCompact = time.Second
+	}
 	return c
 }
 
@@ -159,12 +166,13 @@ func (c Config) withDefaults() Config {
 // segdb.SyncIndex, so queries run concurrently under its shared lock on
 // the sharded store; admission bounds that concurrency explicitly.
 type Server struct {
-	state   atomic.Pointer[serveState] // the served index + store, swappable
-	cfg     Config
-	gate    *Gate
-	wgate   *Gate // write admission; nil on a read-only server
-	metrics *Metrics
-	slow    *SlowLog
+	state    atomic.Pointer[serveState] // the served index + store, swappable
+	cfg      Config
+	gate     *Gate
+	wgate    *Gate // write admission; nil on a read-only server
+	metrics  *Metrics
+	slow     *SlowLog
+	compacts CompactStats
 }
 
 // serveState pairs the served index with its store so a swap replaces
@@ -243,6 +251,10 @@ func (s *Server) Snapshot() Snapshot {
 			snap.WAL.Wedged = true
 			snap.WAL.WedgedError = werr.Error()
 		}
+	}
+	if _, ok := s.cfg.Updater.(Compacter); ok {
+		cs := s.compacts.Snapshot()
+		snap.Compact = &cs
 	}
 	if s.cfg.Repl != nil {
 		ls := s.cfg.Repl.Stats()
@@ -328,7 +340,9 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := s.cfg.Updater.(Compacter).Compact(); err != nil {
+	err := s.cfg.Updater.(Compacter).Compact()
+	s.ObserveCompaction(false, time.Since(start), err)
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "compact: "+err.Error())
 		return
 	}

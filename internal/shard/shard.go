@@ -610,6 +610,22 @@ func (s *Store) Compact() error {
 	return errors.Join(errs...)
 }
 
+// CompactUnits exposes every slab as its own segdb.CompactUnit so the
+// compaction governor can stagger slab checkpoints — compacting only
+// the slabs whose WAL crossed the thresholds, a bounded number at a
+// time — instead of rotating all K at once through Compact.
+func (s *Store) CompactUnits() []segdb.CompactUnit {
+	units := make([]segdb.CompactUnit, len(s.shards))
+	for i, d := range s.shards {
+		units[i] = d
+	}
+	return units
+}
+
+// Workers returns the store's per-shard parallelism bound — the same
+// bound Compact staggers under, exported so the governor can match it.
+func (s *Store) Workers() int { return s.workers }
+
 // Close closes every shard, returning the join of their errors.
 func (s *Store) Close() error {
 	errs := make([]error, len(s.shards))

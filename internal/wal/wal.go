@@ -404,6 +404,17 @@ func (l *Log) Size() int64 {
 // below it has been covered by a completed fsync.
 func (l *Log) Durable() int64 { return l.durable.Load() }
 
+// Stats returns record count, tail size and durability watermark from a
+// single acquisition of the log mutex — a consistent snapshot. Separate
+// Records/Size/Durable calls can straddle a Reset and pair a pre-rotation
+// size with a post-rotation watermark; observers that publish the triple
+// (the /statsz WAL section, the compaction governor) read it here.
+func (l *Log) Stats() (records, size, durable int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return (l.size - headerSize) / recordSize, l.size, l.durable.Load()
+}
+
 // Records returns how many records the log holds past the header.
 func (l *Log) Records() int64 { return (l.Size() - headerSize) / recordSize }
 

@@ -174,4 +174,38 @@ kill -TERM "$lpid"; wait "$lpid"; lpid=""
 "$dir/segdb" verify -db "$dir/leader.db" >/dev/null \
     || { echo "repl-smoke: leader checkpoint corrupt after graceful stop"; exit 1; }
 
+# Autonomous compaction: restart the leader with the WAL-threshold
+# governor on and a follower tailing, then push writes past the
+# threshold. The governor must rotate the log in the background — the
+# auto counter moves and the WAL stays bounded — and the tailing
+# follower must still converge to identical answers afterwards.
+"$dir/segdbd" -db "$dir/leader.db" -wal "$dir/leader.wal" -addr "$laddr" \
+    -group-commit-window 1ms -auto-compact-records 200 -auto-compact-interval 100ms \
+    >>"$dir/leader.log" 2>&1 &
+lpid=$!
+wait_healthy "$laddr" "$lpid" "$dir/leader.log"
+start_follower
+"$dir/segload" -addr "http://$laddr" -csv "$dir/segs.csv" -c 4 -duration 2s \
+    -write-frac 0.5 -json >"$dir/segload-auto.json"
+jq -e '.errors == 0 and .inserts > 0' "$dir/segload-auto.json" >/dev/null \
+    || { echo "repl-smoke: write burst under auto-compact failed:"; jq . "$dir/segload-auto.json"; exit 1; }
+for _ in $(seq 1 300); do
+    curl -fsS "http://$laddr/statsz" \
+        | jq -e '.compact.auto >= 1 and .wal.records < 400' >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$laddr/statsz" \
+    | jq -e '.compact.auto >= 1 and .compact.failures == 0 and .wal.records < 400' >/dev/null \
+    || { echo "repl-smoke: governor never bounded the WAL:"; \
+        curl -fsS "http://$laddr/statsz" | jq '{compact, wal}'; exit 1; }
+ametrics=$(curl -fsS "http://$laddr/metricsz")
+echo "$ametrics" | grep -q '^segdb_compact_auto_total' \
+    || { echo "repl-smoke: leader /metricsz missing segdb_compact_auto_total"; exit 1; }
+wait_converged
+differential
+kill -TERM "$fpid"; wait "$fpid"; fpid=""
+kill -TERM "$lpid"; wait "$lpid"; lpid=""
+"$dir/segdb" verify -db "$dir/leader.db" >/dev/null \
+    || { echo "repl-smoke: leader checkpoint corrupt after auto-compact run"; exit 1; }
+
 echo "repl-smoke: OK"
