@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke serve-smoke repl-smoke shard-smoke wal-crash ci
+.PHONY: all build vet test race bench fuzz-smoke serve-smoke repl-smoke shard-smoke trace-smoke wal-crash ci
 
 all: ci
 
@@ -45,10 +45,16 @@ repl-smoke:
 shard-smoke:
 	./scripts/shard_smoke.sh
 
+# End-to-end tracing gate: traceparent round trip, /tracez span trees
+# over shard fan-out and the WAL write path, stage histograms, the
+# trace-linked slow log, segload -trace, and tracing-off going dark.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # WAL crash-matrix gate: kill the log at every record boundary and the
 # checkpoint at every step, then recover and verify — under -race. The
 # shard matrices kill one shard's WAL/checkpoint while the others commit.
 wal-crash:
 	$(GO) test -race -run 'DurableCrash|DurableCheckpoint|WALCrash|TornTail|ShardCrash' . ./internal/wal ./internal/shard
 
-ci: vet build test race wal-crash serve-smoke repl-smoke shard-smoke
+ci: vet build test race wal-crash serve-smoke repl-smoke shard-smoke trace-smoke

@@ -2,18 +2,27 @@ package segdb
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"segdb/internal/trace"
 )
 
 // BatchResult is the outcome of one query of a QueryBatch: the answers in
-// emit order, the per-query work attribution, and the query's own error,
-// so one failing query does not discard its siblings' results.
+// emit order, the per-query work attribution, its wall-clock duration,
+// and the query's own error, so one failing query does not discard its
+// siblings' results.
 type BatchResult struct {
 	Hits  []Segment
 	Stats QueryStats
-	Err   error
+	// Elapsed is the query's own wall time inside the batch — what the
+	// slow log's per-subquery attribution and the per-subquery trace
+	// spans report. Zero for queries cancelled before they started.
+	Elapsed time.Duration
+	Err     error
 }
 
 // QueryBatch answers queries[i] into result[i] using up to parallelism
@@ -55,7 +64,7 @@ func QueryBatchContext(ctx context.Context, ix Index, queries []Query, paralleli
 	}
 	if parallelism == 1 {
 		for i, q := range queries {
-			out[i] = runBatchQuery(ctx, ix, q)
+			out[i] = runBatchQuery(ctx, ix, q, i)
 		}
 		return out
 	}
@@ -70,7 +79,7 @@ func QueryBatchContext(ctx context.Context, ix Index, queries []Query, paralleli
 				if i >= len(queries) {
 					return
 				}
-				out[i] = runBatchQuery(ctx, ix, queries[i])
+				out[i] = runBatchQuery(ctx, ix, queries[i], i)
 			}
 		}()
 	}
@@ -109,23 +118,48 @@ func MergeBatchStats(results []BatchResult) QueryStats {
 		t.GFallbacks += r.Stats.GFallbacks
 		t.PagesRead += r.Stats.PagesRead
 		t.PoolHits += r.Stats.PoolHits
+		t.MissNanos += r.Stats.MissNanos
 	}
 	return t
 }
 
-func runBatchQuery(ctx context.Context, ix Index, q Query) BatchResult {
+// runBatchQuery runs queries[i] and, when the batch is traced, brackets
+// it with a query span. The PR-6 cancellation contract extends to spans:
+// a cancelled subquery — before starting or mid-run — still closes its
+// span, tagged cancelled, so a traced timed-out batch shows exactly which
+// subqueries ran, which aborted, and which never started.
+func runBatchQuery(ctx context.Context, ix Index, q Query, i int) BatchResult {
 	var r BatchResult
+	qctx, sp := trace.StartSpan(ctx, trace.StageQuery)
+	if sp != nil {
+		sp.TagInt("i", int64(i))
+		defer sp.End()
+	}
 	// A done context fails the remaining queries immediately — a worker
 	// never starts work past the deadline.
 	if err := ctx.Err(); err != nil {
 		r.Err = err
+		sp.Tag("cancelled", "true")
 		return r
 	}
+	start := time.Now()
 	emit := func(s Segment) { r.Hits = append(r.Hits, s) }
 	if cq, ok := ix.(contextQuerier); ok {
-		r.Stats, r.Err = cq.QueryContext(ctx, q, emit)
+		r.Stats, r.Err = cq.QueryContext(qctx, q, emit)
 	} else {
 		r.Stats, r.Err = ix.Query(q, emit)
+	}
+	r.Elapsed = time.Since(start)
+	if sp != nil {
+		sp.TagInt("answers", int64(len(r.Hits)))
+		sp.TagInt("pages_read", r.Stats.PagesRead)
+		if r.Err != nil {
+			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+				sp.Tag("cancelled", "true")
+			} else {
+				sp.Tag("error", r.Err.Error())
+			}
+		}
 	}
 	return r
 }

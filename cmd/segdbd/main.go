@@ -26,6 +26,7 @@
 //	                 admission and per-shard store stats (JSON);
 //	                 ?slow=1 adds the slow-query ring
 //	GET  /metricsz   the same registry in Prometheus text format
+//	GET  /tracez     sampled request traces with per-stage span trees
 //	GET  /healthz    liveness; 503 once draining
 //	GET  /healthz?deep=1  additionally runs a stabbing query (at
 //	                 -probe-x) through the real store: corrupt pages or a
@@ -37,6 +38,14 @@
 //     physical pages, land in a bounded in-memory ring (/statsz?slow=1)
 //     and, with -slow-log, are appended as JSONL to a file.
 //     -slow-latency 0 logs every request — the smoke-test setting.
+//   - -trace-sample enables request tracing: every request gets per-stage
+//     spans (admission, per-shard probes, pager misses, WAL group commit,
+//     ...) feeding the segdb_stage_seconds histograms, and a sampled
+//     subset of complete traces — plus every slow or caller-sampled one —
+//     is retained behind GET /tracez (ring capacity -trace-ring) and,
+//     with -trace-log, appended as JSONL. Inbound W3C traceparent headers
+//     are honoured and the response carries one back; slow-log entries
+//     carry their trace_id. 0 (the default) disables tracing entirely.
 //   - -debug-addr starts a second listener serving net/http/pprof
 //     (/debug/pprof/...), kept off the query port so profiling can stay
 //     firewalled in production.
@@ -93,6 +102,7 @@ import (
 	"segdb/internal/repl"
 	"segdb/internal/server"
 	"segdb/internal/shard"
+	"segdb/internal/trace"
 )
 
 func main() {
@@ -113,6 +123,9 @@ func main() {
 	slowIO := flag.Int64("slow-io", 0, "slow-query I/O threshold in physical pages read; 0 disables")
 	slowRing := flag.Int("slow-ring", 128, "slow-query ring capacity (/statsz?slow=1)")
 	slowLog := flag.String("slow-log", "", "append slow-query entries as JSONL to this file")
+	traceSample := flag.Float64("trace-sample", 0, "request-trace head-sampling probability in (0,1]; 0 disables tracing (/tracez stays empty)")
+	traceRing := flag.Int("trace-ring", 64, "kept-trace ring capacity behind /tracez")
+	traceLog := flag.String("trace-log", "", "append kept traces as JSONL to this file (requires -trace-sample > 0)")
 	walPath := flag.String("wal", "", "write-ahead log path; enables POST /v1/insert and /v1/delete (requires a Solution 1 index)")
 	groupCommit := flag.Duration("group-commit-window", 0, "group-commit window: how long an update fsync lingers for concurrent writers to share it")
 	maxInflightUpdates := flag.Int("max-inflight-updates", 16, "write-admission limit; excess update load is shed with 429")
@@ -238,13 +251,25 @@ func main() {
 			*db, ix.Len(), st.PagesInUse(), st.PageSize(), st.Shards())
 	}
 
-	var sink *slowSink
+	var sink *jsonlSink
 	if *slowLog != "" {
-		sink, err = openSlowSink(*slowLog)
+		sink, err = openJSONLSink(*slowLog)
 		if err != nil {
 			log.Fatalf("segdbd: slow log: %v", err)
 		}
 		log.Printf("segdbd: slow queries append to %s", *slowLog)
+	}
+
+	var tsink *jsonlSink
+	if *traceLog != "" {
+		if *traceSample <= 0 {
+			log.Fatalf("segdbd: -trace-log requires -trace-sample > 0")
+		}
+		tsink, err = openJSONLSink(*traceLog)
+		if err != nil {
+			log.Fatalf("segdbd: trace log: %v", err)
+		}
+		log.Printf("segdbd: kept traces append to %s", *traceLog)
 	}
 
 	// -slow-latency 0 means "log everything": the server treats 0 as
@@ -266,9 +291,17 @@ func main() {
 		SlowIOPages:      *slowIO,
 		SlowLogSize:      *slowRing,
 		SlowCompact:      *slowCompact,
+		TraceSample:      *traceSample,
+		TraceRing:        *traceRing,
 	}
 	if sink != nil {
-		cfg.SlowSink = sink.record
+		cfg.SlowSink = func(e server.SlowEntry) { sink.record(e) }
+	}
+	if tsink != nil {
+		cfg.TraceSink = func(t trace.TraceSnapshot) { tsink.record(t) }
+	}
+	if *traceSample > 0 {
+		log.Printf("segdbd: tracing on (sample %g, ring %d)", *traceSample, *traceRing)
 	}
 	if dix != nil {
 		cfg.Updater = dix
@@ -410,6 +443,11 @@ func main() {
 			log.Printf("segdbd: slow log: %v", err)
 		}
 	}
+	if tsink != nil {
+		if err := tsink.close(); err != nil {
+			log.Printf("segdbd: trace log: %v", err)
+		}
+	}
 	// Stop the governor before the shutdown checkpoint closes anything:
 	// Run finishes its in-flight poll (and any compaction it started)
 	// before returning, so no background Compact can race Close. The
@@ -479,26 +517,27 @@ func main() {
 	}
 }
 
-// slowSink appends slow-query entries to a JSONL file. Entries arrive on
-// request goroutines but only at the slow-query rate, so a mutex around a
-// buffered writer is plenty; flushing every entry keeps the file live for
-// tail -f at negligible cost at that rate.
-type slowSink struct {
+// jsonlSink appends JSON records to a file, one per line. It backs both
+// the slow-query log and the trace log: records arrive on request
+// goroutines but only at slow-query / kept-trace rates, so a mutex
+// around a buffered writer is plenty; flushing every record keeps the
+// file live for tail -f at negligible cost at those rates.
+type jsonlSink struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
 }
 
-func openSlowSink(path string) (*slowSink, error) {
+func openJSONLSink(path string) (*jsonlSink, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &slowSink{f: f, w: bufio.NewWriter(f)}, nil
+	return &jsonlSink{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-func (s *slowSink) record(e server.SlowEntry) {
-	line, err := json.Marshal(e)
+func (s *jsonlSink) record(v any) {
+	line, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
@@ -509,7 +548,7 @@ func (s *slowSink) record(e server.SlowEntry) {
 	s.w.Flush()
 }
 
-func (s *slowSink) close() error {
+func (s *jsonlSink) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil {

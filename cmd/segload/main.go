@@ -21,6 +21,12 @@
 // /statsz replication lag — so a stale or slow replica is visible next
 // to the leader it trails.
 //
+// -trace stamps every request with a sampled W3C traceparent header, so
+// a tracing-enabled server (segdbd -trace-sample > 0) keeps a trace for
+// each of them; at the end of the run segload scrapes /tracez and prints
+// a per-stage latency table (p50/p99/max over the kept traces' spans) —
+// where inside the server the time went, stage by stage.
+//
 // -csv derives the query coordinate range from a workload CSV (the one
 // the index was built from); otherwise -span bounds x and y. The report
 // combines client-side latency (merged per-worker histograms) with the
@@ -42,6 +48,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +57,7 @@ import (
 
 	"segdb/internal/repl"
 	"segdb/internal/server"
+	"segdb/internal/trace"
 )
 
 type counters struct {
@@ -75,6 +83,7 @@ func main() {
 	batch := flag.Int("batch", 0, "queries per request (0 = single form)")
 	withHits := flag.Bool("hits", false, "transfer full hit payloads instead of counts")
 	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are writes, split insert/delete (requires segdbd -wal)")
+	traced := flag.Bool("trace", false, "send a sampled traceparent with every request and report per-stage latency from /tracez (requires segdbd -trace-sample > 0)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	var replicas []string
 	flag.Func("replica", "read-replica base URL (repeatable); reads round-robin across -addr and replicas, writes stay on -addr", func(s string) error {
@@ -123,7 +132,7 @@ func main() {
 				xLo: xLo, xHi: xHi, yLo: yLo, yHi: yHi, height: h,
 				lineFrac: *lineFrac, rayFrac: *rayFrac,
 				batch: *batch, omitHits: !*withHits,
-				writeFrac: *writeFrac, worker: w,
+				writeFrac: *writeFrac, worker: w, trace: *traced,
 			}, &cnt, tcnt, hists[w])
 		}(w)
 	}
@@ -142,6 +151,14 @@ func main() {
 	report := buildReport(&cnt, lat.Snapshot(), wall, *c, *batch, snap, snapErr, prom, promErr)
 	if len(targets) > 1 {
 		report.Replicas = replicaReports(client, targets, tcnt, hists)
+	}
+	if *traced {
+		if ring, err := fetchTracez(client, targets[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "segload: tracez: %v\n", err)
+		} else {
+			report.TracesKept = ring.TracesKept
+			report.TraceStages = stageTable(ring)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -166,6 +183,7 @@ type workerConfig struct {
 	omitHits           bool
 	writeFrac          float64
 	worker             int
+	trace              bool
 }
 
 // targetCounters is one read target's share of the run, summed across
@@ -240,7 +258,7 @@ func runUpdate(client *http.Client, addr string, rng *rand.Rand, cfg workerConfi
 	}
 	cnt.requests.Add(1)
 	start := time.Now()
-	resp, err := client.Post(addr+endpoint, "application/json", bytes.NewReader(body))
+	resp, err := post(client, rng, addr+endpoint, body, cfg.trace)
 	if err != nil {
 		cnt.errors.Add(1)
 		return
@@ -303,7 +321,7 @@ func runWorker(client *http.Client, rng *rand.Rand, cfg workerConfig, cnt *count
 		cnt.requests.Add(1)
 		tcnt[t].requests.Add(1)
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := post(client, rng, url, body, cfg.trace)
 		if err != nil {
 			cnt.errors.Add(1)
 			continue
@@ -330,6 +348,24 @@ func runWorker(client *http.Client, rng *rand.Rand, cfg workerConfig, cnt *count
 			cnt.errors.Add(1)
 		}
 	}
+}
+
+// post issues one JSON request, stamping a freshly minted, sampled W3C
+// traceparent when traced — the sampled flag is the propagated-keep
+// signal, so a tracing-enabled server retains a trace for every segload
+// request regardless of its own head-sampling rate. The low bit forced on
+// keeps the IDs nonzero, which the parser (correctly) rejects.
+func post(client *http.Client, rng *rand.Rand, url string, body []byte, traced bool) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traced {
+		req.Header.Set(trace.Header, fmt.Sprintf("00-%016x%016x-%016x-01",
+			rng.Uint64(), rng.Uint64()|1, rng.Uint64()|1))
+	}
+	return client.Do(req)
 }
 
 // retryAfter parses the Retry-After hint, falling back (and capping) so a
@@ -437,6 +473,63 @@ func fetchMetricsz(client *http.Client, addr string) (promMetrics, error) {
 	return parseProm(b.String())
 }
 
+func fetchTracez(client *http.Client, addr string) (trace.RingSnapshot, error) {
+	var ring trace.RingSnapshot
+	resp, err := client.Get(addr + "/tracez")
+	if err != nil {
+		return ring, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ring, fmt.Errorf("tracez: HTTP %d", resp.StatusCode)
+	}
+	return ring, json.NewDecoder(resp.Body).Decode(&ring)
+}
+
+// StageLatency is one stage's latency distribution over the spans of the
+// traces retained in /tracez at the end of the run: where inside the
+// server the traced requests spent their time.
+type StageLatency struct {
+	Stage string  `json:"stage"`
+	Spans int     `json:"spans"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// stageTable folds the ring's span durations into one row per stage, in
+// the tracer's canonical stage order (request first, then the pipeline).
+func stageTable(ring trace.RingSnapshot) []StageLatency {
+	durs := make(map[string][]float64)
+	for _, t := range ring.Traces {
+		for _, sp := range t.Spans {
+			durs[sp.Stage] = append(durs[sp.Stage], sp.DurUS/1e3)
+		}
+	}
+	var out []StageLatency
+	for _, st := range trace.StageNames() {
+		d := durs[st]
+		if len(d) == 0 {
+			continue
+		}
+		sort.Float64s(d)
+		out = append(out, StageLatency{
+			Stage: st,
+			Spans: len(d),
+			P50MS: quantile(d, 0.50),
+			P99MS: quantile(d, 0.99),
+			MaxMS: d[len(d)-1],
+		})
+	}
+	return out
+}
+
+// quantile reads the q-th quantile off a sorted sample by nearest rank.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
+
 func fetchStatsz(client *http.Client, addr string) (server.Snapshot, error) {
 	var snap server.Snapshot
 	resp, err := client.Get(addr + "/statsz")
@@ -496,6 +589,8 @@ type Report struct {
 	ServerIO    []ServerIO               `json:"server_io,omitempty"`
 	HitRatio    float64                  `json:"store_hit_ratio"`
 	Replicas    []ReplicaReport          `json:"read_targets,omitempty"`
+	TracesKept  int64                    `json:"traces_kept,omitempty"`
+	TraceStages []StageLatency           `json:"trace_stages,omitempty"`
 }
 
 // replicaReports assembles the per-target rows: merged client latency
@@ -650,6 +745,14 @@ func printReport(r Report, snapErr, promErr error) {
 				t.Repl.LagBytes, t.Repl.LagSeconds, t.Repl.CaughtUp, t.Repl.AppliedLSN)
 		}
 		fmt.Println()
+	}
+	if len(r.TraceStages) > 0 {
+		fmt.Printf("  trace stages (spans over %d kept traces):\n", r.TracesKept)
+		fmt.Printf("    %-14s %7s %10s %10s %10s\n", "stage", "spans", "p50 ms", "p99 ms", "max ms")
+		for _, st := range r.TraceStages {
+			fmt.Printf("    %-14s %7d %10.3f %10.3f %10.3f\n",
+				st.Stage, st.Spans, st.P50MS, st.P99MS, st.MaxMS)
+		}
 	}
 	if promErr != nil {
 		fmt.Printf("  metricsz unavailable: %v\n", promErr)

@@ -1,6 +1,7 @@
 package segdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"segdb/internal/core"
 	"segdb/internal/pager"
+	"segdb/internal/trace"
 	"segdb/internal/wal"
 )
 
@@ -341,14 +343,23 @@ func (d *DurableIndex) Store() *Store { return d.mem }
 // applied (validation) or never acknowledged. The caller owns the NCT
 // contract, as with every Insert in this package.
 func (d *DurableIndex) Insert(seg Segment) (UpdateStats, error) {
+	return d.InsertContext(context.Background(), seg)
+}
+
+// InsertContext is Insert with trace attribution: when ctx carries a
+// trace (internal/trace), the update's stages land as spans — apply (the
+// live-index mutation), wal_append (the buffered record write), and
+// wal_commit (the group-commit acknowledgement, with a wal_fsync child
+// when this commit led the fsync). An untraced ctx adds no timing work.
+func (d *DurableIndex) InsertContext(ctx context.Context, seg Segment) (UpdateStats, error) {
 	if d.replica {
 		return UpdateStats{}, ErrReplica
 	}
-	st, lsn, err := d.applyInsert(seg)
+	st, lsn, err := d.applyInsert(ctx, seg)
 	if err != nil {
 		return st, err
 	}
-	return st, d.log.Sync(lsn)
+	return st, d.syncTraced(ctx, lsn)
 }
 
 // applyInsert is Insert's apply+append step, atomic under upMu. The
@@ -358,21 +369,37 @@ func (d *DurableIndex) Insert(seg Segment) (UpdateStats, error) {
 // index hold exact duplicates that replay (and every replica) collapses,
 // and the first logged delete of such a segment would then diverge the
 // live state from anything the WAL can reconstruct.
-func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
+func (d *DurableIndex) applyInsert(ctx context.Context, seg Segment) (UpdateStats, int64, error) {
 	d.upMu.Lock()
 	defer d.upMu.Unlock()
 	if err := d.log.Wedged(); err != nil {
 		return UpdateStats{}, 0, err
+	}
+	traced := trace.Active(ctx)
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
 	}
 	had, err := d.live.Delete(seg)
 	if err != nil {
 		return UpdateStats{}, 0, err
 	}
 	st, err := d.live.InsertStats(seg)
+	if traced {
+		trace.AddSpan(ctx, trace.StageApply, time.Since(t0),
+			trace.Tag{K: "op", V: "insert"},
+			trace.Tag{K: "pages_written", V: strconv.FormatInt(st.PagesWritten, 10)})
+	}
 	if err != nil {
 		return st, 0, err
 	}
+	if traced {
+		t0 = time.Now()
+	}
 	lsn, err := d.log.Append(wal.Record{Op: wal.OpInsert, Seg: seg})
+	if traced {
+		trace.AddSpan(ctx, trace.StageWALAppend, time.Since(t0))
+	}
 	if err != nil {
 		// Roll the apply back so reads do not serve a write the log
 		// never saw. The log is wedged, so no later write can interleave
@@ -395,28 +422,82 @@ func (d *DurableIndex) applyInsert(seg Segment) (UpdateStats, int64, error) {
 // Delete durably removes a segment. A segment that was not present is
 // (false, nil) and writes no record.
 func (d *DurableIndex) Delete(seg Segment) (bool, UpdateStats, error) {
+	return d.DeleteContext(context.Background(), seg)
+}
+
+// DeleteContext is Delete with trace attribution; see InsertContext for
+// the span layout.
+func (d *DurableIndex) DeleteContext(ctx context.Context, seg Segment) (bool, UpdateStats, error) {
 	if d.replica {
 		return false, UpdateStats{}, ErrReplica
 	}
-	found, st, lsn, err := d.applyDelete(seg)
+	found, st, lsn, err := d.applyDelete(ctx, seg)
 	if err != nil || !found {
 		return found, st, err
 	}
-	return found, st, d.log.Sync(lsn)
+	return found, st, d.syncTraced(ctx, lsn)
+}
+
+// syncTraced acknowledges lsn through the group commit. On a traced ctx
+// the acknowledgement becomes a wal_commit span carrying the queue wait
+// and window tags, with a wal_fsync child when this committer led the
+// batch's fsync (a covered committer shows wal_commit alone — the span
+// shape distinguishes "paid an fsync" from "drafted behind one").
+func (d *DurableIndex) syncTraced(ctx context.Context, lsn int64) error {
+	if !trace.Active(ctx) {
+		return d.log.Sync(lsn)
+	}
+	cctx, sp := trace.StartSpan(ctx, trace.StageWALCommit)
+	var obs wal.SyncStats
+	err := d.log.SyncObserve(lsn, &obs)
+	switch {
+	case obs.Covered:
+		sp.Tag("covered", "true")
+	default:
+		sp.Tag("leader", strconv.FormatBool(obs.Leader))
+		sp.TagInt("wait_us", obs.Wait.Microseconds())
+		if obs.Window > 0 {
+			sp.TagInt("window_us", obs.Window.Microseconds())
+		}
+		if obs.Fsync > 0 {
+			trace.AddSpan(cctx, trace.StageWALFsync, obs.Fsync)
+		}
+	}
+	if err != nil {
+		sp.Tag("error", err.Error())
+	}
+	sp.End()
+	return err
 }
 
 // applyDelete is Delete's apply+append step, atomic under upMu.
-func (d *DurableIndex) applyDelete(seg Segment) (bool, UpdateStats, int64, error) {
+func (d *DurableIndex) applyDelete(ctx context.Context, seg Segment) (bool, UpdateStats, int64, error) {
 	d.upMu.Lock()
 	defer d.upMu.Unlock()
 	if err := d.log.Wedged(); err != nil {
 		return false, UpdateStats{}, 0, err
 	}
+	traced := trace.Active(ctx)
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	found, st, err := d.live.DeleteStats(seg)
+	if traced {
+		trace.AddSpan(ctx, trace.StageApply, time.Since(t0),
+			trace.Tag{K: "op", V: "delete"},
+			trace.Tag{K: "pages_written", V: strconv.FormatInt(st.PagesWritten, 10)})
+	}
 	if err != nil || !found {
 		return found, st, 0, err
 	}
+	if traced {
+		t0 = time.Now()
+	}
 	lsn, err := d.log.Append(wal.Record{Op: wal.OpDelete, Seg: seg})
+	if traced {
+		trace.AddSpan(ctx, trace.StageWALAppend, time.Since(t0))
+	}
 	if err != nil {
 		if rerr := d.live.Insert(seg); rerr != nil {
 			d.live.poison(fmt.Errorf("segdb: delete %d: rollback after append failure (%v) failed: %w", seg.ID, err, rerr))

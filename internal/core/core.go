@@ -34,6 +34,12 @@ type QueryStats struct {
 	// I/O model.
 	PagesRead int64
 	PoolHits  int64
+
+	// MissNanos is the wall time the query's window spent filling pool
+	// misses (device reads plus singleflight waits), when the caller
+	// attributes I/O. It powers the pager_miss span of a traced query;
+	// like PagesRead it is a window measure, exact only without overlap.
+	MissNanos int64
 }
 
 // Index is a VS-query index over an NCT segment database.

@@ -342,6 +342,22 @@ func (s *Store) ReadStats() (reads, hits int64) {
 	return reads, hits
 }
 
+// ReadWindow returns the read-path counters plus the accumulated miss
+// fill time in nanoseconds (device-read time on singleflight leaders plus
+// block time of waiters), summed over all shards — the attribution window
+// ReadStats, extended for latency attribution. The same window semantics
+// apply: exact while operations do not overlap, an upper bound under
+// concurrency.
+func (s *Store) ReadWindow() (reads, hits, missNanos int64) {
+	for i := range s.shards {
+		c := &s.shards[i].stats
+		reads += c.reads.Load()
+		hits += c.cacheHits.Load()
+		missNanos += c.missNanos.Load()
+	}
+	return reads, hits, missNanos
+}
+
 // WriteStats returns the physical page writes, summed over all shards —
 // the write-path sibling of ReadStats, for per-update attribution.
 func (s *Store) WriteStats() (writes int64) {

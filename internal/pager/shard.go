@@ -32,6 +32,11 @@ type shardCounters struct {
 	cacheHits atomic.Int64
 	allocs    atomic.Int64
 	frees     atomic.Int64
+	// missNanos accumulates wall time spent filling pool misses: the
+	// leader's device read, plus each waiter's block on a shared flight.
+	// Callers attribute it to operations by window differencing, exactly
+	// like reads/cacheHits (see the package comment on attribution skew).
+	missNanos atomic.Int64
 }
 
 func (c *shardCounters) snapshot() Stats {
@@ -50,6 +55,7 @@ func (c *shardCounters) reset() {
 	c.cacheHits.Store(0)
 	c.allocs.Store(0)
 	c.frees.Store(0)
+	c.missNanos.Store(0)
 }
 
 // shard is one slice of the buffer pool plus the concurrency-control state
@@ -82,7 +88,7 @@ type shard struct {
 
 	stats shardCounters
 
-	_ [48]byte // pad to a 128-byte multiple: no false sharing between shards
+	_ [40]byte // pad to a 128-byte multiple: no false sharing between shards
 }
 
 // shard returns the shard owning page id.

@@ -1,6 +1,9 @@
 package pager
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // flight is one in-progress physical read of a page. The first goroutine
 // to miss the pool (the leader) performs the device read; goroutines that
@@ -27,7 +30,9 @@ type flight struct {
 func (s *Store) readMiss(sh *shard, id PageID) ([]byte, error) {
 	if f, ok := sh.inflight[id]; ok {
 		sh.mu.Unlock()
+		t0 := time.Now()
 		<-f.done
+		sh.stats.missNanos.Add(int64(time.Since(t0)))
 		if f.err != nil {
 			return nil, f.err
 		}
@@ -43,7 +48,9 @@ func (s *Store) readMiss(sh *shard, id PageID) ([]byte, error) {
 	sh.mu.Unlock()
 
 	buf := make([]byte, s.pageSize)
+	t0 := time.Now()
 	err := s.dev.ReadPage(uint32(id-1), buf)
+	sh.stats.missNanos.Add(int64(time.Since(t0)))
 	if err != nil {
 		err = fmt.Errorf("pager: read page %d: %w", id, err)
 	}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"segdb"
+	"segdb/internal/trace"
 	"segdb/internal/wal"
 )
 
@@ -81,6 +82,12 @@ const (
 type Leader struct {
 	d *segdb.DurableIndex
 
+	// tracer, when set, gives replication requests the same root-span +
+	// stage-span treatment the query path gets: a follower's traceparent
+	// is honoured, and the serve/ship work lands as repl_snapshot /
+	// repl_ship spans. Atomic so SetTracer cannot race in-flight handlers.
+	tracer atomic.Pointer[trace.Tracer]
+
 	snapshots   atomic.Int64
 	walRequests atomic.Int64
 	walBytes    atomic.Int64
@@ -100,6 +107,28 @@ func NewLeader(d *segdb.DurableIndex) *Leader {
 	return &Leader{d: d, followers: make(map[string]*followerEntry)}
 }
 
+// SetTracer attaches the serving layer's tracer (nil detaches). The
+// server wires this up at construction so replication traffic shares the
+// request ring and stage histograms.
+func (l *Leader) SetTracer(t *trace.Tracer) { l.tracer.Store(t) }
+
+// startTrace begins a trace for one replication request, emitting the
+// response traceparent when tracing is live. The returned finish closes
+// the root and applies the keep decision; it is safe to defer either way.
+func (l *Leader) startTrace(r *http.Request, w http.ResponseWriter, stage trace.Stage) (sp *trace.Span, finish func()) {
+	t := l.tracer.Load()
+	ctx, root := t.StartRequest(r.Context(), r.Header.Get(trace.Header))
+	if root == nil {
+		return nil, func() {}
+	}
+	w.Header().Set(trace.Header, root.Traceparent())
+	_, s := trace.StartSpan(ctx, stage)
+	return s, func() {
+		s.End()
+		t.FinishRequest(root)
+	}
+}
+
 // ServeSnapshot streams the current checkpoint file; the headers carry
 // the (epoch, LSN) a follower must tail from to complete it.
 func (l *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -107,8 +136,11 @@ func (l *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	sp, finish := l.startTrace(r, w, trace.StageReplSnapshot)
+	defer finish()
 	rc, info, err := l.d.Snapshot()
 	if err != nil {
+		sp.Tag("error", err.Error())
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -124,6 +156,9 @@ func (l *Leader) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HdrLSN, strconv.FormatInt(info.LSN, 10))
 	w.Header().Set(HdrDurable, strconv.FormatInt(info.Durable, 10))
 	l.snapshots.Add(1)
+	sp.TagInt("bytes", info.Size)
+	sp.TagInt("epoch", int64(info.Epoch))
+	sp.TagInt("lsn", info.LSN)
 	// The fd pins the snapshot's inode — committed checkpoints are never
 	// written in place — so the copy is consistent even if a compaction
 	// renames a fresh checkpoint over the path mid-stream. On a copy
@@ -167,6 +202,9 @@ func (l *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
 		batch = m
 	}
 	l.walRequests.Add(1)
+	sp, finish := l.startTrace(r, w, trace.StageReplShip)
+	defer finish()
+	sp.TagInt("from", from)
 	buf := make([]byte, batch/wal.RecordSize*wal.RecordSize)
 	deadline := time.Now().Add(wait)
 	for {
@@ -186,12 +224,16 @@ func (l *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
 			w.Write(buf[:n])
 			l.walBytes.Add(int64(n))
+			sp.TagInt("bytes", int64(n))
 			return
 		case err != nil:
 			w.Header().Set(HdrEpoch, strconv.FormatUint(curEpoch, 10))
 			status := http.StatusServiceUnavailable
 			if isRotated(err) {
 				status = http.StatusGone
+				sp.Tag("rotated", "true")
+			} else {
+				sp.Tag("error", err.Error())
 			}
 			http.Error(w, err.Error(), status)
 			return
@@ -203,6 +245,7 @@ func (l *Leader) ServeWAL(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(HdrLSN, strconv.FormatInt(from, 10))
 			w.Header().Set(HdrDurable, strconv.FormatInt(durable, 10))
 			w.WriteHeader(http.StatusNoContent)
+			sp.Tag("caught_up", "true")
 			return
 		}
 		t := time.NewTimer(remain)

@@ -7,6 +7,7 @@ import (
 	"segdb"
 	"segdb/internal/repl"
 	"segdb/internal/shard"
+	"segdb/internal/trace"
 )
 
 // Endpoint identifies a served endpoint for metric attribution.
@@ -75,6 +76,11 @@ type endpointCounters struct {
 type Metrics struct {
 	start     time.Time
 	endpoints [numEndpoints]endpointCounters
+	// stages are the per-stage latency histograms fed by the tracer's
+	// Observe hook: every traced request's span durations land here
+	// whether or not the trace is kept, so segdb_stage_seconds sees full
+	// traffic at any sample rate > 0 (and stays empty at rate 0).
+	stages [trace.NumStages]Histogram
 }
 
 // NewMetrics returns an empty registry anchored at now.
@@ -97,6 +103,14 @@ func (m *Metrics) OnFailure(ep Endpoint) { m.endpoints[ep].failures.Add(1) }
 func (m *Metrics) OnParseError() {
 	m.OnRequest(EPParse)
 	m.OnError(EPParse)
+}
+
+// ObserveStage records one finished span's duration on its stage
+// histogram — the tracer's Observe hook.
+func (m *Metrics) ObserveStage(st trace.Stage, d time.Duration) {
+	if st < trace.NumStages {
+		m.stages[st].Observe(d)
+	}
 }
 
 // OnDone records a completed admitted request: its latency, how many
@@ -159,18 +173,19 @@ type WALSnapshot struct {
 // WriteAdmission and WAL are present only on a read-write server;
 // ReplLeader only on a leader, Repl only on a follower.
 type Snapshot struct {
-	UptimeSeconds  float64                     `json:"uptime_seconds"`
-	Segments       int                         `json:"segments"`
-	Admission      GateStats                   `json:"admission"`
-	WriteAdmission *GateStats                  `json:"write_admission,omitempty"`
-	Endpoints      map[string]EndpointSnapshot `json:"endpoints"`
-	Store          StoreSnapshot               `json:"store"`
-	Shards         []shard.Status              `json:"shards,omitempty"`
-	WAL            *WALSnapshot                `json:"wal,omitempty"`
-	Compact        *CompactSnapshot            `json:"compact,omitempty"`
-	ReplLeader     *repl.LeaderStats           `json:"repl_leader,omitempty"`
-	Repl           *repl.Status                `json:"repl,omitempty"`
-	SlowLog        *SlowLogSnapshot            `json:"slow_log,omitempty"`
+	UptimeSeconds  float64                      `json:"uptime_seconds"`
+	Segments       int                          `json:"segments"`
+	Admission      GateStats                    `json:"admission"`
+	WriteAdmission *GateStats                   `json:"write_admission,omitempty"`
+	Endpoints      map[string]EndpointSnapshot  `json:"endpoints"`
+	Stages         map[string]HistogramSnapshot `json:"stages,omitempty"`
+	Store          StoreSnapshot                `json:"store"`
+	Shards         []shard.Status               `json:"shards,omitempty"`
+	WAL            *WALSnapshot                 `json:"wal,omitempty"`
+	Compact        *CompactSnapshot             `json:"compact,omitempty"`
+	ReplLeader     *repl.LeaderStats            `json:"repl_leader,omitempty"`
+	Repl           *repl.Status                 `json:"repl,omitempty"`
+	SlowLog        *SlowLogSnapshot             `json:"slow_log,omitempty"`
 }
 
 // SnapshotFrom assembles the full document from the metric registry, the
@@ -202,6 +217,19 @@ func SnapshotFrom(m *Metrics, g *Gate, st *segdb.Store, segments int) Snapshot {
 			es.HitRatio = float64(es.IOHits) / float64(tot)
 		}
 		s.Endpoints[endpointNames[ep]] = es
+	}
+	// Stage histograms appear once any stage has observations — i.e. once
+	// tracing is enabled and traffic flowed — and only the touched stages,
+	// so a tracing-off server's documents are byte-identical to before.
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		hs := m.stages[st].Snapshot()
+		if hs.Count == 0 {
+			continue
+		}
+		if s.Stages == nil {
+			s.Stages = make(map[string]HistogramSnapshot)
+		}
+		s.Stages[st.String()] = hs
 	}
 	if st != nil {
 		total := st.Stats()

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"segdb/internal/trace"
 )
 
 // WritePrometheus renders the snapshot in Prometheus text exposition
@@ -64,24 +66,38 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	// Histograms: request latency (seconds) and per-query I/O (pages).
 	p.family("segdb_request_latency_seconds", "Latency of admitted, completed requests.", "histogram")
 	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
-		p.histogram("segdb_request_latency_seconds", name, ep.Latency.Buckets,
+		p.histogram("segdb_request_latency_seconds", endpointLabel(name), ep.Latency.Buckets,
 			latencySecondsBounds(), ep.Latency.Count, ep.Latency.SumMS/1e3)
 	})
 	p.family("segdb_query_pages_read", "Physical pages read per request (batch requests sum their queries).", "histogram")
 	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
-		p.histogram("segdb_query_pages_read", name, ep.PagesRead.Buckets,
+		p.histogram("segdb_query_pages_read", endpointLabel(name), ep.PagesRead.Buckets,
 			IOBucketBounds(), ep.PagesRead.Count, float64(ep.PagesRead.Sum))
 	})
 	p.family("segdb_query_pool_hits", "Buffer-pool hits per request (batch requests sum their queries).", "histogram")
 	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
-		p.histogram("segdb_query_pool_hits", name, ep.PoolHits.Buckets,
+		p.histogram("segdb_query_pool_hits", endpointLabel(name), ep.PoolHits.Buckets,
 			IOBucketBounds(), ep.PoolHits.Count, float64(ep.PoolHits.Sum))
 	})
 	p.family("segdb_query_pages_written", "Physical pages written per request; non-zero only on update endpoints.", "histogram")
 	p.eachEndpoint(s, func(name string, ep EndpointSnapshot) {
-		p.histogram("segdb_query_pages_written", name, ep.PagesWritten.Buckets,
+		p.histogram("segdb_query_pages_written", endpointLabel(name), ep.PagesWritten.Buckets,
 			IOBucketBounds(), ep.PagesWritten.Count, float64(ep.PagesWritten.Sum))
 	})
+
+	// Per-stage latency from the tracer's span observations; present once
+	// tracing is on and traffic flowed, in fixed taxonomy order.
+	if len(s.Stages) > 0 {
+		p.family("segdb_stage_seconds", "Time spent in each request stage by traced requests (span durations; see /tracez).", "histogram")
+		for _, st := range trace.StageNames() {
+			h, ok := s.Stages[st]
+			if !ok {
+				continue
+			}
+			p.histogram("segdb_stage_seconds", stageLabel(st), h.Buckets,
+				latencySecondsBounds(), h.Count, h.SumMS/1e3)
+		}
+	}
 
 	// Admission gate.
 	p.family("segdb_inflight_requests", "Currently admitted requests.", "gauge")
@@ -268,6 +284,8 @@ func latencySecondsBounds() []float64 {
 
 func endpointLabel(name string) string { return `endpoint="` + name + `"` }
 
+func stageLabel(name string) string { return `stage="` + name + `"` }
+
 func shardLabel(i int) string { return `shard="` + strconv.Itoa(i) + `"` }
 
 // followerLabel escapes a follower ID for use as a label value —
@@ -303,23 +321,24 @@ func (p *promWriter) sample(name, labels string, v float64) {
 	fmt.Fprintf(p.w, "%s%s %s\n", name, labels, formatPromValue(v))
 }
 
-// histogram writes one endpoint's cumulative _bucket series plus _sum and
-// _count. buckets is the non-empty prefix of per-bucket counts; bounds
-// the full upper-bound list in the exported unit. The final internal
-// bucket is an overflow bucket, so observations in it appear only under
-// le="+Inf".
-func (p *promWriter) histogram(name, endpoint string, buckets []int64, bounds []float64, count int64, sum float64) {
+// histogram writes one labelled series' cumulative _bucket samples plus
+// _sum and _count. labels is the series' label pairs without braces
+// (e.g. `endpoint="query"` or `stage="wal_fsync"`); buckets is the
+// non-empty prefix of per-bucket counts; bounds the full upper-bound
+// list in the exported unit. The final internal bucket is an overflow
+// bucket, so observations in it appear only under le="+Inf".
+func (p *promWriter) histogram(name, labels string, buckets []int64, bounds []float64, count int64, sum float64) {
 	var cum int64
 	for i, c := range buckets {
 		cum += c
 		if i == len(bounds)-1 {
 			break // overflow bucket: folded into +Inf below
 		}
-		p.sample(name+"_bucket", endpointLabel(endpoint)+`,le="`+formatPromValue(bounds[i])+`"`, float64(cum))
+		p.sample(name+"_bucket", labels+`,le="`+formatPromValue(bounds[i])+`"`, float64(cum))
 	}
-	p.sample(name+"_bucket", endpointLabel(endpoint)+`,le="+Inf"`, float64(count))
-	p.sample(name+"_sum", endpointLabel(endpoint), sum)
-	p.sample(name+"_count", endpointLabel(endpoint), float64(count))
+	p.sample(name+"_bucket", labels+`,le="+Inf"`, float64(count))
+	p.sample(name+"_sum", labels, sum)
+	p.sample(name+"_count", labels, float64(count))
 }
 
 func (p *promWriter) eachEndpoint(s Snapshot, f func(name string, ep EndpointSnapshot)) {

@@ -144,7 +144,20 @@ func parsePromStrict(t *testing.T, text string) ([]promSample, map[string]string
 // equals _count, and _sum and _count exist per label set.
 func checkPromHistograms(t *testing.T, samples []promSample, types map[string]string) {
 	t.Helper()
-	type key struct{ fam, ep string }
+	type key struct{ fam, labels string }
+	// One histogram per family × full label set (excluding le, the bucket
+	// dimension) — endpoint-labelled and stage-labelled series alike.
+	labelKey := func(s promSample) string {
+		var parts []string
+		for k, v := range s.labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
 	buckets := make(map[key][]promSample)
 	counts := make(map[key]float64)
 	sums := make(map[key]bool)
@@ -159,7 +172,7 @@ func checkPromHistograms(t *testing.T, samples []promSample, types map[string]st
 		if suf == "" {
 			continue
 		}
-		k := key{fam, s.labels["endpoint"]}
+		k := key{fam, labelKey(s)}
 		switch suf {
 		case "_bucket":
 			buckets[k] = append(buckets[k], s)

@@ -14,6 +14,7 @@ import (
 	"segdb"
 	"segdb/internal/repl"
 	"segdb/internal/shard"
+	"segdb/internal/trace"
 )
 
 // Index is the read surface the server serves: cancellable single
@@ -51,6 +52,22 @@ type Updater interface {
 }
 
 var _ Updater = (*segdb.DurableIndex)(nil)
+
+// contextUpdater is the optional extension of Updater whose updates
+// accept a context for trace attribution: a traced request's insert or
+// delete carries its span through the shard routing, the live-index
+// apply and the WAL group commit. Both *segdb.DurableIndex and
+// *shard.Store implement it; the exported Updater interface is
+// unchanged, so third-party updaters keep working untraced.
+type contextUpdater interface {
+	InsertContext(ctx context.Context, seg segdb.Segment) (segdb.UpdateStats, error)
+	DeleteContext(ctx context.Context, seg segdb.Segment) (bool, segdb.UpdateStats, error)
+}
+
+var (
+	_ contextUpdater = (*segdb.DurableIndex)(nil)
+	_ contextUpdater = (*shard.Store)(nil)
+)
 
 // Compacter is the optional checkpoint hook: an Updater that also
 // compacts gets POST /v1/admin/compact, the online log-rotation trigger.
@@ -126,6 +143,18 @@ type Config struct {
 	// MaxReplicaLag is how stale a follower may run before deep /healthz
 	// reports it unhealthy; <= 0 disables the lag check.
 	MaxReplicaLag time.Duration
+	// TraceSample is request tracing's head-sampling probability in
+	// (0,1]; 0 disables tracing entirely (no spans, empty /tracez, no
+	// stage histograms). Regardless of the rate, traces slower than
+	// SlowLatency and requests arriving with a sampled traceparent are
+	// always kept.
+	TraceSample float64
+	// TraceRing bounds the kept-trace ring behind /tracez. 0 selects 64.
+	TraceRing int
+	// TraceSink, if set, receives every kept trace synchronously after it
+	// is ringed — segdbd points it at a buffered JSONL writer. Keep it
+	// fast; it runs on the request goroutine.
+	TraceSink func(trace.TraceSnapshot)
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +201,7 @@ type Server struct {
 	wgate    *Gate // write admission; nil on a read-only server
 	metrics  *Metrics
 	slow     *SlowLog
+	tracer   *trace.Tracer // nil: tracing disabled
 	compacts CompactStats
 }
 
@@ -200,8 +230,23 @@ func New(ix Index, st *segdb.Store, cfg Config) *Server {
 	if cfg.Updater != nil {
 		s.wgate = NewGate(cfg.MaxInflightUpdates)
 	}
+	s.tracer = trace.New(trace.Config{
+		SampleRate:  cfg.TraceSample,
+		SlowLatency: cfg.SlowLatency,
+		RingSize:    cfg.TraceRing,
+		Sink:        cfg.TraceSink,
+		Observe:     s.metrics.ObserveStage,
+	})
+	if cfg.Repl != nil {
+		// Replication traffic shares the request tracer: followers' snapshot
+		// and WAL polls land in the same ring and stage histograms.
+		cfg.Repl.SetTracer(s.tracer)
+	}
 	return s
 }
+
+// Tracer exposes the request tracer (nil when disabled), e.g. for tests.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // cur returns the currently served index/store pair. A handler reads it
 // once and uses that pair throughout, so a concurrent swap never mixes
@@ -307,6 +352,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /v1/repl/wal       committed-frame shipping for followers (leader mode)
 //	GET  /statsz            metrics snapshot (JSON); ?slow=1 adds the slow-query ring
 //	GET  /metricsz          the same registry in Prometheus text format
+//	GET  /tracez            sampled request traces (JSON), newest first
 //	GET  /healthz           liveness; 503 once draining; ?deep=1 adds probe + replica lag
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -326,8 +372,17 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleTracez serves the kept-trace ring: the sampling configuration,
+// keep counters, and every retained trace's span tree, newest first.
+// With tracing disabled the document is well-formed and empty.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	s.metrics.OnRequest(EPStatsz)
+	writeJSON(w, http.StatusOK, s.tracer.Snapshot())
 }
 
 // handleCompact checkpoints the served index online: the live state is
@@ -423,14 +478,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// The trace starts before the body decode so parse time is on it. The
+	// response traceparent goes out on every traced response, including
+	// errors — headers precede any body write.
+	rctx, root := s.tracer.StartRequest(r.Context(), r.Header.Get(trace.Header))
+	if root != nil {
+		w.Header().Set(trace.Header, root.Traceparent())
+		defer s.tracer.FinishRequest(root)
+	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	_, psp := trace.StartSpan(rctx, trace.StageParse)
+	derr := json.NewDecoder(r.Body).Decode(&req)
+	psp.End()
+	if derr != nil {
 		// A body that does not decode cannot be attributed to the single
 		// or batch form; counting it as a query error (as the seed did,
 		// without counting a request) let error counts exceed request
 		// counts. The parse pseudo-endpoint keeps every row's invariant.
 		s.metrics.OnParseError()
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		httpError(w, http.StatusBadRequest, "bad request body: "+derr.Error())
 		return
 	}
 	ep := EPQuery
@@ -447,13 +513,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: shed, never queue. 429 asks the client to back off and
 	// retry; 503 says the server is going away.
-	if err := s.gate.Admit(); err != nil {
+	_, asp := trace.StartSpan(rctx, trace.StageAdmission)
+	aerr := s.gate.Admit()
+	asp.End()
+	if aerr != nil {
 		s.metrics.OnShed(ep)
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		if errors.Is(err, ErrDraining) {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+		if errors.Is(aerr, ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, aerr.Error())
 		} else {
-			httpError(w, http.StatusTooManyRequests, err.Error())
+			httpError(w, http.StatusTooManyRequests, aerr.Error())
 		}
 		return
 	}
@@ -467,7 +536,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			timeout = t
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(rctx, timeout)
 	defer cancel()
 
 	start := time.Now()
@@ -475,6 +544,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var resp QueryResponse
 	var answers int
 	var io QueryIO
+	var results []segdb.BatchResult // batch form only; slow-log attribution
 	if ep == EPBatch {
 		par := req.Parallelism
 		if par <= 0 || par > s.cfg.BatchParallelism {
@@ -487,8 +557,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// QueryBatchContext stops running queries at the deadline: workers
 		// start nothing new once ctx is done and abort queries already
 		// emitting, so a timed-out batch sheds its load promptly instead
-		// of burning a worker pool on answers nobody will receive.
-		results := cur.ix.QueryBatchContext(ctx, queries, par)
+		// of burning a worker pool on answers nobody will receive. Each
+		// subquery gets its own query span from the batch runner.
+		results = cur.ix.QueryBatchContext(ctx, queries, par)
 		resp.Results = make([]QueryResult, len(results))
 		for i, br := range results {
 			qr := QueryResult{Count: len(br.Hits)}
@@ -504,23 +575,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := ctx.Err(); err != nil {
 			s.metrics.OnFailure(ep)
-			s.observeSlow(ep, querySummary(&req), time.Since(start), io, answers, "deadline")
+			s.observeSlow(ep, querySummary(&req), time.Since(start), io, answers, "deadline", root, results)
 			httpError(w, http.StatusServiceUnavailable, "batch exceeded deadline: "+err.Error())
 			return
 		}
 	} else {
 		var hits []segdb.Segment
-		st, err := cur.ix.QueryContext(ctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
+		qctx, qsp := trace.StartSpan(ctx, trace.StageQuery)
+		st, err := cur.ix.QueryContext(qctx, req.QuerySpec.Query(), func(sg segdb.Segment) {
 			hits = append(hits, sg)
 		})
+		if qsp != nil {
+			qsp.TagInt("answers", int64(len(hits)))
+			qsp.TagInt("pages_read", st.PagesRead)
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				qsp.Tag("cancelled", "true")
+			}
+			qsp.End()
+		}
 		io.Add(st)
 		if err != nil {
 			s.metrics.OnFailure(ep)
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "deadline")
+				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "deadline", root, nil)
 				httpError(w, http.StatusServiceUnavailable, "query cancelled: "+err.Error())
 			} else {
-				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "error")
+				s.observeSlow(ep, querySummary(&req), time.Since(start), io, len(hits), "error", root, nil)
 				httpError(w, http.StatusInternalServerError, err.Error())
 			}
 			return
@@ -534,8 +614,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	resp.ElapsedMS = float64(elapsed) / 1e6
 	s.metrics.OnDone(ep, elapsed, answers, io)
-	s.observeSlow(ep, querySummary(&req), elapsed, io, answers, "ok")
+	s.observeSlow(ep, querySummary(&req), elapsed, io, answers, "ok", root, results)
+	_, esp := trace.StartSpan(rctx, trace.StageEncode)
 	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }
 
 // UpdateRequest is the /v1/insert and /v1/delete body: one segment. For
@@ -580,23 +662,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 		httpError(w, http.StatusNotImplemented, "read-only server: restart segdbd with -wal to enable updates")
 		return
 	}
+	rctx, root := s.tracer.StartRequest(r.Context(), r.Header.Get(trace.Header))
+	if root != nil {
+		w.Header().Set(trace.Header, root.Traceparent())
+		defer s.tracer.FinishRequest(root)
+	}
 	var req UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	_, psp := trace.StartSpan(rctx, trace.StageParse)
+	derr := json.NewDecoder(r.Body).Decode(&req)
+	psp.End()
+	if derr != nil {
 		s.metrics.OnParseError()
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		httpError(w, http.StatusBadRequest, "bad request body: "+derr.Error())
 		return
 	}
 	s.metrics.OnRequest(ep)
 
 	// Updates have their own admission class: a write burst sheds with
 	// 429 instead of eating read slots, and vice versa.
-	if err := s.wgate.Admit(); err != nil {
+	_, asp := trace.StartSpan(rctx, trace.StageAdmission)
+	aerr := s.wgate.Admit()
+	asp.End()
+	if aerr != nil {
 		s.metrics.OnShed(ep)
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		if errors.Is(err, ErrDraining) {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+		if errors.Is(aerr, ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, aerr.Error())
 		} else {
-			httpError(w, http.StatusTooManyRequests, err.Error())
+			httpError(w, http.StatusTooManyRequests, aerr.Error())
 		}
 		return
 	}
@@ -609,11 +702,23 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 		ust   segdb.UpdateStats
 		err   error
 	)
+	// A context-aware updater threads the trace through shard routing,
+	// apply and WAL commit; anything else runs untraced (the request's
+	// root span still measures it).
+	cu, hasCtx := s.cfg.Updater.(contextUpdater)
 	if ep == EPInsert {
-		ust, err = s.cfg.Updater.Insert(seg)
+		if hasCtx {
+			ust, err = cu.InsertContext(rctx, seg)
+		} else {
+			ust, err = s.cfg.Updater.Insert(seg)
+		}
 		found = err == nil
 	} else {
-		found, ust, err = s.cfg.Updater.Delete(seg)
+		if hasCtx {
+			found, ust, err = cu.DeleteContext(rctx, seg)
+		} else {
+			found, ust, err = s.cfg.Updater.Delete(seg)
+		}
 	}
 	elapsed := time.Since(start)
 	var io QueryIO
@@ -621,19 +726,20 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 	if err != nil {
 		if errors.Is(err, segdb.ErrInvalidSegment) {
 			s.metrics.OnError(ep)
-			s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "error")
+			s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "error", root, nil)
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		// Anything else is the durability machinery failing (wedged WAL,
 		// dying disk): a 5xx, and the server stays up serving reads.
 		s.metrics.OnFailure(ep)
-		s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "failure")
+		s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "failure", root, nil)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.metrics.OnDone(ep, elapsed, 0, io)
-	s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "ok")
+	s.observeSlow(ep, updateSummary(ep, &req), elapsed, io, 0, "ok", root, nil)
+	_, esp := trace.StartSpan(rctx, trace.StageEncode)
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Found:        found,
 		Segments:     s.cur().ix.Len(),
@@ -641,15 +747,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ep Endpoin
 		PagesWritten: ust.PagesWritten,
 		ElapsedMS:    float64(elapsed) / 1e6,
 	})
+	esp.End()
 }
 
 // observeSlow logs the request if it crossed a slow-query threshold.
-// summary is the compact query/update shape for the log's Query column.
-func (s *Server) observeSlow(ep Endpoint, summary string, elapsed time.Duration, io QueryIO, answers int, status string) {
+// summary is the compact query/update shape for the log's Query column;
+// root (nil when untraced) donates the trace ID, and results carry a
+// batch's per-subquery attribution.
+func (s *Server) observeSlow(ep Endpoint, summary string, elapsed time.Duration, io QueryIO, answers int, status string, root *trace.Span, results []segdb.BatchResult) {
 	if !s.slow.Crossed(elapsed, io.PagesRead) {
 		return
 	}
-	s.slow.Record(SlowEntry{
+	e := SlowEntry{
 		Time:         time.Now(),
 		Endpoint:     endpointNames[ep],
 		Query:        summary,
@@ -661,7 +770,12 @@ func (s *Server) observeSlow(ep Endpoint, summary string, elapsed time.Duration,
 		Answers:      answers,
 		Inflight:     s.gate.Inflight(),
 		Draining:     s.gate.Draining(),
-	})
+		TraceID:      root.TraceID(),
+	}
+	if ep == EPBatch {
+		e.Batch = batchSlow(results)
+	}
+	s.slow.Record(e)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

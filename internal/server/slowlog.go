@@ -1,10 +1,14 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 	"time"
+
+	"segdb"
 )
 
 // SlowEntry is one logged slow request: enough to answer "why was this
@@ -24,6 +28,48 @@ type SlowEntry struct {
 	Answers      int       `json:"answers"`
 	Inflight     int       `json:"inflight"`
 	Draining     bool      `json:"draining,omitempty"`
+	// TraceID links the entry to its request's trace: when the request was
+	// traced (sample rate > 0), /tracez?all=1 or the trace JSONL sink can
+	// be joined on it for the full span tree. Slow traces are tail-kept, so
+	// a latency-triggered entry's trace is in the ring by construction.
+	TraceID string `json:"trace_id,omitempty"`
+	// Batch carries a batch request's per-subquery attribution.
+	Batch *BatchSlow `json:"batch,omitempty"`
+}
+
+// BatchSlow is a slow batch entry's per-subquery attribution: which
+// subquery dominated the wall clock, which read the most pages, and how
+// many were cancelled — so a slow "batch[512]" row names its culprits
+// without replaying the batch.
+type BatchSlow struct {
+	SlowestIndex  int     `json:"slowest_index"`
+	SlowestMS     float64 `json:"slowest_ms"`
+	HeaviestIndex int     `json:"heaviest_index"`
+	HeaviestPages int64   `json:"heaviest_pages"`
+	Cancelled     int     `json:"cancelled,omitempty"`
+}
+
+// batchSlow derives the attribution from a batch's results; nil when the
+// batch was empty.
+func batchSlow(results []segdb.BatchResult) *BatchSlow {
+	if len(results) == 0 {
+		return nil
+	}
+	b := &BatchSlow{}
+	for i, r := range results {
+		if r.Elapsed > results[b.SlowestIndex].Elapsed {
+			b.SlowestIndex = i
+		}
+		if r.Stats.PagesRead > results[b.HeaviestIndex].Stats.PagesRead {
+			b.HeaviestIndex = i
+		}
+		if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+			b.Cancelled++
+		}
+	}
+	b.SlowestMS = float64(results[b.SlowestIndex].Elapsed) / 1e6
+	b.HeaviestPages = results[b.HeaviestIndex].Stats.PagesRead
+	return b
 }
 
 // SlowLog is a bounded ring of recent slow requests plus an optional

@@ -70,6 +70,9 @@ func TestSlowLogRing(t *testing.T) {
 
 // TestSlowLogConcurrent hammers Record/Snapshot from many goroutines
 // under -race: totals must be exact and snapshots internally consistent.
+// Every entry is written with Answers == Inflight == its writer's id, so
+// a snapshot taken under anything weaker than the ring's single lock
+// acquisition would surface as a torn entry whose fields disagree.
 func TestSlowLogConcurrent(t *testing.T) {
 	l := server.NewSlowLog(8, time.Millisecond, 0, nil)
 	var wg sync.WaitGroup
@@ -79,12 +82,18 @@ func TestSlowLogConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				l.Record(server.SlowEntry{Answers: w})
+				l.Record(server.SlowEntry{Answers: w, Inflight: w})
 				if i%32 == 0 {
 					s := l.Snapshot()
 					if len(s.Entries) > s.Capacity {
 						t.Errorf("snapshot holds %d entries, capacity %d", len(s.Entries), s.Capacity)
 						return
+					}
+					for _, e := range s.Entries {
+						if e.Answers != e.Inflight {
+							t.Errorf("torn entry: answers %d, inflight %d", e.Answers, e.Inflight)
+							return
+						}
 					}
 				}
 			}

@@ -1,0 +1,62 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"segdb"
+	"segdb/internal/server"
+	"segdb/internal/workload"
+)
+
+// BenchmarkE23TraceOverhead measures the query handler's cost with
+// tracing disabled (-trace-sample=0, the default), at a production-like
+// 1% head-sampling rate, and fully on — EXPERIMENTS E23. The disabled
+// path must stay within noise of the pre-tracing handler: its only cost
+// is one context lookup per instrumentation point. Requests run through
+// the real handler but against an in-process ResponseRecorder, so the
+// comparison isolates the serving stack from the network.
+func BenchmarkE23TraceOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"sample0", server.Config{}},
+		{"sample0.01", server.Config{TraceSample: 0.01}},
+		{"sample1", server.Config{TraceSample: 1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			segs := workload.Grid(rng, 20, 20, 0.9, 0.2)
+			st := segdb.NewMemStore(16, 256)
+			ix, err := segdb.CreateSolution2(st, segdb.Options{B: 16}, segs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := server.New(segdb.SynchronizedOn(ix, st), st, bc.cfg).Handler()
+			box := workload.BBox(segs)
+			x := box.MinX + (box.MaxX-box.MinX)/2
+			body, err := json.Marshal(&server.QueryRequest{
+				QuerySpec: server.QuerySpec{X: x},
+				OmitHits:  true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("HTTP %d", w.Code)
+				}
+			}
+		})
+	}
+}

@@ -2,8 +2,10 @@ package shard
 
 import (
 	"context"
+	"errors"
 
 	"segdb"
+	"segdb/internal/trace"
 )
 
 // Query answers a VS query through the sharded store. It is QueryContext
@@ -29,24 +31,53 @@ func (s *Store) Query(q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats
 // the context at the same 64-answer stride.
 func (s *Store) QueryContext(ctx context.Context, q segdb.Query, emit func(segdb.Segment)) (segdb.QueryStats, error) {
 	k := slabOf(s.cuts, q.X)
-	st, err := s.shards[k].Index().QueryContext(ctx, q, emit)
+	// The probe span parents the shard's pager_miss attribution (the
+	// SyncIndex synthesizes it from pctx), so a traced fan-out shows which
+	// shard's pool went cold.
+	pctx, sp := trace.StartSpan(ctx, trace.StageShardProbe)
+	if sp != nil {
+		sp.TagInt("shard", int64(k))
+	}
+	st, err := s.shards[k].Index().QueryContext(pctx, q, emit)
+	if sp != nil {
+		sp.TagInt("pages_read", st.PagesRead)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			sp.Tag("cancelled", "true")
+		}
+		sp.End()
+	}
 	if err != nil {
 		return st, err
 	}
 	if k > 0 {
+		_, ssp := trace.StartSpan(ctx, trace.StageSpannerScan)
+		if ssp != nil {
+			ssp.TagInt("cut", int64(k-1))
+		}
+		scanned := 0
 		for i, sg := range s.spanners(k - 1) {
 			// Descending-MaxX order: once a spanner ends left of the
 			// query, every later one does too.
 			if sg.MaxX() < q.X {
 				break
 			}
+			scanned++
 			if i&0x3f == 0x3f && ctx.Err() != nil {
+				if ssp != nil {
+					ssp.TagInt("scanned", int64(scanned))
+					ssp.Tag("cancelled", "true")
+					ssp.End()
+				}
 				return st, ctx.Err()
 			}
 			if q.Hits(sg) {
 				emit(sg)
 				st.Reported++
 			}
+		}
+		if ssp != nil {
+			ssp.TagInt("scanned", int64(scanned))
+			ssp.End()
 		}
 	}
 	return st, nil

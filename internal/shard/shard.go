@@ -41,6 +41,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +52,7 @@ import (
 	"sync"
 
 	"segdb"
+	"segdb/internal/trace"
 )
 
 // ErrExists reports a Create into a directory that already holds a
@@ -517,9 +519,23 @@ func (s *Store) Collect() ([]segdb.Segment, error) {
 // DurableIndex.Insert it is an upsert — re-inserting an identical
 // segment keeps one copy everywhere, including the spanner lists.
 func (s *Store) Insert(seg segdb.Segment) (segdb.UpdateStats, error) {
+	return s.InsertContext(context.Background(), seg)
+}
+
+// InsertContext is Insert with trace attribution: a traced ctx wraps the
+// routed write in a shard_update span (tagged with the owning shard),
+// under which the shard's DurableIndex emits its apply/WAL spans.
+func (s *Store) InsertContext(ctx context.Context, seg segdb.Segment) (segdb.UpdateStats, error) {
 	owner := slabOf(s.cuts, seg.MinX())
-	st, err := s.shards[owner].Insert(seg)
+	uctx, sp := trace.StartSpan(ctx, trace.StageShardUpdate)
+	if sp != nil {
+		sp.TagInt("shard", int64(owner))
+		sp.Tag("op", "insert")
+		defer sp.End()
+	}
+	st, err := s.shards[owner].InsertContext(uctx, seg)
 	if err != nil {
+		sp.Tag("error", err.Error())
 		return st, err
 	}
 	s.updateSpans(seg, true)
@@ -530,10 +546,23 @@ func (s *Store) Insert(seg segdb.Segment) (segdb.UpdateStats, error) {
 // spanner list it was registered in. A segment that was not present is
 // (false, nil), logging nothing, exactly like DurableIndex.Delete.
 func (s *Store) Delete(seg segdb.Segment) (bool, segdb.UpdateStats, error) {
+	return s.DeleteContext(context.Background(), seg)
+}
+
+// DeleteContext is Delete with trace attribution; see InsertContext.
+func (s *Store) DeleteContext(ctx context.Context, seg segdb.Segment) (bool, segdb.UpdateStats, error) {
 	owner := slabOf(s.cuts, seg.MinX())
-	found, st, err := s.shards[owner].Delete(seg)
+	uctx, sp := trace.StartSpan(ctx, trace.StageShardUpdate)
+	if sp != nil {
+		sp.TagInt("shard", int64(owner))
+		sp.Tag("op", "delete")
+		defer sp.End()
+	}
+	found, st, err := s.shards[owner].DeleteContext(uctx, seg)
 	if err == nil && found {
 		s.updateSpans(seg, false)
+	} else if err != nil {
+		sp.Tag("error", err.Error())
 	}
 	return found, st, err
 }

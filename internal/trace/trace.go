@@ -1,0 +1,499 @@
+// Package trace is segdb's lightweight request-tracing layer: per-request
+// trace/span IDs minted at the HTTP edge (honouring and emitting W3C
+// traceparent), spans threaded through context.Context across the serving
+// stack (admission, shard scatter-gather, index search, pager misses, WAL
+// group commit, replication), and a bounded sampling ring of completed
+// traces behind GET /tracez.
+//
+// # Design
+//
+// The layer is allocation-conscious and safe to leave compiled into the
+// hot path:
+//
+//   - A disabled tracer (nil *Tracer, or sample rate 0) never allocates:
+//     StartRequest returns a nil *Span, every Span method is nil-safe, and
+//     StartSpan/AddSpan return immediately when the context carries no
+//     trace. The only cost on the disabled path is one context lookup.
+//   - An enabled tracer records spans for every request (so per-stage
+//     histograms see full traffic), but keeps a completed trace in the
+//     ring only by the sampling decision: head sampling with probability
+//     SampleRate, plus tail-based "always keep" for traces slower than
+//     SlowLatency and traces whose caller sent a sampled traceparent.
+//   - Span IDs are sequential within a trace (1 is the root), so a trace
+//     snapshot is a self-contained tree with no global state.
+//
+// # Sampling rules
+//
+// Rate 0 disables tracing entirely: no spans are recorded and the ring
+// stays empty. Rate r in (0,1] records every request's spans and keeps a
+// finished trace when any of: a uniform draw < r (head), the root ran
+// longer than SlowLatency (tail), or the inbound traceparent had the
+// sampled flag set (propagated decision).
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies the serving-stack stage a span measures. The taxonomy
+// is fixed so per-stage histograms have a bounded label set.
+type Stage uint8
+
+// The span stages, edge to disk.
+const (
+	StageRequest      Stage = iota // root: one per traced request
+	StageParse                     // request body decode
+	StageAdmission                 // admission-gate acquisition
+	StageQuery                     // one VS query (per subquery in a batch)
+	StageShardProbe                // one slab index probed (sharded store)
+	StageSpannerScan               // left-cut spanner-list scan (sharded store)
+	StageShardUpdate               // routed update on the owning shard
+	StagePagerMiss                 // buffer-pool miss fill time (window-attributed)
+	StageApply                     // live-index mutation of an update
+	StageWALAppend                 // WAL record append (buffered)
+	StageWALCommit                 // group-commit wait: Sync call to durable ack
+	StageWALFsync                  // the fsync itself, on the commit leader
+	StageReplSnapshot              // checkpoint snapshot served to a follower
+	StageReplShip                  // committed WAL frames shipped to a follower
+	StageEncode                    // response encode + write
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"request", "parse", "admission", "query", "shard_probe", "spanner_scan",
+	"shard_update", "pager_miss", "apply", "wal_append", "wal_commit",
+	"wal_fsync", "repl_snapshot", "repl_ship", "encode",
+}
+
+// String returns the stage's wire name, the value of the stage label on
+// segdb_stage_seconds and of the "stage" field in /tracez spans.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames lists every stage's wire name, indexed by Stage.
+func StageNames() []string { return stageNames[:] }
+
+// TraceID is the 16-byte W3C trace ID.
+type TraceID [16]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports the invalid all-zero ID (the W3C spec forbids it).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// SpanID identifies a span within a trace. Local spans are numbered
+// sequentially from 1 (the root); 0 means "no parent".
+type SpanID uint64
+
+// Tag is one key/value annotation on a span.
+type Tag struct{ K, V string }
+
+// SpanRecord is one completed span as /tracez serializes it. StartUS is
+// the span's offset from the trace start; both times are microseconds so
+// sub-millisecond stages (pool hits, appends) stay legible.
+type SpanRecord struct {
+	ID      SpanID            `json:"id"`
+	Parent  SpanID            `json:"parent,omitempty"`
+	Stage   string            `json:"stage"`
+	StartUS float64           `json:"start_us"`
+	DurUS   float64           `json:"dur_us"`
+	Tags    map[string]string `json:"tags,omitempty"`
+}
+
+// TraceSnapshot is one completed, kept trace: the /tracez unit and the
+// JSONL sink's record.
+type TraceSnapshot struct {
+	TraceID string `json:"trace_id"`
+	// RemoteParent is the caller's span ID (16 hex) when the request
+	// carried a traceparent; our spans do not parent under it (local IDs
+	// are sequential) but the linkage is preserved for cross-system joins.
+	RemoteParent string       `json:"remote_parent,omitempty"`
+	Start        time.Time    `json:"start"`
+	DurationMS   float64      `json:"duration_ms"`
+	Spans        []SpanRecord `json:"spans"`
+	// DroppedSpans counts spans discarded past the per-trace bound; the
+	// histograms still observed them.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// RingSnapshot is the full /tracez document.
+type RingSnapshot struct {
+	SampleRate    float64         `json:"sample_rate"`
+	SlowKeepMS    float64         `json:"slow_keep_ms,omitempty"`
+	TracesStarted int64           `json:"traces_started"`
+	TracesKept    int64           `json:"traces_kept"`
+	Capacity      int             `json:"capacity"`
+	Traces        []TraceSnapshot `json:"traces"`
+}
+
+// Trace accumulates one request's spans. All methods are safe for
+// concurrent use by the request's goroutines (batch workers append spans
+// concurrently).
+type Trace struct {
+	tracer       *Tracer
+	id           TraceID
+	remoteParent string
+	start        time.Time
+	forceKeep    bool // inbound sampled flag: keep regardless of the draw
+
+	mu      sync.Mutex
+	nextID  SpanID
+	spans   []SpanRecord
+	dropped int
+}
+
+// Span is one in-progress stage measurement. The zero of usefulness is a
+// nil *Span: every method no-ops, so call sites need no enabled checks.
+type Span struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	stage  Stage
+	start  time.Time
+	ended  atomic.Bool
+
+	tagMu sync.Mutex
+	tags  []Tag
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleRate is the head-sampling probability in (0,1]; <= 0 disables
+	// tracing (New returns nil).
+	SampleRate float64
+	// SlowLatency is the tail-keep threshold: finished traces whose root
+	// ran longer are kept regardless of the draw. <= 0 disables tail keep.
+	SlowLatency time.Duration
+	// RingSize bounds the kept-trace ring; 0 selects 64.
+	RingSize int
+	// MaxSpans bounds one trace's recorded spans (histograms still observe
+	// past it); 0 selects 512.
+	MaxSpans int
+	// Sink, if set, receives every kept trace synchronously after it is
+	// ringed. Keep it fast; it runs on the request goroutine.
+	Sink func(TraceSnapshot)
+	// Observe, if set, receives every finished span's stage and duration —
+	// the per-stage histogram hook. It runs for every traced request,
+	// sampled or not, so stage histograms see full traffic.
+	Observe func(Stage, time.Duration)
+}
+
+// Tracer mints, samples and retains traces. A nil *Tracer is a valid,
+// permanently disabled tracer.
+type Tracer struct {
+	cfg Config
+	rng atomic.Uint64 // xorshift64* state for IDs and sampling draws
+
+	started atomic.Int64
+	kept    atomic.Int64
+
+	mu   sync.Mutex
+	ring []TraceSnapshot
+	next int
+}
+
+// New returns a tracer, or nil (the disabled tracer) when cfg.SampleRate
+// is not positive.
+func New(cfg Config) *Tracer {
+	if cfg.SampleRate <= 0 {
+		return nil
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 64
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 512
+	}
+	t := &Tracer{cfg: cfg, ring: make([]TraceSnapshot, 0, cfg.RingSize)}
+	t.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// rand64 draws the next xorshift64* value. Lock-free: racing CAS losers
+// retry, so draws are unique-ish and cheap.
+func (t *Tracer) rand64() uint64 {
+	for {
+		old := t.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if t.rng.CompareAndSwap(old, x) {
+			return x * 0x2545f4914f6cdd1d
+		}
+	}
+}
+
+// StartRequest begins a trace for one inbound request and returns the
+// root span plus a context carrying it. traceparent is the inbound W3C
+// header ("" if none): a valid one donates its trace ID (and its sampled
+// flag forces keeping). A nil tracer returns (ctx, nil) unchanged.
+func (t *Tracer) StartRequest(ctx context.Context, traceparent string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	t.started.Add(1)
+	tr := &Trace{tracer: t, start: time.Now()}
+	if tid, sid, sampled, ok := ParseTraceparent(traceparent); ok {
+		tr.id = tid
+		tr.remoteParent = formatSpanID(sid)
+		tr.forceKeep = sampled
+	} else {
+		hi, lo := t.rand64(), t.rand64()
+		for i := 0; i < 8; i++ {
+			tr.id[i] = byte(hi >> (8 * uint(7-i)))
+			tr.id[8+i] = byte(lo >> (8 * uint(7-i)))
+		}
+		if tr.id.IsZero() {
+			tr.id[15] = 1
+		}
+	}
+	root := tr.newSpan(0, StageRequest)
+	return ContextWithSpan(ctx, root), root
+}
+
+// FinishRequest ends the root span and applies the keep decision: the
+// trace lands in the ring (and the sink) when the inbound sampled flag was
+// set, the root ran past the tail threshold, or the head draw passes.
+// Reports whether the trace was kept. Nil-safe.
+func (t *Tracer) FinishRequest(root *Span) bool {
+	if t == nil || root == nil || root.tr == nil {
+		return false
+	}
+	dur := time.Since(root.start)
+	root.End()
+	tr := root.tr
+	keep := tr.forceKeep ||
+		(t.cfg.SlowLatency > 0 && dur > t.cfg.SlowLatency) ||
+		float64(t.rand64()>>11)/float64(1<<53) < t.cfg.SampleRate
+	if !keep {
+		return false
+	}
+	t.kept.Add(1)
+	tr.mu.Lock()
+	snap := TraceSnapshot{
+		TraceID:      tr.id.String(),
+		RemoteParent: tr.remoteParent,
+		Start:        tr.start,
+		DurationMS:   float64(dur) / 1e6,
+		Spans:        append([]SpanRecord(nil), tr.spans...),
+		DroppedSpans: tr.dropped,
+	}
+	tr.mu.Unlock()
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, snap)
+	} else {
+		t.ring[t.next] = snap
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	sink := t.cfg.Sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(snap)
+	}
+	return true
+}
+
+// Snapshot copies the kept-trace ring, newest first, under one lock
+// acquisition — a scrape can never observe a half-overwritten trace.
+// A nil tracer snapshots as disabled: rate 0, no traces.
+func (t *Tracer) Snapshot() RingSnapshot {
+	if t == nil {
+		return RingSnapshot{Traces: []TraceSnapshot{}}
+	}
+	s := RingSnapshot{
+		SampleRate:    t.cfg.SampleRate,
+		SlowKeepMS:    float64(t.cfg.SlowLatency) / 1e6,
+		TracesStarted: t.started.Load(),
+		TracesKept:    t.kept.Load(),
+		Capacity:      cap(t.ring),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Traces = make([]TraceSnapshot, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		j := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		s.Traces = append(s.Traces, t.ring[j])
+	}
+	return s
+}
+
+// newSpan allocates the next span of the trace.
+func (tr *Trace) newSpan(parent SpanID, stage Stage) *Span {
+	tr.mu.Lock()
+	tr.nextID++
+	id := tr.nextID
+	tr.mu.Unlock()
+	return &Span{tr: tr, id: id, parent: parent, stage: stage, start: time.Now()}
+}
+
+// record appends a completed span record, respecting the per-trace bound.
+func (tr *Trace) record(rec SpanRecord) {
+	tr.mu.Lock()
+	if len(tr.spans) < tr.tracer.cfg.MaxSpans {
+		tr.spans = append(tr.spans, rec)
+	} else {
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+}
+
+// Tag annotates the span. Nil-safe; last write of a key wins at End.
+func (s *Span) Tag(k, v string) {
+	if s == nil {
+		return
+	}
+	s.tagMu.Lock()
+	s.tags = append(s.tags, Tag{k, v})
+	s.tagMu.Unlock()
+}
+
+// TagInt annotates the span with an integer value. Nil-safe.
+func (s *Span) TagInt(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Tag(k, strconv.FormatInt(v, 10))
+}
+
+// End completes the span: its duration is observed on the stage histogram
+// and its record lands in the trace. Idempotent and nil-safe, so both a
+// defer and an explicit early End are fine.
+func (s *Span) End() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	d := time.Since(s.start)
+	t := s.tr.tracer
+	if t.cfg.Observe != nil {
+		t.cfg.Observe(s.stage, d)
+	}
+	s.tagMu.Lock()
+	tags := tagMap(s.tags)
+	s.tagMu.Unlock()
+	s.tr.record(SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Stage:   s.stage.String(),
+		StartUS: float64(s.start.Sub(s.tr.start)) / 1e3,
+		DurUS:   float64(d) / 1e3,
+		Tags:    tags,
+	})
+}
+
+// TraceID returns the span's trace ID as 32 hex digits, or "" on a nil
+// span — the slow log's trace link.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id.String()
+}
+
+// Traceparent renders the W3C header value identifying this span, for
+// the response header (and for onward propagation). "" on a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.tr.id, SpanID(s.id), true)
+}
+
+func tagMap(tags []Tag) map[string]string {
+	if len(tags) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(tags))
+	for _, t := range tags {
+		m[t.K] = t.V
+	}
+	return m
+}
+
+// ctxKey carries a *Span through context.Context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Active reports whether ctx carries a trace — the guard call sites use
+// before paying for timing they would otherwise skip.
+func Active(ctx context.Context) bool { return SpanFromContext(ctx) != nil }
+
+// StartSpan begins a child of ctx's current span and returns a context
+// carrying it. When ctx carries no trace it returns (ctx, nil) — one
+// context lookup, no allocation.
+func StartSpan(ctx context.Context, stage Stage) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.tr.newSpan(parent.id, stage)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// AddSpan records an already-measured span of duration d ending now, as a
+// child of ctx's current span — for stages measured by counters or
+// observed structs rather than live bracketing (pager miss fill time, the
+// WAL leader's fsync). No-op without a trace in ctx.
+func AddSpan(ctx context.Context, stage Stage, d time.Duration, tags ...Tag) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	tr := parent.tr
+	t := tr.tracer
+	if t.cfg.Observe != nil {
+		t.cfg.Observe(stage, d)
+	}
+	tr.mu.Lock()
+	tr.nextID++
+	id := tr.nextID
+	tr.mu.Unlock()
+	// Clamp the synthesized start into the trace: an observed duration can
+	// exceed the trace's elapsed time (a counter window opened earlier).
+	startUS := float64(time.Now().Add(-d).Sub(tr.start)) / 1e3
+	if startUS < 0 {
+		startUS = 0
+	}
+	tr.record(SpanRecord{
+		ID:      id,
+		Parent:  parent.id,
+		Stage:   stage.String(),
+		StartUS: startUS,
+		DurUS:   float64(d) / 1e3,
+		Tags:    tagMap(tags),
+	})
+}

@@ -1,0 +1,342 @@
+package trace_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segdb/internal/trace"
+)
+
+// never is a head-sampling rate that cannot win a draw in a test's
+// lifetime but still enables the tracer — isolating the tail-keep and
+// propagated-keep rules from the head draw.
+const never = 1e-300
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := trace.TraceID{0xde, 0xad, 0xbe, 0xef, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	for _, sampled := range []bool{true, false} {
+		h := trace.FormatTraceparent(tid, trace.SpanID(0x1234abcd), sampled)
+		if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+			t.Fatalf("malformed header %q", h)
+		}
+		gtid, gsid, gsampled, ok := trace.ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("round trip failed to parse %q", h)
+		}
+		if gtid != tid || gsid != 0x1234abcd || gsampled != sampled {
+			t.Fatalf("round trip %q: got (%v, %x, %v)", h, gtid, gsid, gsampled)
+		}
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	valid := trace.FormatTraceparent(trace.TraceID{15: 1}, 1, true)
+	if _, _, _, ok := trace.ParseTraceparent(valid); !ok {
+		t.Fatalf("control header %q rejected", valid)
+	}
+	bad := []string{
+		"",
+		"00-short-1-01",
+		valid[:54],                          // truncated
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+	}
+	bad = append(bad,
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace id
+		"00-0000000000000000000000000000000f-0000000000000000-01", // zero span id
+		"00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-0000000000000001-01", // bad hex
+	)
+	for _, h := range bad {
+		if _, _, _, ok := trace.ParseTraceparent(h); ok {
+			t.Fatalf("parsed malformed header %q", h)
+		}
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	if trace.New(trace.Config{SampleRate: 0}) != nil {
+		t.Fatal("rate 0 must return the nil tracer")
+	}
+	if trace.New(trace.Config{SampleRate: -1}) != nil {
+		t.Fatal("negative rate must return the nil tracer")
+	}
+	var tr *trace.Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	ctx := context.Background()
+	gctx, root := tr.StartRequest(ctx, "")
+	if gctx != ctx || root != nil {
+		t.Fatal("nil tracer must return ctx unchanged and a nil root")
+	}
+	// Every span method must be nil-safe.
+	root.Tag("k", "v")
+	root.TagInt("n", 1)
+	root.End()
+	if got := root.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+	if got := root.Traceparent(); got != "" {
+		t.Fatalf("nil span Traceparent = %q", got)
+	}
+	if tr.FinishRequest(root) {
+		t.Fatal("nil tracer kept a trace")
+	}
+	// An untraced context: StartSpan and AddSpan are no-ops.
+	sctx, sp := trace.StartSpan(ctx, trace.StageQuery)
+	if sctx != ctx || sp != nil {
+		t.Fatal("StartSpan on untraced ctx must be a no-op")
+	}
+	trace.AddSpan(ctx, trace.StagePagerMiss, time.Millisecond)
+	if trace.Active(ctx) {
+		t.Fatal("untraced ctx reports active")
+	}
+	snap := tr.Snapshot()
+	if snap.SampleRate != 0 || snap.Traces == nil || len(snap.Traces) != 0 {
+		t.Fatalf("nil tracer snapshot = %+v", snap)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1})
+	ctx, root := tr.StartRequest(context.Background(), "")
+	if root == nil {
+		t.Fatal("no root span at rate 1")
+	}
+	if !trace.Active(ctx) {
+		t.Fatal("traced ctx reports inactive")
+	}
+	tid := root.TraceID()
+	if len(tid) != 32 || tid == strings.Repeat("0", 32) {
+		t.Fatalf("bad trace id %q", tid)
+	}
+	if _, _, sampled, ok := trace.ParseTraceparent(root.Traceparent()); !ok || !sampled {
+		t.Fatalf("root traceparent %q must parse as sampled", root.Traceparent())
+	}
+
+	qctx, qsp := trace.StartSpan(ctx, trace.StageQuery)
+	qsp.TagInt("answers", 7)
+	trace.AddSpan(qctx, trace.StagePagerMiss, 3*time.Millisecond, trace.Tag{K: "pages", V: "2"})
+	qsp.End()
+	if !tr.FinishRequest(root) {
+		t.Fatal("rate-1 trace not kept")
+	}
+
+	snap := tr.Snapshot()
+	if snap.TracesStarted != 1 || snap.TracesKept != 1 || len(snap.Traces) != 1 {
+		t.Fatalf("snapshot counts: %+v", snap)
+	}
+	ts := snap.Traces[0]
+	if ts.TraceID != tid || ts.DroppedSpans != 0 {
+		t.Fatalf("trace snapshot: %+v", ts)
+	}
+	byStage := map[string]trace.SpanRecord{}
+	for _, sp := range ts.Spans {
+		byStage[sp.Stage] = sp
+	}
+	rootRec, ok := byStage["request"]
+	if !ok || rootRec.ID != 1 || rootRec.Parent != 0 {
+		t.Fatalf("root record: %+v", rootRec)
+	}
+	qRec, ok := byStage["query"]
+	if !ok || qRec.Parent != rootRec.ID || qRec.Tags["answers"] != "7" {
+		t.Fatalf("query record: %+v", qRec)
+	}
+	pmRec, ok := byStage["pager_miss"]
+	if !ok || pmRec.Parent != qRec.ID || pmRec.Tags["pages"] != "2" {
+		t.Fatalf("pager_miss record: %+v", pmRec)
+	}
+	if pmRec.DurUS < 2900 || pmRec.DurUS > 100000 {
+		t.Fatalf("pager_miss duration %v µs, want ≈3000", pmRec.DurUS)
+	}
+	for _, sp := range ts.Spans {
+		if sp.StartUS < 0 || sp.DurUS < 0 {
+			t.Fatalf("negative span timing: %+v", sp)
+		}
+	}
+}
+
+func TestTraceKeepRules(t *testing.T) {
+	// Head keep: rate 1 keeps everything.
+	tr := trace.New(trace.Config{SampleRate: 1})
+	_, root := tr.StartRequest(context.Background(), "")
+	if !tr.FinishRequest(root) {
+		t.Fatal("head sampling at rate 1 dropped a trace")
+	}
+
+	// Propagated keep: an inbound sampled traceparent forces keeping even
+	// when the head draw cannot pass.
+	tr = trace.New(trace.Config{SampleRate: never})
+	sampled := trace.FormatTraceparent(trace.TraceID{0: 9}, 4, true)
+	_, root = tr.StartRequest(context.Background(), sampled)
+	if !tr.FinishRequest(root) {
+		t.Fatal("inbound sampled flag did not force keep")
+	}
+	ts := tr.Snapshot().Traces[0]
+	if ts.TraceID != (trace.TraceID{0: 9}).String() {
+		t.Fatalf("propagated trace id %q not honoured", ts.TraceID)
+	}
+	if ts.RemoteParent != "0000000000000004" {
+		t.Fatalf("remote parent %q, want caller's span id", ts.RemoteParent)
+	}
+
+	// The unsampled flag propagates no decision: the trace is dropped.
+	unsampled := trace.FormatTraceparent(trace.TraceID{0: 9}, 4, false)
+	_, root = tr.StartRequest(context.Background(), unsampled)
+	if tr.FinishRequest(root) {
+		t.Fatal("unsampled inbound header kept a trace")
+	}
+
+	// Tail keep: a root slower than SlowLatency is kept regardless.
+	tr = trace.New(trace.Config{SampleRate: never, SlowLatency: time.Nanosecond})
+	_, root = tr.StartRequest(context.Background(), "")
+	time.Sleep(time.Millisecond)
+	if !tr.FinishRequest(root) {
+		t.Fatal("slow trace not tail-kept")
+	}
+}
+
+func TestTraceRingNewestFirst(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1, RingSize: 3})
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartRequest(context.Background(), "")
+		root.TagInt("i", int64(i))
+		tr.FinishRequest(root)
+	}
+	snap := tr.Snapshot()
+	if snap.Capacity != 3 || snap.TracesStarted != 5 || snap.TracesKept != 5 {
+		t.Fatalf("ring counts: %+v", snap)
+	}
+	if len(snap.Traces) != 3 {
+		t.Fatalf("%d retained traces, want 3", len(snap.Traces))
+	}
+	for i, want := range []string{"4", "3", "2"} {
+		if got := snap.Traces[i].Spans[0].Tags["i"]; got != want {
+			t.Fatalf("trace %d tagged %q, want %q (newest first)", i, got, want)
+		}
+	}
+}
+
+func TestTraceMaxSpansDropped(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1, MaxSpans: 4})
+	ctx, root := tr.StartRequest(context.Background(), "")
+	for i := 0; i < 10; i++ {
+		trace.AddSpan(ctx, trace.StagePagerMiss, time.Microsecond)
+	}
+	tr.FinishRequest(root)
+	ts := tr.Snapshot().Traces[0]
+	if len(ts.Spans) != 4 {
+		t.Fatalf("%d spans recorded, want the 4-span bound", len(ts.Spans))
+	}
+	// 11 records competed (10 AddSpans + the root's End) for 4 slots.
+	if ts.DroppedSpans != 7 {
+		t.Fatalf("dropped %d spans, want 7", ts.DroppedSpans)
+	}
+}
+
+// TestTraceObserveFullTraffic: the histogram hook sees every traced
+// request's spans even when the keep decision drops the trace — stage
+// histograms must reflect full traffic, not the sampled subset.
+func TestTraceObserveFullTraffic(t *testing.T) {
+	counts := map[trace.Stage]int{}
+	tr := trace.New(trace.Config{
+		SampleRate: never,
+		Observe:    func(st trace.Stage, _ time.Duration) { counts[st]++ },
+	})
+	for i := 0; i < 5; i++ {
+		ctx, root := tr.StartRequest(context.Background(), "")
+		_, sp := trace.StartSpan(ctx, trace.StageQuery)
+		sp.End()
+		if tr.FinishRequest(root) {
+			t.Fatal("draw passed at the never rate")
+		}
+	}
+	if counts[trace.StageRequest] != 5 || counts[trace.StageQuery] != 5 {
+		t.Fatalf("observed %v, want 5 request + 5 query", counts)
+	}
+	if n := len(tr.Snapshot().Traces); n != 0 {
+		t.Fatalf("%d traces kept at the never rate", n)
+	}
+}
+
+// TestTraceConcurrentSpans exercises one trace's span machinery from
+// many goroutines under -race, the shape of a batch fan-out: every span
+// must land, with unique IDs, parented at the root.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1, MaxSpans: 4096})
+	ctx, root := tr.StartRequest(context.Background(), "")
+	const workers, spansPer = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				_, sp := trace.StartSpan(ctx, trace.StageQuery)
+				sp.TagInt("w", int64(w))
+				sp.End()
+				trace.AddSpan(ctx, trace.StagePagerMiss, time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.FinishRequest(root)
+	ts := tr.Snapshot().Traces[0]
+	want := 1 + workers*spansPer*2
+	if len(ts.Spans) != want || ts.DroppedSpans != 0 {
+		t.Fatalf("%d spans (%d dropped), want %d", len(ts.Spans), ts.DroppedSpans, want)
+	}
+	seen := map[trace.SpanID]bool{}
+	for _, sp := range ts.Spans {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span id %d", sp.ID)
+		}
+		seen[sp.ID] = true
+		if sp.Stage != "request" && sp.Parent != 1 {
+			t.Fatalf("span %d parented at %d, want the root", sp.ID, sp.Parent)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	observed := 0
+	tr := trace.New(trace.Config{SampleRate: 1, Observe: func(trace.Stage, time.Duration) { observed++ }})
+	ctx, root := tr.StartRequest(context.Background(), "")
+	_, sp := trace.StartSpan(ctx, trace.StageQuery)
+	sp.End()
+	sp.End()
+	tr.FinishRequest(root) // Ends the root: observed reaches 2, not 3.
+	if observed != 2 {
+		t.Fatalf("observed %d span ends, want 2", observed)
+	}
+	if n := len(tr.Snapshot().Traces[0].Spans); n != 2 {
+		t.Fatalf("%d span records, want 2", n)
+	}
+}
+
+// TestTraceStageNamesComplete pins the stage taxonomy: every stage has a
+// distinct wire name and String agrees with StageNames — the /tracez
+// "stage" field and the segdb_stage_seconds label draw from one table.
+func TestTraceStageNamesComplete(t *testing.T) {
+	names := trace.StageNames()
+	if len(names) != int(trace.NumStages) {
+		t.Fatalf("%d stage names for %d stages", len(names), trace.NumStages)
+	}
+	seen := map[string]bool{}
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		n := st.String()
+		if n == "" || n == "unknown" || n != names[st] {
+			t.Fatalf("stage %d renders %q (names[%d]=%q)", st, n, st, names[st])
+		}
+		if seen[n] {
+			t.Fatalf("duplicate stage name %q", n)
+		}
+		seen[n] = true
+	}
+	if got := trace.NumStages.String(); got != "unknown" {
+		t.Fatalf("out-of-range stage renders %q", got)
+	}
+}

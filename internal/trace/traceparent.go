@@ -1,0 +1,70 @@
+package trace
+
+import "encoding/hex"
+
+// The W3C Trace Context header: "00-<32 hex trace-id>-<16 hex
+// parent-id>-<2 hex flags>". Only version 00 is parsed; the only flag bit
+// this package interprets is 0x01, sampled.
+
+// Header is the HTTP header name carrying a trace context.
+const Header = "traceparent"
+
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	buf := make([]byte, traceparentLen)
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], tid[:])
+	buf[35] = '-'
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(uint64(sid) >> (8 * uint(7-i)))
+	}
+	hex.Encode(buf[36:52], sb[:])
+	buf[52] = '-'
+	flags := byte(0)
+	if sampled {
+		flags = 1
+	}
+	hex.Encode(buf[53:55], []byte{flags})
+	return string(buf)
+}
+
+// formatSpanID renders a span ID as the header's 16 hex digits.
+func formatSpanID(sid SpanID) string {
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(uint64(sid) >> (8 * uint(7-i)))
+	}
+	return hex.EncodeToString(sb[:])
+}
+
+// ParseTraceparent parses a traceparent header value. ok is false for
+// anything malformed, for versions other than 00, and for the forbidden
+// all-zero trace or parent IDs — callers then mint a fresh trace instead
+// of propagating garbage.
+func ParseTraceparent(h string) (tid TraceID, sid SpanID, sampled bool, ok bool) {
+	if len(h) != traceparentLen || h[0] != '0' || h[1] != '0' ||
+		h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	var sb [8]byte
+	if _, err := hex.Decode(sb[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	for _, b := range sb {
+		sid = sid<<8 | SpanID(b)
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	if tid.IsZero() || sid == 0 {
+		return TraceID{}, 0, false, false
+	}
+	return tid, sid, fb[0]&1 != 0, true
+}

@@ -297,15 +297,53 @@ func (l *Log) Append(rec Record) (int64, error) {
 	return l.size, nil
 }
 
+// SyncStats is one Sync call's group-commit breakdown, filled by
+// SyncObserve for latency attribution: where an acknowledged commit's
+// time actually went — queueing behind an in-flight fsync, widening the
+// batch, or the fsync itself.
+type SyncStats struct {
+	// Covered reports the fast path: the watermark already covered the
+	// LSN, no lock was taken, nothing below is meaningful.
+	Covered bool
+	// Wait is the time spent queued on the group-commit mutex (an earlier
+	// leader's window + fsync running ahead of this committer).
+	Wait time.Duration
+	// Window is the commit-window sleep this call performed as leader; 0
+	// when it piggybacked, had nothing batched behind it, or no window is
+	// configured.
+	Window time.Duration
+	// Fsync is the duration of the fsync this call led; 0 when an earlier
+	// leader's fsync covered it while it queued.
+	Fsync time.Duration
+	// Leader reports whether this call ran the fsync (vs being covered).
+	Leader bool
+}
+
 // Sync makes every record at or below lsn durable, batching concurrent
 // committers into one fsync. On return, either the watermark covers lsn
 // or the error is permanent (the log is wedged).
-func (l *Log) Sync(lsn int64) error {
+func (l *Log) Sync(lsn int64) error { return l.SyncObserve(lsn, nil) }
+
+// SyncObserve is Sync with an observation hook: when obs is non-nil it is
+// filled with the call's group-commit breakdown (queue wait, window
+// sleep, fsync time, leadership). A nil obs adds no timing work, so Sync
+// itself stays measurement-free.
+func (l *Log) SyncObserve(lsn int64, obs *SyncStats) error {
 	if l.durable.Load() >= lsn {
+		if obs != nil {
+			obs.Covered = true
+		}
 		return nil
+	}
+	var t0 time.Time
+	if obs != nil {
+		t0 = time.Now()
 	}
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
+	if obs != nil {
+		obs.Wait = time.Since(t0)
+	}
 	// A leader that ran while this committer queued may already have
 	// covered it; its records are durable without a second fsync.
 	if l.durable.Load() >= lsn {
@@ -322,12 +360,19 @@ func (l *Log) Sync(lsn int64) error {
 	// lone writer pays just the fsync, not window + fsync.
 	if l.window > 0 && target > lsn {
 		time.Sleep(l.window) // let more committers append into this batch
+		if obs != nil {
+			obs.Window = l.window
+		}
 		l.mu.Lock()
 		target, err = l.size, l.err
 		l.mu.Unlock()
 		if err != nil {
 			return err
 		}
+	}
+	if obs != nil {
+		obs.Leader = true
+		t0 = time.Now()
 	}
 	if err := l.f.Sync(); err != nil {
 		l.mu.Lock()
@@ -338,6 +383,9 @@ func (l *Log) Sync(lsn int64) error {
 		l.bump()
 		l.mu.Unlock()
 		return err
+	}
+	if obs != nil {
+		obs.Fsync = time.Since(t0)
 	}
 	l.durable.Store(target)
 	l.mu.Lock()

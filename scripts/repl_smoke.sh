@@ -35,8 +35,10 @@ wait_healthy() { # addr pid logfile
     echo "repl-smoke: $1 never became healthy"; cat "$3"; exit 1
 }
 
+# Tracing on: the leader's replication endpoints (snapshot serve, frame
+# ship) must surface as /tracez traces once a follower attaches.
 "$dir/segdbd" -db "$dir/leader.db" -wal "$dir/leader.wal" -addr "$laddr" \
-    -group-commit-window 1ms >"$dir/leader.log" 2>&1 &
+    -group-commit-window 1ms -trace-sample 1 >"$dir/leader.log" 2>&1 &
 lpid=$!
 wait_healthy "$laddr" "$lpid" "$dir/leader.log"
 
@@ -48,6 +50,15 @@ start_follower() {
     wait_healthy "$faddr" "$fpid" "$dir/follower.log"
 }
 start_follower
+
+# Bootstrap just streamed a checkpoint, so the leader's trace ring must
+# hold a repl_snapshot span tagged with the bytes served. Checked now,
+# before load traffic can evict the one-off bootstrap trace.
+curl -fsS "http://$laddr/tracez" | jq -e '
+    [.traces[].spans[] | select(.stage == "repl_snapshot")]
+    | length >= 1 and all(.tags.bytes | tonumber > 0)' >/dev/null \
+    || { echo "repl-smoke: leader /tracez lacks the bootstrap repl_snapshot trace:"; \
+        curl -fsS "http://$laddr/tracez" | jq '[.traces[].spans[].stage] | unique'; exit 1; }
 
 # The follower refuses writes and points the client at the leader.
 probe='{"id":900000001,"ax":100,"ay":900001,"bx":200,"by":900001}'
@@ -145,6 +156,15 @@ curl -fsS "http://$faddr/statsz" | jq -e '.repl.resnapshots >= 1' >/dev/null \
         curl -fsS "http://$faddr/statsz" | jq .repl; exit 1; }
 wait_converged
 differential
+
+# WAL shipping surfaces in the leader's trace ring: the catch-up tail
+# after the re-bootstrap pulled committed frames, so recent traces must
+# carry repl_ship spans (the bootstrap repl_snapshot was asserted above,
+# before load traffic could evict it).
+curl -fsS "http://$laddr/tracez" | jq -e '
+    [.traces[].spans[] | select(.stage == "repl_ship")] | length >= 1' >/dev/null \
+    || { echo "repl-smoke: leader /tracez lacks repl_ship traces:"; \
+        curl -fsS "http://$laddr/tracez" | jq '[.traces[].spans[].stage] | unique'; exit 1; }
 
 # Replication series ride /metricsz on both sides.
 lmetrics=$(curl -fsS "http://$laddr/metricsz")

@@ -24,10 +24,11 @@ go build -o "$dir" ./cmd/segdb ./cmd/segdbd ./cmd/segload
 "$dir/segdb" query -db "$dir/index.db" -b 32 -x 2500 -ylo 0 -yhi 200 -check "$dir/segs.csv" >/dev/null
 
 # -slow-latency 0 logs every request: the ring and JSONL sink must be
-# non-empty after any traffic at all.
+# non-empty after any traffic at all. -trace-sample 1 keeps every trace,
+# so /tracez and the stage histograms must light up too.
 "$dir/segdbd" -db "$dir/index.db" -addr "$addr" -max-inflight 16 \
     -debug-addr "$dbgaddr" -slow-latency 0 -slow-ring 64 \
-    -slow-log "$dir/slow.jsonl" >"$dir/segdbd.log" 2>&1 &
+    -slow-log "$dir/slow.jsonl" -trace-sample 1 >"$dir/segdbd.log" 2>&1 &
 pid=$!
 for _ in $(seq 1 100); do
     curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -70,6 +71,23 @@ curl -fsS "http://$addr/statsz?slow=1" | jq -e '
 jq -es 'length > 0' "$dir/slow.jsonl" >/dev/null \
     || { echo "serve-smoke: slow-query JSONL sink holds invalid JSON"; exit 1; }
 
+# Tracing: an inbound traceparent round-trips onto the response, and
+# /tracez holds well-formed span trees — the caller's trace ID among
+# them — with the slow log linking back by trace ID.
+tp='00-0123456789abcdef0123456789abcdef-0123456789abcdef-01'
+curl -fsS -D "$dir/thdr" -H "traceparent: $tp" -X POST "http://$addr/v1/query" \
+    -d '{"x":2500,"ylo":0,"yhi":200}' >/dev/null
+grep -qi '^traceparent: 00-0123456789abcdef0123456789abcdef-' "$dir/thdr" \
+    || { echo "serve-smoke: traceparent did not round-trip"; cat "$dir/thdr"; exit 1; }
+curl -fsS "http://$addr/tracez" | jq -e '
+    .sample_rate == 1
+    and .traces_kept > 0
+    and ([.traces[] | select(.trace_id == "0123456789abcdef0123456789abcdef")] | length) == 1
+    and (.traces | all((.trace_id | length) == 32 and (.spans | length) > 0 and .duration_ms >= 0))' >/dev/null \
+    || { echo "serve-smoke: /tracez failed sanity check:"; curl -fsS "http://$addr/tracez" | jq .; exit 1; }
+curl -fsS "http://$addr/statsz?slow=1" | jq -e '.slow_log.entries[0].trace_id | length == 32' >/dev/null \
+    || { echo "serve-smoke: slow entries not linked to traces"; exit 1; }
+
 # /metricsz must be Prometheus text format 0.0.4: every line a comment or
 # "name[{labels}] value", every sample family announced by # TYPE, and
 # the key series non-zero.
@@ -94,6 +112,8 @@ for want in 'segdb_requests_total{endpoint="query"}' \
             'segdb_query_pages_read_bucket' \
             'segdb_request_latency_seconds_bucket' \
             'segdb_slow_requests_total' \
+            'segdb_stage_seconds_count{stage="request"}' \
+            'segdb_stage_seconds_bucket{stage="query"' \
             'segdb_store_shard_reads_total{shard="0"}'; do
     echo "$metrics" | grep -qF "$want" \
         || { echo "serve-smoke: /metricsz missing $want"; exit 1; }
@@ -160,6 +180,15 @@ curl -fsS "http://$waddr/statsz" | jq -e '
     and .wal.durable_bytes == .wal.size_bytes
     and .write_admission.admitted > 0' >/dev/null \
     || { echo "serve-smoke: statsz write-path rows failed sanity check"; exit 1; }
+
+# This server runs with tracing off (the default): zero /tracez entries
+# even though traffic flowed, and no traceparent echoes.
+curl -fsS -D "$dir/thdr0" -H "traceparent: $tp" -X POST "http://$waddr/v1/query" \
+    -d '{"x":150,"ylo":900000,"yhi":900002}' >/dev/null
+grep -qi '^traceparent:' "$dir/thdr0" \
+    && { echo "serve-smoke: tracing off but a traceparent came back"; exit 1; }
+curl -fsS "http://$waddr/tracez" | jq -e '.sample_rate == 0 and .traces_started == 0 and (.traces | length) == 0' >/dev/null \
+    || { echo "serve-smoke: /tracez not empty with tracing off"; exit 1; }
 
 # Crash: kill -9 loses nothing that was acknowledged. The WAL replays over
 # the untouched checkpoint at restart.

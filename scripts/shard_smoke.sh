@@ -62,6 +62,17 @@ for probe in '{"id":900000001,"ax":-10,"ay":900001,"bx":999999,"by":900001}' \
     done
 done
 
+# Tracing defaults off on the sharded server: a sampled caller gets no
+# traceparent back and /tracez stays empty even under scatter-gather
+# traffic. (The traced fan-out path is exercised in trace_smoke.sh.)
+curl -fsS -D "$dir/hdr-notrace" \
+    -H "traceparent: 00-0123456789abcdef0123456789abcdef-0123456789abcdef-01" \
+    -X POST "http://$addr/v1/query" -d '{"x":2500,"ylo":-1e18,"yhi":1e18}' >/dev/null
+grep -qi '^traceparent:' "$dir/hdr-notrace" \
+    && { echo "shard-smoke: tracing off but the response carries a traceparent"; exit 1; }
+curl -fsS "http://$addr/tracez" | jq -e '.sample_rate == 0 and (.traces | length) == 0' >/dev/null \
+    || { echo "shard-smoke: /tracez not empty with tracing off"; exit 1; }
+
 # Differential: the sharded and unsharded servers must answer every
 # query identically — probed at each slab cut, one step to either side,
 # and a spread of interior xs. (Cut positions come off /statsz.)

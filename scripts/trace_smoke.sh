@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# trace-smoke: end-to-end check of request tracing. Serves a 4-shard
+# WAL-backed store with tracing on, round-trips a W3C traceparent,
+# asserts /tracez holds the traced query's span tree — admission, shard
+# probe, pager fill, and (for a traced insert) the WAL group-commit
+# stages — with the root duration agreeing with the endpoint latency,
+# checks the stage histograms on /metricsz, the trace-linked slow log,
+# the JSONL trace sink, and segload's -trace per-stage report; then
+# restarts with tracing off and proves the whole surface goes dark.
+set -euo pipefail
+
+addr=127.0.0.1:18090
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir" ./cmd/segdb ./cmd/segdbd ./cmd/segload
+
+"$dir/segdb" gen -kind layers -n 5000 -out "$dir/segs.csv" >/dev/null
+"$dir/segdb" shard -in "$dir/segs.csv" -out "$dir/shards" -shards 4 -b 32 >/dev/null
+
+start() {
+    "$dir/segdbd" -db "$dir/shards" -shards 4 -addr "$addr" -cache 64 \
+        -group-commit-window 1ms "$@" >>"$dir/segdbd.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "segdbd died:"; cat "$dir/segdbd.log"; exit 1; }
+        sleep 0.1
+    done
+    echo "segdbd never became healthy"; exit 1
+}
+stop() {
+    kill -TERM "$pid"
+    wait "$pid"
+    pid=""
+}
+
+start -trace-sample 1 -trace-ring 32 -trace-log "$dir/traces.jsonl" -slow-latency 0
+
+# Traceparent round trip: the inbound trace ID comes back on the
+# response and names the kept trace.
+tid=4bf92f3577b34da6a3ce929d0e0e4736
+tp="00-$tid-00f067aa0ba902b7-01"
+curl -fsS -D "$dir/hdr" -H "traceparent: $tp" -X POST "http://$addr/v1/query" \
+    -d '{"x":2500,"ylo":-1e18,"yhi":1e18}' >"$dir/q.json"
+grep -qi "^traceparent: 00-$tid-" "$dir/hdr" \
+    || { echo "trace-smoke: response traceparent does not echo the inbound trace id"; cat "$dir/hdr"; exit 1; }
+
+# A traced durable insert exercises the write stages down to the WAL.
+curl -fsS -H "traceparent: 00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab-00000000000000ab-01" \
+    -X POST "http://$addr/v1/insert" \
+    -d '{"id":900000001,"ax":-10,"ay":900001,"bx":999999,"by":900001}' \
+    | jq -e '.found == true' >/dev/null \
+    || { echo "trace-smoke: traced insert not acknowledged"; exit 1; }
+
+# A batch spread across x exercises the scatter-gather: several probes,
+# several shards, one trace.
+curl -fsS -H "traceparent: 00-cccccccccccccccccccccccccccccccd-00000000000000cd-01" \
+    -X POST "http://$addr/v1/query" \
+    -d '{"queries":[{"x":100},{"x":1500},{"x":2900},{"x":4500}]}' >/dev/null
+
+tracez=$(curl -fsS "http://$addr/tracez")
+
+# The query trace's span tree: root plus the read stages, every child
+# parented inside the tree, and the root duration within 10% (plus 1ms
+# of scheduling slack) of the server-reported endpoint latency.
+elapsed=$(jq '.elapsed_ms' "$dir/q.json")
+echo "$tracez" | jq -e --arg tid "$tid" --argjson e "$elapsed" '
+    [.traces[] | select(.trace_id == $tid)][0]
+    | ([.spans[].stage] | contains(["request","parse","admission","query","shard_probe","encode"]))
+      and (.duration_ms >= $e)
+      and (.duration_ms <= $e * 1.1 + 1)
+      and (([.spans[] | select(.stage == "request")][0].parent // 0) == 0)
+      and ([.spans[].id] as $ids | [.spans[] | select((.parent // 0) != 0)] | all(.parent as $p | $ids | index($p) != null))
+    ' >/dev/null \
+    || { echo "trace-smoke: query span tree failed:"; echo "$tracez" | jq --arg tid "$tid" '.traces[] | select(.trace_id == $tid)'; exit 1; }
+
+# The pager fill stage appears somewhere in the ring: a 64-page cache
+# over a 5000-segment store cannot serve all of the above from memory.
+echo "$tracez" | jq -e '[.traces[].spans[].stage] | index("pager_miss") != null' >/dev/null \
+    || { echo "trace-smoke: no pager_miss span in any trace"; exit 1; }
+
+# The insert trace carries the write path: routed update, live apply,
+# WAL append, and the group-commit wait.
+echo "$tracez" | jq -e '
+    [.traces[] | select(.trace_id == "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab")][0]
+    | [.spans[].stage] | contains(["shard_update","apply","wal_append","wal_commit"])' >/dev/null \
+    || { echo "trace-smoke: insert trace lacks WAL stages:"; \
+        echo "$tracez" | jq '.traces[] | select(.trace_id == "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab")'; exit 1; }
+
+# The batch trace scattered: at least two distinct shards probed.
+echo "$tracez" | jq -e '
+    [.traces[] | select(.trace_id == "cccccccccccccccccccccccccccccccd")][0]
+    | [.spans[] | select(.stage == "shard_probe") | .tags.shard] | unique | length >= 2' >/dev/null \
+    || { echo "trace-smoke: batch trace did not fan out across shards"; exit 1; }
+
+# Stage histograms reached /metricsz, and the slow log links its entries
+# to their traces.
+metrics=$(curl -fsS "http://$addr/metricsz")
+echo "$metrics" | grep -Eq '^segdb_stage_seconds_count\{stage="wal_(fsync|commit)"\}' \
+    || { echo "trace-smoke: /metricsz lacks segdb_stage_seconds WAL stages"; exit 1; }
+curl -fsS "http://$addr/statsz?slow=1" | jq -e '.slow_log.entries[0].trace_id | length == 32' >/dev/null \
+    || { echo "trace-smoke: slow log entries carry no trace id"; exit 1; }
+
+# The JSONL sink holds every kept trace as parseable JSON.
+jq -s 'length >= 3 and all(.trace_id | length == 32)' "$dir/traces.jsonl" >/dev/null \
+    || { echo "trace-smoke: trace JSONL sink invalid:"; cat "$dir/traces.jsonl"; exit 1; }
+
+# segload -trace: emits traceparents and reports the per-stage table.
+"$dir/segload" -addr "http://$addr" -csv "$dir/segs.csv" -c 2 -duration 2s -trace >"$dir/segload.out"
+grep -q 'trace stages' "$dir/segload.out" \
+    || { echo "trace-smoke: segload -trace printed no stage table:"; cat "$dir/segload.out"; exit 1; }
+grep -Eq '^\s+request\s+[0-9]+' "$dir/segload.out" \
+    || { echo "trace-smoke: segload stage table lacks the request row:"; cat "$dir/segload.out"; exit 1; }
+
+stop
+
+# Tracing off (the default): a sampled caller gets no traceparent back,
+# /tracez stays empty, and the stage histograms never materialize.
+start
+curl -fsS -D "$dir/hdr0" -H "traceparent: $tp" -X POST "http://$addr/v1/query" \
+    -d '{"x":2500,"ylo":-1e18,"yhi":1e18}' >/dev/null
+grep -qi '^traceparent:' "$dir/hdr0" \
+    && { echo "trace-smoke: tracing off but the response carries a traceparent"; exit 1; }
+curl -fsS "http://$addr/tracez" | jq -e '.sample_rate == 0 and .traces_started == 0 and (.traces | length) == 0' >/dev/null \
+    || { echo "trace-smoke: /tracez not empty with tracing off"; exit 1; }
+metrics0=$(curl -fsS "http://$addr/metricsz")
+echo "$metrics0" | grep -q '^segdb_stage_seconds' \
+    && { echo "trace-smoke: stage histograms exported with tracing off"; exit 1; }
+stop
+
+echo "trace-smoke: OK"

@@ -2,7 +2,11 @@ package segdb
 
 import (
 	"context"
+	"strconv"
 	"sync"
+	"time"
+
+	"segdb/internal/trace"
 )
 
 // SyncIndex wraps an Index for concurrent use: queries take a shared lock
@@ -52,14 +56,14 @@ func SynchronizedOn(ix Index, st *Store) *SyncIndex {
 // ioWindow brackets one query for I/O attribution; the zero value (no
 // store) is inert.
 type ioWindow struct {
-	st     *Store
-	r0, h0 int64
+	st         *Store
+	r0, h0, m0 int64
 }
 
 func (s *SyncIndex) beginIO() ioWindow {
 	w := ioWindow{st: s.st}
 	if w.st != nil {
-		w.r0, w.h0 = w.st.ReadStats()
+		w.r0, w.h0, w.m0 = w.st.ReadWindow()
 	}
 	return w
 }
@@ -69,9 +73,10 @@ func (w ioWindow) end(st *QueryStats) {
 	if w.st == nil {
 		return
 	}
-	r1, h1 := w.st.ReadStats()
+	r1, h1, m1 := w.st.ReadWindow()
 	st.PagesRead = r1 - w.r0
 	st.PoolHits = h1 - w.h0
+	st.MissNanos = m1 - w.m0
 }
 
 // Query implements the Index contract under a shared lock.
@@ -136,6 +141,14 @@ func (s *SyncIndex) QueryContext(ctx context.Context, q Query, emit func(Segment
 		})
 	}()
 	w.end(&st)
+	// Synthesize the pager span from the window's miss-fill time: the
+	// pager itself has no context, so traced queries get their miss cost
+	// attributed here, with the window's documented skew under overlap.
+	if st.PagesRead > 0 && trace.Active(ctx) {
+		trace.AddSpan(ctx, trace.StagePagerMiss, time.Duration(st.MissNanos),
+			trace.Tag{K: "pages_read", V: strconv.FormatInt(st.PagesRead, 10)},
+			trace.Tag{K: "pool_hits", V: strconv.FormatInt(st.PoolHits, 10)})
+	}
 	if cerr := ctx.Err(); cerr != nil {
 		return st, cerr
 	}
